@@ -1,0 +1,296 @@
+// Benchmark harness: one benchmark per evaluation artifact of the paper
+// (see DESIGN.md's per-experiment index). Each benchmark reports the
+// simulated-machine quantities the paper's tables/figures contain as
+// custom metrics (cycles, counters, increments), while the Go benchmark
+// time measures this implementation's own analysis/simulation speed.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkTable1/LOOPS -benchtime=1x
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/ecfg"
+	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/interval"
+	"repro/internal/livermore"
+	"repro/internal/paperex"
+	"repro/internal/profiler"
+	"repro/internal/simplecfd"
+)
+
+// BenchmarkFigure1BuildCFG regenerates Figure 1 (the example's CFG).
+func BenchmarkFigure1BuildCFG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _ := experiments.Figure1()
+		if g.NumNodes() != 6 {
+			b.Fatal("bad CFG")
+		}
+	}
+}
+
+// BenchmarkFigure2BuildECFG regenerates Figure 2: interval analysis plus
+// the ECFG transformation on the example.
+func BenchmarkFigure2BuildECFG(b *testing.B) {
+	g := paperex.CFG()
+	for i := 0; i < b.N; i++ {
+		iv, err := interval.Analyze(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ecfg.Build(g, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Pipeline regenerates Figure 3 end to end: run, profile,
+// recover, estimate; reports the headline numbers as metrics.
+func BenchmarkFigure3Pipeline(b *testing.B) {
+	var last *experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Est.Time, "TIME(START)")
+	b.ReportMetric(last.Est.StdDev(), "STD_DEV(START)")
+}
+
+// BenchmarkTable1 regenerates every cell of Table 1. The sub-benchmark
+// names follow the table layout: program / scheme / compiler-optimization
+// setting; metrics report the simulated cycles of that cell.
+func BenchmarkTable1(b *testing.B) {
+	cfg1 := experiments.Table1Config{
+		LoopsN: 100, LoopsReps: 1,
+		SimpleN: 40, SimpleNCycles: 4,
+		Seed: 1,
+	}
+	type variant struct {
+		name string
+		get  func(c *experiments.Table1Cell) float64
+	}
+	variants := []variant{
+		{"Original", func(c *experiments.Table1Cell) float64 { return c.Original }},
+		{"Smart", func(c *experiments.Table1Cell) float64 { return c.Smart }},
+		{"Naive", func(c *experiments.Table1Cell) float64 { return c.Naive }},
+	}
+	models := map[string]string{"OptOn": "opt-on", "OptOff": "opt-off"}
+	for _, prog := range []string{"LOOPS", "SIMPLE"} {
+		prog := prog
+		for _, v := range variants {
+			v := v
+			for disp, model := range models {
+				model := model
+				b.Run(prog+"/"+v.name+"/"+disp, func(b *testing.B) {
+					var cell *experiments.Table1Cell
+					for i := 0; i < b.N; i++ {
+						r, err := experiments.Table1(cfg1)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cell = r.Cell(prog, model)
+					}
+					b.ReportMetric(v.get(cell), "cycles")
+					b.ReportMetric(100*(v.get(cell)-cell.Original)/cell.Original, "overhead_%")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkCounterPlacement measures the smart placement algorithm itself
+// over all Livermore kernels, reporting total counters placed.
+func BenchmarkCounterPlacement(b *testing.B) {
+	p, err := core.Load(livermore.Source(100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counters := 0
+	for i := 0; i < b.N; i++ {
+		counters = 0
+		for _, a := range p.An.Procs {
+			plan, err := profiler.PlanSmart(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			counters += plan.NumCounters()
+		}
+	}
+	b.ReportMetric(float64(counters), "counters")
+}
+
+// BenchmarkCounterAblation reports, for each optimization level of Section
+// 3, the dynamic counter operations over a LOOPS run — the ablation behind
+// Table 1's smart-vs-naive gap.
+func BenchmarkCounterAblation(b *testing.B) {
+	p, err := core.Load(livermore.Source(100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []struct {
+		name  string
+		level profiler.Level
+	}{
+		{"Opt1_Conditions", profiler.LevelConditions},
+		{"Opt2_Branches", profiler.LevelBranches},
+		{"Opt3_DoHoist", profiler.LevelFull},
+	}
+	for _, lv := range levels {
+		lv := lv
+		b.Run(lv.name, func(b *testing.B) {
+			var ops int64
+			var counters int
+			for i := 0; i < b.N; i++ {
+				ops, counters = 0, 0
+				for _, a := range p.An.Procs {
+					plan, err := profiler.PlanLevel(a, lv.level)
+					if err != nil {
+						b.Fatal(err)
+					}
+					o := plan.MeasureOverhead(run, cost.Optimized)
+					ops += o.Increments + o.TripAdds
+					counters += plan.NumCounters()
+				}
+			}
+			b.ReportMetric(float64(ops), "dyn_ops")
+			b.ReportMetric(float64(counters), "counters")
+		})
+	}
+	b.Run("Naive_Blocks", func(b *testing.B) {
+		var ops int64
+		var counters int
+		for i := 0; i < b.N; i++ {
+			ops, counters = 0, 0
+			for _, a := range p.An.Procs {
+				plan := profiler.PlanNaive(a)
+				o := plan.MeasureOverhead(run, cost.Optimized)
+				ops += o.Increments + o.TripAdds
+				counters += plan.NumCounters()
+			}
+		}
+		b.ReportMetric(float64(ops), "dyn_ops")
+		b.ReportMetric(float64(counters), "counters")
+	})
+}
+
+// BenchmarkEstimatePipeline measures the full estimation pipeline
+// (Sections 4-5: frequency recovery + bottom-up TIME/VAR) on the LOOPS
+// program, reporting the estimated totals.
+func BenchmarkEstimatePipeline(b *testing.B) {
+	p, err := core.Load(livermore.Source(100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var est *core.ProgramEstimate
+	for i := 0; i < b.N; i++ {
+		est, err = p.Estimate(cost.Optimized, core.Options{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(est.Main.Time, "TIME_cycles")
+	b.ReportMetric(est.Main.StdDev(), "STD_DEV_cycles")
+}
+
+// BenchmarkChunkScheduling regenerates the Section 5 application: a
+// variable loop profiled, TIME/STD_DEV fed to Kruskal–Weiss, and the
+// resulting chunk size simulated against fixed baselines.
+func BenchmarkChunkScheduling(b *testing.B) {
+	src := `      PROGRAM PARLOOP
+      INTEGER I, K, N
+      REAL X
+      PARAMETER (N = 512)
+      DO 10 I = 1, N
+         X = RAND()
+         IF (X .LT. 0.08) THEN
+            DO 20 K = 1, 600
+   20       CONTINUE
+         ELSE
+            DO 30 K = 1, 5
+   30       CONTINUE
+         ENDIF
+   10 CONTINUE
+      END
+`
+	p, err := core.Load(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cost.Unit
+	est, err := p.Estimate(model, core.Options{}, 1, 2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := p.An.Procs["PARLOOP"]
+	var outer = a.Intervals.Headers()[0]
+	for _, h := range a.Intervals.Headers() {
+		if a.Intervals.Depth(h) == 1 {
+			outer = h
+		}
+	}
+	body := est.Procs["PARLOOP"].Node[outer]
+	iters, err := chunk.MeasureIterations(p.Res, "PARLOOP", outer, model, interp.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const P = 16
+	const overhead = 30.0
+	params := chunk.Params{N: len(iters), P: P, Mu: body.Time, Sigma: body.StdDev, Overhead: overhead}
+	var kw, naive, best float64
+	var kStar int
+	for i := 0; i < b.N; i++ {
+		kStar = chunk.KruskalWeiss(params)
+		kw = chunk.Simulate(iters, P, kStar, overhead)
+		naive = chunk.Simulate(iters, P, len(iters)/P, overhead)
+		_, bestR := chunk.Sweep(iters, P, overhead, chunk.DefaultKs(len(iters), P))
+		best = bestR.Makespan
+	}
+	b.ReportMetric(float64(kStar), "k_star")
+	b.ReportMetric(kw, "makespan_kw")
+	b.ReportMetric(naive, "makespan_naiveNP")
+	b.ReportMetric(best, "makespan_sweep_best")
+}
+
+// BenchmarkInterpreter measures raw interpreter throughput on SIMPLE.
+func BenchmarkInterpreter(b *testing.B) {
+	p, err := core.Load(simplecfd.Source(24, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		run, err := interp.Run(p.Res, interp.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = run.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// BenchmarkAnalysisPipeline measures graph analysis (intervals, ECFG,
+// CDG, FCDG) over every SIMPLE procedure.
+func BenchmarkAnalysisPipeline(b *testing.B) {
+	p, err := core.Load(simplecfd.Source(24, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.AnalyzeProgram(p.Res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command estimate computes average execution times and variances from a
+// source program plus a program-database profile (see profrun), printing
+// the per-node [COST, TIME, E[T²], VAR, STD_DEV] table of every procedure
+// — the content of the paper's Figure 3 for arbitrary programs.
+//
+// Usage:
+//
+//	estimate -src prog.f -db profile.json [-model opt-on|opt-off|unit]
+//	         [-proc NAME] [-callvar]
+//
+// The same database can be estimated under different cost models — the
+// cross-architecture property Section 3 highlights ("the frequency
+// information can be generated on any machine, and can be used to estimate
+// execution times ... on different target architectures").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/database"
+)
+
+func main() {
+	src := flag.String("src", "", "source file (required)")
+	dbPath := flag.String("db", "", "program database file (required)")
+	model := flag.String("model", "opt-on", "cost model: opt-on, opt-off or unit")
+	proc := flag.String("proc", "", "print only one procedure's table")
+	callvar := flag.Bool("callvar", false, "propagate callee variance into call sites")
+	flat := flag.Bool("flat", false, "print a gprof-style flat profile instead of per-node tables")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "estimate:", err)
+		os.Exit(1)
+	}
+	if *src == "" || *dbPath == "" {
+		fail(fmt.Errorf("-src and -db are required"))
+	}
+	var m cost.Model
+	switch *model {
+	case "opt-on":
+		m = cost.Optimized
+	case "opt-off":
+		m = cost.Unoptimized
+	case "unit":
+		m = cost.Unit
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		fail(err)
+	}
+	p, err := core.Load(string(text))
+	if err != nil {
+		fail(err)
+	}
+	db, err := database.Load(*dbPath)
+	if err != nil {
+		fail(err)
+	}
+	totals, err := db.ProcTotals()
+	if err != nil {
+		fail(err)
+	}
+	opt := core.Options{PropagateCallVariance: *callvar}
+	if lv, err := db.LoopVariance(); err == nil && len(lv) > 0 {
+		opt.FreqVar = lv
+	}
+	est, err := core.EstimateProgram(p.An, totals, p.CostTables(m), opt)
+	if err != nil {
+		fail(err)
+	}
+	if *flat {
+		rows, err := est.FlatProfile()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(core.FormatFlat(rows))
+		return
+	}
+	for _, comp := range p.An.BottomUp {
+		for _, name := range comp {
+			if *proc != "" && name != *proc {
+				continue
+			}
+			fmt.Print(core.Report(est.Procs[name]))
+			fmt.Println()
+		}
+	}
+	if est.Main != nil && *proc == "" {
+		fmt.Printf("program: TIME = %.6g cycles, STD_DEV = %.6g cycles (model %s, %d profiled runs)\n",
+			est.Main.Time, est.Main.StdDev(), m.Name, db.Runs)
+	}
+}

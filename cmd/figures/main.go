@@ -1,0 +1,64 @@
+// Command figures regenerates Figures 1, 2 and 3 of the paper from the
+// running example: the statement-level CFG, the extended CFG, and the
+// forward control dependence graph annotated with frequency and execution
+// time tuples (TIME(START) = 920, STD_DEV(START) = 300).
+//
+// Usage:
+//
+//	figures [-fig 1|2|3|all] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to print: 1, 2, 3 or all")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text (figures 1 and 3)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	show1 := *fig == "1" || *fig == "all"
+	show2 := *fig == "2" || *fig == "all"
+	show3 := *fig == "3" || *fig == "all"
+	if !show1 && !show2 && !show3 {
+		fail(fmt.Errorf("unknown figure %q", *fig))
+	}
+	if show1 {
+		g, text := experiments.Figure1()
+		if *dot {
+			fmt.Print(g.DOT())
+		} else {
+			fmt.Println(text)
+		}
+	}
+	if show2 {
+		a, text, err := experiments.Figure2()
+		if err != nil {
+			fail(err)
+		}
+		if *dot {
+			fmt.Print(a.Ext.G.DOT())
+		} else {
+			fmt.Println(text)
+		}
+	}
+	if show3 {
+		r, err := experiments.Figure3()
+		if err != nil {
+			fail(err)
+		}
+		if *dot {
+			fmt.Print(r.A.FCDG.DOT())
+		} else {
+			fmt.Println(r.Format())
+		}
+	}
+}

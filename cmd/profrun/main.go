@@ -1,0 +1,90 @@
+// Command profrun executes a program with optimized counter-based
+// profiling and accumulates the recovered TOTAL_FREQ profile into a
+// program-database JSON file, merging with any existing content — the
+// paper's workflow of gathering representative frequencies over several
+// runs.
+//
+// Usage:
+//
+//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-loopvar] [-print]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/database"
+	"repro/internal/interp"
+	"repro/internal/profiler"
+)
+
+func main() {
+	src := flag.String("src", "", "source file (required)")
+	dbPath := flag.String("db", "", "program database file to create or merge into (required)")
+	seeds := flag.String("seeds", "1", "comma-separated interpreter seeds, one run each")
+	loopvar := flag.Bool("loopvar", false, "also collect loop-frequency variance (extra instrumented run per seed)")
+	show := flag.Bool("print", false, "print program output (PRINT statements)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "profrun:", err)
+		os.Exit(1)
+	}
+	if *src == "" || *dbPath == "" {
+		fail(fmt.Errorf("-src and -db are required"))
+	}
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		fail(err)
+	}
+	p, err := core.Load(string(text))
+	if err != nil {
+		fail(err)
+	}
+	var seedList []uint64
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad seed %q", s))
+		}
+		seedList = append(seedList, v)
+	}
+
+	db := database.New(*src)
+	if _, err := os.Stat(*dbPath); err == nil {
+		db, err = database.Load(*dbPath)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	opts := interp.Options{}
+	if *show {
+		opts.Out = os.Stdout
+	}
+	profile, _, err := p.Profile(opts, seedList...)
+	if err != nil {
+		fail(err)
+	}
+	db.Merge(profile, len(seedList), seedList...)
+	if *loopvar {
+		for _, seed := range seedList {
+			o := opts
+			o.Seed = seed
+			vars, err := profiler.VarianceRun(p.An, o)
+			if err != nil {
+				fail(err)
+			}
+			db.MergeLoopVar(vars)
+		}
+	}
+	if err := db.Save(*dbPath); err != nil {
+		fail(err)
+	}
+	fmt.Printf("profrun: %d run(s) merged into %s (now %d runs total)\n",
+		len(seedList), *dbPath, db.Runs)
+}

@@ -1,0 +1,120 @@
+// Command ptranc is the analysis front door (named after PTRAN, the system
+// the paper's framework was implemented in): it parses a program in the
+// Fortran subset, runs the full analysis pipeline, and dumps any of the
+// intermediate structures — control flow graph, extended CFG, forward
+// control dependence graph, interval structure, or the optimized counter
+// placement plan.
+//
+// Usage:
+//
+//	ptranc -src prog.f [-proc NAME] [-dump cfg|ecfg|fcdg|intervals|plan|all] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/profiler"
+)
+
+func main() {
+	src := flag.String("src", "", "source file (required)")
+	proc := flag.String("proc", "", "restrict output to one procedure")
+	dump := flag.String("dump", "all", "what to dump: cfg, ecfg, fcdg, intervals, plan or all")
+	dot := flag.Bool("dot", false, "emit Graphviz dot for graph dumps")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ptranc:", err)
+		os.Exit(1)
+	}
+	if *src == "" {
+		fail(fmt.Errorf("-src is required"))
+	}
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		fail(err)
+	}
+	p, err := core.Load(string(text))
+	if err != nil {
+		fail(err)
+	}
+
+	names := make([]string, 0, len(p.An.Procs))
+	for _, comp := range p.An.BottomUp {
+		names = append(names, comp...)
+	}
+	for _, name := range names {
+		if *proc != "" && name != *proc {
+			continue
+		}
+		a := p.An.Procs[name]
+		fmt.Printf("==== procedure %s ====\n", name)
+		if *dump == "cfg" || *dump == "all" {
+			if *dot {
+				fmt.Print(a.P.G.DOT())
+			} else {
+				fmt.Print(a.P.G.String())
+			}
+		}
+		if *dump == "intervals" || *dump == "all" {
+			fmt.Printf("loop headers:")
+			for _, h := range a.Intervals.Headers() {
+				fmt.Printf(" %d(depth %d, parent %d)", h, a.Intervals.Depth(h), a.Intervals.Parent(h))
+			}
+			fmt.Println()
+		}
+		if *dump == "ecfg" || *dump == "all" {
+			if *dot {
+				fmt.Print(a.Ext.G.DOT())
+			} else {
+				fmt.Print(a.Ext.G.String())
+			}
+		}
+		if *dump == "fcdg" || *dump == "all" {
+			if *dot {
+				fmt.Print(a.FCDG.DOT())
+			} else {
+				fmt.Print(a.FCDG.String())
+			}
+		}
+		if *dump == "plan" || *dump == "all" {
+			plan, err := profiler.PlanSmart(a)
+			if err != nil {
+				fail(err)
+			}
+			naive := profiler.PlanNaive(a)
+			fmt.Printf("smart counters (%d):", plan.NumCounters())
+			for _, c := range plan.Counters {
+				fmt.Printf(" %v", c)
+			}
+			fmt.Printf("\nnaive counters: %d (one per basic block%s)\n",
+				naive.NumCounters(), naiveNote(naive))
+		}
+	}
+	if p.Res.Main != nil && *proc == "" {
+		fmt.Printf("==== call graph (bottom-up) ====\n")
+		for _, comp := range p.An.BottomUp {
+			rec := ""
+			if len(comp) > 1 || p.An.IsRecursive(comp[0]) {
+				rec = "  (recursive)"
+			}
+			fmt.Printf("  %v%s\n", comp, rec)
+		}
+	}
+}
+
+func naiveNote(p *profiler.Plan) string {
+	trips := 0
+	for _, c := range p.Counters {
+		if c.Kind == profiler.TripAdd {
+			trips++
+		}
+	}
+	if trips > 0 {
+		return fmt.Sprintf(", %d trip-adds from the straight-line DO optimization", trips)
+	}
+	return ""
+}

@@ -1,0 +1,45 @@
+// Command table1 regenerates Table 1 of the paper: sequential execution
+// times of the LOOPS (Livermore) and SIMPLE benchmarks, original versus
+// smart versus naive counter-based profiling, under the optimized and
+// unoptimized cost models, plus the counter-count ablation behind it.
+//
+// Usage:
+//
+//	table1 [-paper] [-loopsn N] [-reps R] [-simplen N] [-cycles C]
+//
+// -paper uses the paper's problem sizes (SIMPLE 100×100, NCYCLES=10);
+// the defaults are scaled down for a quick run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "use the paper's problem sizes")
+	loopsN := flag.Int("loopsn", 60, "Livermore kernel problem size")
+	reps := flag.Int("reps", 1, "Livermore repetitions")
+	simpleN := flag.Int("simplen", 24, "SIMPLE mesh size")
+	cycles := flag.Int("cycles", 3, "SIMPLE time-step cycles")
+	seed := flag.Uint64("seed", 1, "interpreter seed")
+	flag.Parse()
+
+	cfg := experiments.Table1Config{
+		LoopsN: *loopsN, LoopsReps: *reps,
+		SimpleN: *simpleN, SimpleNCycles: *cycles,
+		Seed: *seed,
+	}
+	if *paper {
+		cfg = experiments.PaperTable1Config
+	}
+	res, err := experiments.Table1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

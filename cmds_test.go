@@ -1,0 +1,112 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// buildCmds compiles every command once into a shared temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, msg)
+		}
+	}
+	return dir
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildCmds(t)
+	src := filepath.Join(dir, "example.f")
+	if err := os.WriteFile(src, []byte(paperex.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := filepath.Join(dir, "profile.json")
+
+	t.Run("figures", func(t *testing.T) {
+		out := runCmd(t, filepath.Join(dir, "figures"), "-fig", "3")
+		for _, want := range []string{"TIME(START)    = 920", "STD_DEV(START) = 300"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q in:\n%s", want, out)
+			}
+		}
+		dot := runCmd(t, filepath.Join(dir, "figures"), "-fig", "1", "-dot")
+		if !strings.Contains(dot, "digraph") {
+			t.Errorf("dot output missing digraph:\n%s", dot)
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		out := runCmd(t, filepath.Join(dir, "table1"), "-loopsn", "20", "-simplen", "8", "-cycles", "1")
+		for _, want := range []string{"LOOPS", "SIMPLE", "opt-on", "Counter ablation"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q in:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("ptranc", func(t *testing.T) {
+		out := runCmd(t, filepath.Join(dir, "ptranc"), "-src", src, "-dump", "fcdg")
+		if !strings.Contains(out, "procedure EXMPL") || !strings.Contains(out, "fcdg root=") {
+			t.Errorf("unexpected output:\n%s", out)
+		}
+		out = runCmd(t, filepath.Join(dir, "ptranc"), "-src", src, "-dump", "plan", "-proc", "EXMPL")
+		if !strings.Contains(out, "smart counters") {
+			t.Errorf("plan output:\n%s", out)
+		}
+	})
+
+	t.Run("profrun-then-estimate", func(t *testing.T) {
+		out := runCmd(t, filepath.Join(dir, "profrun"), "-src", src, "-db", db, "-seeds", "1,2")
+		if !strings.Contains(out, "2 run(s) merged") {
+			t.Errorf("profrun output:\n%s", out)
+		}
+		// Merge again: runs accumulate.
+		out = runCmd(t, filepath.Join(dir, "profrun"), "-src", src, "-db", db, "-seeds", "3")
+		if !strings.Contains(out, "now 3 runs total") {
+			t.Errorf("merge output:\n%s", out)
+		}
+		out = runCmd(t, filepath.Join(dir, "estimate"), "-src", src, "-db", db, "-model", "unit")
+		if !strings.Contains(out, "program: TIME =") {
+			t.Errorf("estimate output:\n%s", out)
+		}
+		flat := runCmd(t, filepath.Join(dir, "estimate"), "-src", src, "-db", db, "-model", "opt-off", "-flat")
+		if !strings.Contains(flat, "%time") || !strings.Contains(flat, "FOO") {
+			t.Errorf("flat output:\n%s", flat)
+		}
+	})
+
+	t.Run("error-paths", func(t *testing.T) {
+		if _, err := exec.Command(filepath.Join(dir, "estimate"), "-src", src, "-db", "/nonexistent.json").CombinedOutput(); err == nil {
+			t.Error("estimate with missing db must fail")
+		}
+		if _, err := exec.Command(filepath.Join(dir, "ptranc")).CombinedOutput(); err == nil {
+			t.Error("ptranc without -src must fail")
+		}
+		if _, err := exec.Command(filepath.Join(dir, "figures"), "-fig", "9").CombinedOutput(); err == nil {
+			t.Error("figures -fig 9 must fail")
+		}
+	})
+}

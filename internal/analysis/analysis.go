@@ -1,0 +1,167 @@
+// Package analysis assembles the paper's full per-procedure pipeline —
+// interval structure, extended CFG, control dependence, forward control
+// dependence — and orders procedures bottom-up over the call graph, the
+// order Section 4's rule 2 requires (callees are costed before callers;
+// recursive procedures surface as multi-member or self-looping strongly
+// connected components).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdg"
+	"repro/internal/ecfg"
+	"repro/internal/interval"
+	"repro/internal/lower"
+)
+
+// Proc bundles every derived structure for one procedure.
+type Proc struct {
+	P *lower.Proc
+	// Intervals is the interval structure of the original CFG.
+	Intervals *interval.Info
+	// Ext is the extended CFG.
+	Ext *ecfg.Ext
+	// CDG is the full control dependence graph.
+	CDG *cdg.Graph
+	// FCDG is the forward control dependence graph.
+	FCDG *cdg.Graph
+}
+
+// Program is the analyzed whole program.
+type Program struct {
+	Res *lower.Result
+	// Procs maps unit name to its analysis.
+	Procs map[string]*Proc
+	// BottomUp lists the strongly connected components of the call graph
+	// in bottom-up topological order (every callee's component appears
+	// before its callers'). Components with more than one member, or a
+	// single member that calls itself, are recursive.
+	BottomUp [][]string
+}
+
+// AnalyzeProc runs the full pipeline on one lowered procedure. The lowering
+// phase already node-split any irreducible input, so the CFG is reducible.
+func AnalyzeProc(p *lower.Proc) (*Proc, error) {
+	a := &Proc{P: p}
+	g := p.G
+	iv, err := interval.Analyze(g)
+	if err != nil {
+		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
+	}
+	a.Intervals = iv
+	ext, err := ecfg.Build(g, iv)
+	if err != nil {
+		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
+	}
+	a.Ext = ext
+	full, err := cdg.Build(ext)
+	if err != nil {
+		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
+	}
+	a.CDG = full
+	fwd, err := full.Forward()
+	if err != nil {
+		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
+	}
+	a.FCDG = fwd
+	return a, nil
+}
+
+// AnalyzeProgram analyzes every procedure and computes the bottom-up call
+// order.
+func AnalyzeProgram(res *lower.Result) (*Program, error) {
+	prog := &Program{Res: res, Procs: make(map[string]*Proc)}
+	names := make([]string, 0, len(res.Procs))
+	for name := range res.Procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a, err := AnalyzeProc(res.Procs[name])
+		if err != nil {
+			return nil, err
+		}
+		prog.Procs[name] = a
+	}
+	prog.BottomUp = bottomUpSCCs(names, res.CallGraph)
+	return prog, nil
+}
+
+// IsRecursive reports whether the named procedure participates in a call
+// cycle (including direct self-recursion).
+func (p *Program) IsRecursive(name string) bool {
+	for _, comp := range p.BottomUp {
+		if len(comp) > 1 {
+			for _, m := range comp {
+				if m == name {
+					return true
+				}
+			}
+			continue
+		}
+		if comp[0] != name {
+			continue
+		}
+		for _, callee := range p.Res.CallGraph[name] {
+			if callee == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bottomUpSCCs runs Tarjan's SCC algorithm on the call graph and returns
+// the components in reverse topological order (callees before callers).
+func bottomUpSCCs(names []string, calls map[string][]string) [][]string {
+	index := make(map[string]int)
+	lowlink := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		counter++
+		index[v] = counter
+		lowlink[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range calls[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	// Tarjan emits components in reverse topological order of the
+	// condensation — exactly the bottom-up order we need (a component is
+	// emitted only after everything it calls).
+	return comps
+}

@@ -1,0 +1,190 @@
+// Package chunk implements the application Section 5 of the paper
+// motivates for variance information: choosing the chunk size of a
+// self-scheduled parallel loop, after Kruskal and Weiss [KW85].
+//
+// Intuition from the paper: "when the execution time of the loop body has
+// zero variance, we would prefer to use a chunk size of ⌊N/P⌋ ... when the
+// variance is large, we have to move to smaller chunk sizes to get better
+// load balancing, at the cost of increased overhead." The Kruskal–Weiss
+// analysis makes this quantitative: dispatching N iterations of mean μ and
+// standard deviation σ to P processors in chunks of k, with a per-chunk
+// dispatch overhead h, has expected makespan approximately
+//
+//	E[makespan] ≈ (N/P)·μ + (N/(k·P))·h + σ·√(2·k·ln P)
+//
+// whose minimizer is k* = (√2·N·h / (P·σ·√(ln P)))^(2/3), clamped to
+// [1, ⌈N/P⌉]. The compiler feeds μ = TIME and σ = STD_DEV of the loop body
+// from the estimator and picks k* at compile time.
+//
+// The package also contains a deterministic self-scheduling simulator so
+// experiments can sweep k against actual per-iteration costs and check
+// where the analytic optimum falls.
+package chunk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params describe one parallel loop scheduling problem.
+type Params struct {
+	// N is the iteration count, P the processor count.
+	N, P int
+	// Mu and Sigma are the loop body's mean execution time and standard
+	// deviation (from the estimator: TIME and STD_DEV).
+	Mu, Sigma float64
+	// Overhead is the cost of dispatching one chunk.
+	Overhead float64
+}
+
+// KruskalWeiss returns the analytic chunk size k*.
+func KruskalWeiss(p Params) int {
+	maxK := (p.N + p.P - 1) / p.P
+	if maxK < 1 {
+		maxK = 1
+	}
+	if p.Sigma <= 0 || p.P <= 1 {
+		return maxK // zero variance or sequential: biggest chunks win
+	}
+	lnP := math.Log(float64(p.P))
+	if lnP <= 0 {
+		return maxK
+	}
+	k := math.Pow(math.Sqrt2*float64(p.N)*p.Overhead/(float64(p.P)*p.Sigma*math.Sqrt(lnP)), 2.0/3.0)
+	ki := int(math.Round(k))
+	if ki < 1 {
+		ki = 1
+	}
+	if ki > maxK {
+		ki = maxK
+	}
+	return ki
+}
+
+// ExpectedMakespan evaluates the KW85 makespan model at chunk size k.
+func ExpectedMakespan(p Params, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	n, pp := float64(p.N), float64(p.P)
+	lnP := math.Log(math.Max(float64(p.P), math.E))
+	return n/pp*p.Mu + n/(float64(k)*pp)*p.Overhead + p.Sigma*math.Sqrt(2*float64(k)*lnP)
+}
+
+// Simulate runs deterministic self-scheduling: P workers repeatedly grab
+// the next k iterations (paying overhead per grab) until none remain, and
+// the makespan is the latest finish time. iterTimes[i] is the cost of
+// iteration i.
+func Simulate(iterTimes []float64, P, k int, overhead float64) float64 {
+	if P < 1 || k < 1 {
+		return math.Inf(1)
+	}
+	// Worker finish times in a tiny priority structure: with P small a
+	// linear scan is fine and allocation-free.
+	busy := make([]float64, P)
+	next := 0
+	for next < len(iterTimes) {
+		// Earliest-free worker takes the next chunk.
+		w := 0
+		for i := 1; i < P; i++ {
+			if busy[i] < busy[w] {
+				w = i
+			}
+		}
+		end := next + k
+		if end > len(iterTimes) {
+			end = len(iterTimes)
+		}
+		t := overhead
+		for _, c := range iterTimes[next:end] {
+			t += c
+		}
+		busy[w] += t
+		next = end
+	}
+	max := 0.0
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// SimulateGSS runs guided self-scheduling (Polychronopoulos–Kuck): each
+// grab takes ⌈remaining/P⌉ iterations, so chunks shrink geometrically and
+// the tail self-balances. Included as the classic adaptive baseline the
+// fixed-size Kruskal–Weiss choice is usually compared against.
+func SimulateGSS(iterTimes []float64, P int, overhead float64) float64 {
+	if P < 1 {
+		return math.Inf(1)
+	}
+	busy := make([]float64, P)
+	next := 0
+	for next < len(iterTimes) {
+		w := 0
+		for i := 1; i < P; i++ {
+			if busy[i] < busy[w] {
+				w = i
+			}
+		}
+		remaining := len(iterTimes) - next
+		k := (remaining + P - 1) / P
+		if k < 1 {
+			k = 1
+		}
+		end := next + k
+		t := overhead
+		for _, c := range iterTimes[next:end] {
+			t += c
+		}
+		busy[w] += t
+		next = end
+	}
+	max := 0.0
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// SweepResult is one point of a chunk-size sweep.
+type SweepResult struct {
+	K        int
+	Makespan float64
+}
+
+// Sweep simulates every chunk size in ks and returns the results sorted by
+// K along with the best one.
+func Sweep(iterTimes []float64, P int, overhead float64, ks []int) ([]SweepResult, SweepResult) {
+	out := make([]SweepResult, 0, len(ks))
+	best := SweepResult{K: 0, Makespan: math.Inf(1)}
+	for _, k := range ks {
+		m := Simulate(iterTimes, P, k, overhead)
+		out = append(out, SweepResult{K: k, Makespan: m})
+		if m < best.Makespan {
+			best = SweepResult{K: k, Makespan: m}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out, best
+}
+
+// DefaultKs returns a log-spaced set of chunk sizes to sweep for N
+// iterations on P processors: 1, 2, 4, ... up to ⌈N/P⌉.
+func DefaultKs(n, p int) []int {
+	maxK := (n + p - 1) / p
+	var ks []int
+	for k := 1; k < maxK; k *= 2 {
+		ks = append(ks, k)
+	}
+	ks = append(ks, maxK)
+	return ks
+}
+
+func (r SweepResult) String() string {
+	return fmt.Sprintf("k=%d makespan=%.4g", r.K, r.Makespan)
+}

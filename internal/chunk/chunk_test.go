@@ -1,0 +1,285 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/stats"
+)
+
+func TestZeroVariancePrefersBiggestChunks(t *testing.T) {
+	p := Params{N: 1000, P: 8, Mu: 10, Sigma: 0, Overhead: 5}
+	if k := KruskalWeiss(p); k != 125 {
+		t.Errorf("k = %d, want N/P = 125", k)
+	}
+}
+
+func TestHigherVarianceSmallerChunks(t *testing.T) {
+	base := Params{N: 1000, P: 8, Mu: 10, Overhead: 5}
+	prev := 1 << 30
+	for _, sigma := range []float64{0.5, 2, 8, 32, 128} {
+		p := base
+		p.Sigma = sigma
+		k := KruskalWeiss(p)
+		if k > prev {
+			t.Errorf("sigma %g: k = %d, want non-increasing (prev %d)", sigma, k, prev)
+		}
+		prev = k
+	}
+	if prev >= 125 {
+		t.Errorf("largest sigma still picked k = %d", prev)
+	}
+}
+
+func TestKruskalWeissBounds(t *testing.T) {
+	cfgs := []Params{
+		{N: 1, P: 64, Mu: 1, Sigma: 100, Overhead: 0.1},
+		{N: 10, P: 1, Mu: 1, Sigma: 5, Overhead: 1},
+		{N: 100000, P: 4, Mu: 1, Sigma: 0.001, Overhead: 1000},
+	}
+	for _, p := range cfgs {
+		k := KruskalWeiss(p)
+		maxK := (p.N + p.P - 1) / p.P
+		if k < 1 || k > maxK {
+			t.Errorf("%+v: k = %d outside [1, %d]", p, k, maxK)
+		}
+	}
+}
+
+func TestSimulateDeterministicBalanced(t *testing.T) {
+	// 8 equal iterations on 2 workers, chunks of 2, no overhead: each
+	// worker gets 2 chunks of cost 2: makespan 4.
+	iter := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if got := Simulate(iter, 2, 2, 0); got != 4 {
+		t.Errorf("makespan = %g, want 4", got)
+	}
+	// One big chunk: one worker does everything.
+	if got := Simulate(iter, 2, 8, 0); got != 8 {
+		t.Errorf("makespan = %g, want 8", got)
+	}
+	// Overhead charged per chunk.
+	if got := Simulate(iter, 2, 2, 1); got != 6 {
+		t.Errorf("makespan = %g, want 6 (2 chunks x (1+2))", got)
+	}
+}
+
+func TestSimulateImbalancedFavorsSmallChunks(t *testing.T) {
+	// One pathological iteration: with chunk = N/P the unlucky worker
+	// serializes; chunk = 1 balances.
+	iter := make([]float64, 64)
+	for i := range iter {
+		iter[i] = 1
+	}
+	iter[0] = 100
+	big := Simulate(iter, 8, 8, 0.01)
+	small := Simulate(iter, 8, 1, 0.01)
+	if small >= big {
+		t.Errorf("small-chunk makespan %g should beat big-chunk %g under imbalance", small, big)
+	}
+}
+
+func TestSimulateProperties(t *testing.T) {
+	// Properties: makespan >= total/P and >= max iteration; makespan <=
+	// total + chunks*overhead (one worker case bound).
+	f := func(seed int64) bool {
+		rng := seed
+		next := func() float64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return float64(uint64(rng)>>11) / float64(1<<53)
+		}
+		n := 1 + int(next()*200)
+		iter := make([]float64, n)
+		total, maxIt := 0.0, 0.0
+		for i := range iter {
+			iter[i] = 0.1 + next()*10
+			total += iter[i]
+			if iter[i] > maxIt {
+				maxIt = iter[i]
+			}
+		}
+		P := 1 + int(next()*7)
+		k := 1 + int(next()*20)
+		h := next()
+		ms := Simulate(iter, P, k, h)
+		chunks := (n + k - 1) / k
+		lower := math.Max(total/float64(P), maxIt)
+		upper := total + float64(chunks)*h
+		return ms >= lower-1e-9 && ms <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepFindsMinimum(t *testing.T) {
+	iter := make([]float64, 256)
+	for i := range iter {
+		iter[i] = 1
+		if i%16 == 0 {
+			iter[i] = 40
+		}
+	}
+	results, best := Sweep(iter, 8, 2, DefaultKs(len(iter), 8))
+	if len(results) == 0 || best.K == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, r := range results {
+		if r.Makespan < best.Makespan {
+			t.Errorf("best %v worse than %v", best, r)
+		}
+	}
+}
+
+func TestExpectedMakespanShape(t *testing.T) {
+	p := Params{N: 4096, P: 16, Mu: 10, Sigma: 20, Overhead: 8}
+	kStar := KruskalWeiss(p)
+	mStar := ExpectedMakespan(p, kStar)
+	// The analytic optimum must beat both extremes of the model curve.
+	if m1 := ExpectedMakespan(p, 1); m1 < mStar {
+		t.Errorf("k=1 model makespan %g < k*=%d's %g", m1, kStar, mStar)
+	}
+	if mMax := ExpectedMakespan(p, p.N/p.P); mMax < mStar {
+		t.Errorf("k=N/P model makespan %g < k*=%d's %g", mMax, kStar, mStar)
+	}
+}
+
+// TestEndToEndVarianceDrivenChunking runs the full story: estimate a
+// variable loop body's TIME/STD_DEV from a profile, feed them to KW85, and
+// check the chosen chunk size sits near the simulated optimum (and clearly
+// beats the naive N/P choice).
+func TestEndToEndVarianceDrivenChunking(t *testing.T) {
+	src := `      PROGRAM PARLOOP
+      INTEGER I, K, N
+      REAL X
+      PARAMETER (N = 256)
+      DO 10 I = 1, N
+         X = RAND()
+         IF (X .LT. 0.1) THEN
+            DO 20 K = 1, 400
+   20       CONTINUE
+         ELSE
+            DO 30 K = 1, 4
+   30       CONTINUE
+         ENDIF
+   10 CONTINUE
+      END
+`
+	p, err := core.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Unit
+	est, err := p.Estimate(model, core.Options{}, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.An.Procs["PARLOOP"]
+	// The outer loop is the depth-1 header; its body TIME/VAR live on the
+	// header node's estimate.
+	var outer = a.Intervals.Headers()[0]
+	for _, h := range a.Intervals.Headers() {
+		if a.Intervals.Depth(h) == 1 {
+			outer = h
+		}
+	}
+	pe := est.Procs["PARLOOP"]
+	body := pe.Node[outer] // TIME/VAR of one header-to-header iteration
+	const P = 8
+	const overhead = 25.0
+	params := Params{N: 256, P: P, Mu: body.Time, Sigma: body.StdDev, Overhead: overhead}
+	kStar := KruskalWeiss(params)
+
+	iters, err := MeasureIterations(p.Res, "PARLOOP", outer, model, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 256 {
+		t.Fatalf("measured %d iterations, want 256", len(iters))
+	}
+	sum := stats.Summarize(iters)
+	// The estimator's per-iteration mean should match the measured mean
+	// closely (profile pools 3 seeds, measurement uses seed 1).
+	if rel := math.Abs(sum.Mean-body.Time) / sum.Mean; rel > 0.25 {
+		t.Errorf("estimated iteration TIME %g vs measured mean %g", body.Time, sum.Mean)
+	}
+	// The iteration-time standard deviation is dominated by the iid branch
+	// between the cheap and the expensive arm, where Section 5's model is
+	// exact up to the deterministic inner loops' phantom variance: the
+	// compile-time σ must land within 40% of the measured σ.
+	if sum.Std > 0 {
+		if rel := math.Abs(body.StdDev-sum.Std) / sum.Std; rel > 0.40 {
+			t.Errorf("estimated iteration STD_DEV %g vs measured %g (rel %g)", body.StdDev, sum.Std, rel)
+		}
+	}
+
+	_, best := Sweep(iters, P, overhead, DefaultKs(256, P))
+	naive := Simulate(iters, P, 256/P, overhead)
+	kw := Simulate(iters, P, kStar, overhead)
+	t.Logf("k*=%d (mu=%.4g sigma=%.4g): makespan %.4g; best sweep %v; naive N/P %.4g",
+		kStar, body.Time, body.StdDev, kw, best, naive)
+	if kw > naive {
+		t.Errorf("variance-driven chunk (k=%d, %.4g) must not lose to naive N/P (%.4g)", kStar, kw, naive)
+	}
+	if kw > best.Makespan*1.5 {
+		t.Errorf("variance-driven chunk %.4g too far from sweep optimum %.4g", kw, best.Makespan)
+	}
+}
+
+func TestGSSBalancedAndOverheadAware(t *testing.T) {
+	// Equal iterations: GSS must be within a small factor of the ideal
+	// total/P even with the pathological first iteration.
+	iter := make([]float64, 128)
+	total := 0.0
+	for i := range iter {
+		iter[i] = 1
+		total += iter[i]
+	}
+	const P = 8
+	ms := SimulateGSS(iter, P, 0)
+	if ms < total/P-1e-9 {
+		t.Fatalf("GSS makespan %g below lower bound %g", ms, total/P)
+	}
+	if ms > total/P*1.5 {
+		t.Errorf("GSS makespan %g too far above ideal %g", ms, total/P)
+	}
+	// GSS uses O(P log(N/P)) grabs, far fewer than chunk=1's N grabs: with
+	// heavy overhead GSS must beat k=1 scheduling.
+	heavyOv := 50.0
+	gss := SimulateGSS(iter, P, heavyOv)
+	k1 := Simulate(iter, P, 1, heavyOv)
+	if gss >= k1 {
+		t.Errorf("GSS (%g) should beat chunk=1 (%g) under heavy overhead", gss, k1)
+	}
+}
+
+func TestGSSHandlesImbalance(t *testing.T) {
+	// Spread-out spikes: every 16th iteration is expensive.
+	iter := make([]float64, 256)
+	total, maxIt := 0.0, 0.0
+	for i := range iter {
+		iter[i] = 1
+		if i%16 == 0 {
+			iter[i] = 40
+		}
+		total += iter[i]
+		if iter[i] > maxIt {
+			maxIt = iter[i]
+		}
+	}
+	const P = 8
+	const h = 0.5
+	gss := SimulateGSS(iter, P, h)
+	if gss < total/P || gss < maxIt {
+		t.Fatalf("GSS makespan %g below lower bounds (%g, %g)", gss, total/P, maxIt)
+	}
+	// GSS is adaptive: it must land within 1.5x of the best fixed chunk
+	// size found by sweeping.
+	_, best := Sweep(iter, P, h, DefaultKs(len(iter), P))
+	if gss > best.Makespan*1.5 {
+		t.Errorf("GSS (%g) too far from sweep optimum (%g)", gss, best.Makespan)
+	}
+}

@@ -1,0 +1,41 @@
+package chunk
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/lower"
+)
+
+// MeasureIterations runs the program once under the cost model and returns
+// the per-iteration cost of the loop headed by header in procedure proc:
+// the cost accumulated between consecutive executions of the header. It is
+// intended for loops entered once per run (the usual parallel-loop
+// candidate); for multi-entry loops the deltas spanning an exit/re-entry
+// would include code outside the loop.
+func MeasureIterations(res *lower.Result, proc string, header cfg.NodeID, m cost.Model, opt interp.Options) ([]float64, error) {
+	var marks []float64
+	opt.Model = &m
+	prev := opt.OnNodeCost
+	opt.OnNodeCost = func(p *lower.Proc, n cfg.NodeID, costSoFar float64) {
+		if prev != nil {
+			prev(p, n, costSoFar)
+		}
+		if p.G.Name == proc && n == header {
+			marks = append(marks, costSoFar)
+		}
+	}
+	if _, err := interp.Run(res, opt); err != nil {
+		return nil, err
+	}
+	if len(marks) < 2 {
+		return nil, fmt.Errorf("chunk: loop header %d of %s executed %d times; no iterations to measure", header, proc, len(marks))
+	}
+	iters := make([]float64, len(marks)-1)
+	for i := 1; i < len(marks); i++ {
+		iters[i-1] = marks[i] - marks[i-1]
+	}
+	return iters, nil
+}

@@ -1,0 +1,153 @@
+// Package ck74 implements the related-work baseline the paper cites as
+// [CK74]: Cocke and Kennedy, "Profitability Computations on Program Flow
+// Graphs" — determining average execution frequencies from transition
+// probabilities on the control flow graph itself, by solving the linear
+// flow-balance system
+//
+//	freq(entry) = 1 + Σ incoming flow        (one entry per invocation)
+//	freq(v)     = Σ over edges (u,v,l) of freq(u) · prob(u,l)
+//
+// with one unknown per CFG node. Contrast with the paper's approach: the
+// FCDG recurrences need one pass over an acyclic graph and only
+// control-condition counters, while the flow-balance system needs a branch
+// probability for every CFG edge (per-edge counters, naive-profiler
+// territory) and a simultaneous linear solve because loops make the system
+// cyclic. Both must agree on the frequencies — a cross-validation the
+// tests exercise.
+package ck74
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/lower"
+)
+
+// Probabilities holds prob(u,l) — the probability that an execution of u
+// leaves via its edge labelled l — for every multi-successor node. Nodes
+// with a single out-edge implicitly have probability 1.
+type Probabilities map[cfg.NodeID]map[cfg.Label]float64
+
+// FromRun extracts edge probabilities from a run's exact counts (what a
+// per-edge profile would provide).
+func FromRun(p *lower.Proc, run *interp.Result) Probabilities {
+	probs := make(Probabilities)
+	counts := run.ByProc[p.G.Name]
+	for _, n := range p.G.Nodes() {
+		execs := float64(counts.Node[n.ID])
+		out := p.G.OutEdges(n.ID)
+		if len(out) < 2 || execs == 0 {
+			continue
+		}
+		m := make(map[cfg.Label]float64, len(out))
+		for k, e := range out {
+			m[e.Label] = float64(counts.Edge[n.ID][k]) / execs
+		}
+		probs[n.ID] = m
+	}
+	return probs
+}
+
+// Frequencies solves the flow-balance system and returns the expected
+// executions of every node per invocation of the procedure. The system is
+// singular when some loop has expected iteration count diverging (its exit
+// probability is 0); that is reported as an error.
+func Frequencies(p *lower.Proc, probs Probabilities) ([]float64, error) {
+	g := p.G
+	n := int(g.MaxID())
+	// Unknowns x[1..n]: node frequencies. Equations: x[v] − Σ prob(u,l)·x[u] = entry(v).
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		A[i] = make([]float64, n)
+		A[i][i] = 1
+	}
+	prob := func(u cfg.NodeID, l cfg.Label, fanout int) float64 {
+		if fanout == 1 {
+			return 1
+		}
+		if m, ok := probs[u]; ok {
+			return m[l]
+		}
+		// Unprofiled multi-way node (never executed): split evenly; its
+		// frequency is 0 anyway so the choice cannot matter.
+		return 1 / float64(fanout)
+	}
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		out := g.OutEdges(id)
+		for _, e := range out {
+			A[int(e.To)-1][int(id)-1] -= prob(id, e.Label, len(out))
+		}
+	}
+	b[int(g.Entry)-1] = 1
+
+	x, err := solve(A, b)
+	if err != nil {
+		return nil, fmt.Errorf("ck74: %s: %w", g.Name, err)
+	}
+	// Frequencies are expectations of counts: they must be non-negative.
+	freqs := make([]float64, n+1)
+	for i, v := range x {
+		if v < 0 && v > -1e-9 {
+			v = 0
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("ck74: %s: negative frequency %g for node %d", g.Name, v, i+1)
+		}
+		freqs[i+1] = v
+	}
+	return freqs, nil
+}
+
+// solve is Gaussian elimination with partial pivoting.
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		if math.Abs(A[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular flow system (column %d): a loop never exits", col)
+		}
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= A[i][j] * x[j]
+		}
+		x[i] = sum / A[i][i]
+	}
+	return x, nil
+}
+
+// CountersNeeded returns how many per-edge probability counters the CK74
+// formulation requires for the procedure: one per out-edge of every
+// multi-successor node, minus one per such node (probabilities sum to 1).
+func CountersNeeded(p *lower.Proc) int {
+	total := 0
+	for _, n := range p.G.Nodes() {
+		if k := len(p.G.OutEdges(n.ID)); k >= 2 {
+			total += k - 1
+		}
+	}
+	// Plus the invocation counter.
+	return total + 1
+}

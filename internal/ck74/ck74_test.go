@@ -1,0 +1,114 @@
+package ck74
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/livermore"
+	"repro/internal/paperex"
+	"repro/internal/profiler"
+	"repro/internal/progen"
+)
+
+// agree verifies that the flow-balance frequencies match the FCDG
+// recurrences' NODE_FREQ and the actual node counts for one program.
+func agree(t *testing.T, src string, seed uint64) {
+	t.Helper()
+	p, err := core.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := interp.Run(p.Res, interp.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range p.An.Procs {
+		acts := float64(run.ByProc[name].Activations)
+		if acts == 0 {
+			continue
+		}
+		probs := FromRun(a.P, run)
+		flow, err := Frequencies(a.P, probs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		totals := profiler.ExactTotals(a, run)
+		tab, err := freq.Compute(a.FCDG, totals)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, n := range a.P.G.Nodes() {
+			want := float64(run.NodeCount(a.P, n.ID)) / acts
+			if math.Abs(flow[n.ID]-want) > 1e-6*math.Max(1, want) {
+				t.Errorf("%s node %d: CK74 freq %g, actual %g", name, n.ID, flow[n.ID], want)
+			}
+			if math.Abs(flow[n.ID]-tab.NodeFreq[n.ID]) > 1e-6*math.Max(1, want) {
+				t.Errorf("%s node %d: CK74 %g != FCDG NODE_FREQ %g", name, n.ID, flow[n.ID], tab.NodeFreq[n.ID])
+			}
+		}
+	}
+}
+
+func TestAgreesOnPaperExample(t *testing.T) { agree(t, paperex.Source, 1) }
+
+func TestAgreesOnKernels(t *testing.T) {
+	for _, k := range []int{1, 2, 15, 16, 17, 24} {
+		agree(t, livermore.KernelSource(k, 40), 2)
+	}
+}
+
+func TestAgreesOnRandomPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		agree(t, progen.Generate(seed, 7, 3), seed)
+	}
+}
+
+func TestSingularLoopRejected(t *testing.T) {
+	// A loop whose exit probability is claimed to be zero has unbounded
+	// expected frequency: the flow system is singular.
+	p, err := core.Load(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.An.Procs["EXMPL"]
+	probs := make(Probabilities)
+	for _, n := range a.P.G.Nodes() {
+		out := a.P.G.OutEdges(n.ID)
+		if len(out) < 2 {
+			continue
+		}
+		pm := map[cfg.Label]float64{}
+		for _, e := range out {
+			pm[e.Label] = 0
+		}
+		// Always loop back: both IFs take F with probability 1.
+		pm[cfg.False] = 1
+		probs[n.ID] = pm
+	}
+	if _, err := Frequencies(a.P, probs); err == nil {
+		t.Fatal("never-exiting loop must make the flow system singular")
+	}
+}
+
+func TestCountersNeeded(t *testing.T) {
+	p, err := core.Load(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.An.Procs["EXMPL"]
+	ck := CountersNeeded(a.P)
+	smart, err := profiler.PlanSmart(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CK74 needs a probability per branch edge (n−1 each) plus the run
+	// counter; the FCDG scheme must not need more.
+	if smart.NumCounters() > ck {
+		t.Errorf("smart counters %d > CK74 counters %d", smart.NumCounters(), ck)
+	}
+	t.Logf("example: CK74 per-edge counters = %d, FCDG smart counters = %d", ck, smart.NumCounters())
+}

@@ -1,0 +1,387 @@
+// Package core implements the paper's primary contribution: computing the
+// average execution time TIME(u), the second moment E[TIME(u)²], the
+// variance VAR(u) and the standard deviation STD_DEV(u) of every node of a
+// program, by a single linear-time bottom-up traversal of each procedure's
+// forward control dependence graph (Sections 4 and 5), combined with a
+// bottom-up traversal of the call graph (rule 2: COST of a call node is the
+// callee's TIME(START), assumed independent of the call site).
+//
+// The two traversal rules:
+//
+//	TIME(u) = COST(u) + Σ over labels l of FREQ(u,l) × Σ over C(u,l) of TIME(v)
+//
+// and, for variance, case 1 (u is a preheader, loop frequency F = FREQ(u,l),
+// with optional VAR(F) from a second-moment profile):
+//
+//	VAR(u) = F² × ΣVAR(v)  +  VAR(F) × (ΣTIME(v))²  +  VAR(F) × ΣVAR(v)
+//
+// and case 2 (u is a branch node; VAR(COST(u)) = 0 except for calls, where
+// the callee's variance may be propagated):
+//
+//	VAR(u) = VAR(COST(u)) + E[TIME_C(u)²] − E[TIME_C(u)]²
+//	E[TIME_C(u)²] = Σ_l FREQ(u,l) × ( Σ_{C(u,l)} VAR(v) + (Σ_{C(u,l)} TIME(v))² )
+//
+// Recursive procedures — which the paper defers to [Sar87, Sar89] — are
+// handled by observing that TIME(START) of each member of a call-graph
+// strongly connected component is affine in the TIME(START) of the other
+// members (the coefficient being the call node's NODE_FREQ), so the
+// component's times solve a small linear system (I − M)·T = a; expected
+// times are finite exactly when the spectral radius of M is below one,
+// which Gaussian elimination detects as a non-positive pivot. Variances are
+// solved the same way under an independence assumption between successive
+// recursive activations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/ecfg"
+	"repro/internal/freq"
+	"repro/internal/lower"
+)
+
+// NodeEstimate is the [COST, TIME, E[T²], VAR, STD_DEV] tuple Figure 3
+// attaches to every FCDG node.
+type NodeEstimate struct {
+	Cost         float64
+	Time         float64
+	SecondMoment float64 // E[TIME²] = VAR + TIME²
+	Var          float64
+	StdDev       float64
+}
+
+// ProcEstimate holds the estimates of one procedure.
+type ProcEstimate struct {
+	A    *analysis.Proc
+	Freq *freq.Table
+	Node map[cfg.NodeID]NodeEstimate
+	// Time and Var are TIME(START) and VAR(START): the average execution
+	// time and variance of one invocation.
+	Time, Var float64
+}
+
+// StdDev is the standard deviation of one invocation.
+func (p *ProcEstimate) StdDev() float64 { return math.Sqrt(math.Max(0, p.Var)) }
+
+// ProgramEstimate holds the whole-program result.
+type ProgramEstimate struct {
+	Prog  *analysis.Program
+	Procs map[string]*ProcEstimate
+	// Main is the PROGRAM unit's estimate; its Time is the estimated
+	// execution time of the whole program.
+	Main *ProcEstimate
+}
+
+// Options tune the estimator.
+type Options struct {
+	// FreqVar supplies VAR(FREQ) per loop condition per procedure (from
+	// profiler.VarianceRun); nil assumes zero loop-frequency variance,
+	// matching the paper's Figure 3 simplification.
+	FreqVar map[string]map[cdg.Condition]float64
+	// PropagateCallVariance, when true, sets VAR(COST(u)) of a call node
+	// to the callee's VAR(START) rather than the paper's simplifying 0.
+	PropagateCallVariance bool
+	// StaticFreq supplies compile-time FREQ values per procedure (from
+	// staticfreq.Program); they take precedence over the profile.
+	StaticFreq map[string]map[cdg.Condition]float64
+}
+
+// EstimateProgram computes estimates for every procedure, visiting the call
+// graph bottom-up. profile supplies TOTAL_FREQ per procedure, costs the
+// local COST(u) table per procedure (call nodes: linkage overhead only —
+// the callee's time is added here per rule 2).
+func EstimateProgram(prog *analysis.Program, profile map[string]freq.Totals,
+	costs map[string]map[cfg.NodeID]float64, opt Options) (*ProgramEstimate, error) {
+
+	out := &ProgramEstimate{Prog: prog, Procs: make(map[string]*ProcEstimate)}
+
+	// Per-proc frequency tables first.
+	freqs := make(map[string]*freq.Table, len(prog.Procs))
+	for name, a := range prog.Procs {
+		totals, ok := profile[name]
+		if !ok {
+			return nil, fmt.Errorf("core: no profile for procedure %s", name)
+		}
+		tab, err := freq.ComputeOpts(a.FCDG, totals, freq.Opts{Static: opt.StaticFreq[name]})
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		freqs[name] = tab
+	}
+
+	// calleeTime/calleeVar accumulate solved TIME(START)/VAR(START).
+	calleeTime := make(map[string]float64)
+	calleeVar := make(map[string]float64)
+
+	for _, comp := range prog.BottomUp {
+		recursive := len(comp) > 1
+		if !recursive {
+			name := comp[0]
+			for _, callee := range prog.Res.CallGraph[name] {
+				if callee == name {
+					recursive = true
+				}
+			}
+		}
+		if !recursive {
+			name := comp[0]
+			pe := estimateProc(prog.Procs[name], freqs[name], costs[name], calleeTime, calleeVar, opt)
+			out.Procs[name] = pe
+			calleeTime[name] = pe.Time
+			calleeVar[name] = pe.Var
+			continue
+		}
+		if err := solveRecursive(prog, comp, freqs, costs, calleeTime, calleeVar, opt, out); err != nil {
+			return nil, err
+		}
+	}
+	if prog.Res.Main != nil {
+		out.Main = out.Procs[prog.Res.Main.G.Name]
+	}
+	return out, nil
+}
+
+// estimateProc runs the bottom-up FCDG pass of Sections 4 and 5 for one
+// procedure, with callee times/variances taken from the given maps.
+func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts map[cfg.NodeID]float64,
+	calleeTime, calleeVar map[string]float64, opt Options) *ProcEstimate {
+
+	pe := &ProcEstimate{A: a, Freq: tab, Node: make(map[cfg.NodeID]NodeEstimate)}
+	f := a.FCDG
+	topo := f.Topo()
+
+	for i := len(topo) - 1; i >= 0; i-- {
+		u := topo[i]
+		baseCost := procCosts[u]
+		costVar := 0.0
+		if op, ok := callOp(a, u); ok {
+			baseCost += calleeTime[op.S.Name]
+			if opt.PropagateCallVariance {
+				costVar = calleeVar[op.S.Name]
+			}
+		}
+
+		node := a.Ext.G.Node(u)
+		est := NodeEstimate{Cost: baseCost}
+		if node.Type == cfg.Preheader {
+			// Case 1: the only label of interest is the loop-body label;
+			// pseudo labels have zero frequency and contribute nothing.
+			c := cdg.Condition{Node: u, Label: ecfg.LoopBodyLabel}
+			F := tab.Freq[c]
+			varF := 0.0
+			if opt.FreqVar != nil {
+				varF = opt.FreqVar[a.P.G.Name][c]
+			}
+			var sumT, sumV float64
+			for _, v := range f.Children(u, ecfg.LoopBodyLabel) {
+				sumT += pe.Node[v].Time
+				sumV += pe.Node[v].Var
+			}
+			est.Time = F * sumT
+			est.Var = F*F*sumV + varF*sumT*sumT + varF*sumV
+		} else {
+			// Case 2.
+			var timeC, eTC2 float64
+			for _, l := range f.Labels(u) {
+				c := cdg.Condition{Node: u, Label: l}
+				F := tab.Freq[c]
+				if F == 0 {
+					continue
+				}
+				var sumT, sumV float64
+				for _, v := range f.Children(u, l) {
+					sumT += pe.Node[v].Time
+					sumV += pe.Node[v].Var
+				}
+				timeC += F * sumT
+				eTC2 += F * (sumV + sumT*sumT)
+			}
+			est.Time = baseCost + timeC
+			est.Var = costVar + eTC2 - timeC*timeC
+		}
+		if est.Var < 0 && est.Var > -1e-9 {
+			est.Var = 0 // numerical noise from catastrophic cancellation
+		}
+		est.SecondMoment = est.Var + est.Time*est.Time
+		est.StdDev = math.Sqrt(math.Max(0, est.Var))
+		pe.Node[u] = est
+	}
+	root := pe.Node[f.Root]
+	pe.Time, pe.Var = root.Time, root.Var
+	return pe
+}
+
+func callOp(a *analysis.Proc, u cfg.NodeID) (lower.OpCall, bool) {
+	n := a.Ext.G.Node(u)
+	if n == nil {
+		return lower.OpCall{}, false
+	}
+	op, ok := n.Payload.(lower.OpCall)
+	return op, ok
+}
+
+// solveRecursive handles one recursive call-graph component: it extracts
+// the affine dependence of each member's TIME (and VAR) on the other
+// members' values by evaluation, solves the two linear systems, and then
+// re-runs the node-level estimate with the solved values so per-node
+// tuples are consistent.
+func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*freq.Table,
+	costs map[string]map[cfg.NodeID]float64, calleeTime, calleeVar map[string]float64,
+	opt Options, out *ProgramEstimate) error {
+
+	n := len(comp)
+	idx := make(map[string]int, n)
+	for i, name := range comp {
+		idx[name] = i
+	}
+	evalTime := func(member string, times map[string]float64) float64 {
+		merged := make(map[string]float64, len(calleeTime)+n)
+		for k, v := range calleeTime {
+			merged[k] = v
+		}
+		for k, v := range times {
+			merged[k] = v
+		}
+		pe := estimateProc(prog.Procs[member], freqs[member], costs[member], merged, calleeVar, opt)
+		return pe.Time
+	}
+
+	// T_i = a_i + Σ_j M_ij T_j. Extract a (all zeros) and M (unit vectors).
+	a := make([]float64, n)
+	M := make([][]float64, n)
+	zero := map[string]float64{}
+	for _, name := range comp {
+		zero[name] = 0
+	}
+	for i, name := range comp {
+		a[i] = evalTime(name, zero)
+		M[i] = make([]float64, n)
+	}
+	for j, other := range comp {
+		probe := make(map[string]float64, n)
+		for _, name := range comp {
+			probe[name] = 0
+		}
+		probe[other] = 1
+		for i, name := range comp {
+			M[i][j] = evalTime(name, probe) - a[i]
+		}
+	}
+	times, err := solveAffine(a, M)
+	if err != nil {
+		return fmt.Errorf("core: recursive component %v has unbounded expected time: %w", comp, err)
+	}
+	for i, name := range comp {
+		calleeTime[name] = times[i]
+	}
+
+	// Variances: with times fixed, VAR_i is affine in the member
+	// variances (only when call variance propagation is on; otherwise the
+	// system is diagonal and one evaluation suffices).
+	evalVar := func(member string, vars map[string]float64) float64 {
+		merged := make(map[string]float64, len(calleeVar)+n)
+		for k, v := range calleeVar {
+			merged[k] = v
+		}
+		for k, v := range vars {
+			merged[k] = v
+		}
+		pe := estimateProc(prog.Procs[member], freqs[member], costs[member], calleeTime, merged, opt)
+		return pe.Var
+	}
+	b := make([]float64, n)
+	K := make([][]float64, n)
+	for i, name := range comp {
+		b[i] = evalVar(name, zero)
+		K[i] = make([]float64, n)
+	}
+	if opt.PropagateCallVariance {
+		for j, other := range comp {
+			probe := make(map[string]float64, n)
+			for _, name := range comp {
+				probe[name] = 0
+			}
+			probe[other] = 1
+			for i, name := range comp {
+				K[i][j] = evalVar(name, probe) - b[i]
+			}
+		}
+	}
+	vars, err := solveAffine(b, K)
+	if err != nil {
+		return fmt.Errorf("core: recursive component %v has unbounded variance: %w", comp, err)
+	}
+	for i, name := range comp {
+		if vars[i] < 0 {
+			vars[i] = 0
+		}
+		calleeVar[name] = vars[i]
+	}
+
+	// Final per-node pass with everything resolved.
+	for _, name := range comp {
+		pe := estimateProc(prog.Procs[name], freqs[name], costs[name], calleeTime, calleeVar, opt)
+		// The root values must agree with the solved fixpoint; they can
+		// drift only by floating-point error.
+		pe.Time, pe.Var = calleeTime[name], calleeVar[name]
+		out.Procs[name] = pe
+	}
+	return nil
+}
+
+// solveAffine solves x = a + M·x, i.e. (I − M)·x = a, by Gaussian
+// elimination with partial pivoting. A singular or negative-definite
+// system (spectral radius ≥ 1: expected recursion depth diverges) is an
+// error.
+func solveAffine(a []float64, M [][]float64) ([]float64, error) {
+	n := len(a)
+	// Build A = I − M and rhs = a.
+	A := make([][]float64, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			A[i][j] = -M[i][j]
+		}
+		A[i][i] += 1
+		x[i] = a[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		if math.Abs(A[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system (pivot %d)", col)
+		}
+		for r := col + 1; r < n; r++ {
+			factor := A[r][col] / A[col][col]
+			for c := col; c < n; c++ {
+				A[r][c] -= factor * A[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= A[i][j] * x[j]
+		}
+		x[i] = sum / A[i][i]
+	}
+	for i := 0; i < n; i++ {
+		if x[i] < 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return nil, fmt.Errorf("no finite non-negative solution (x[%d] = %g): expected recursive call count is at least 1", i, x[i])
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/ecfg"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/profiler"
+)
+
+// figure3Totals builds the paper's Figure 3 profile for the hand-built
+// Figure 1 CFG: the IF labelled 10 executes 10 times, always takes its T
+// arm, and the loop exits via IF (N.LT.0) on the 10th test.
+func figure3Totals(a *analysis.Proc) freq.Totals {
+	ph := a.Ext.Preheader[paperex.IfM]
+	t := freq.Totals{
+		{Node: a.Ext.Start, Label: cfg.Uncond}:  1,
+		{Node: ph, Label: ecfg.LoopBodyLabel}:   10,
+		{Node: paperex.IfM, Label: cfg.True}:    10,
+		{Node: paperex.IfM, Label: cfg.False}:   0,
+		{Node: paperex.IfNLt, Label: cfg.True}:  1,
+		{Node: paperex.IfNLt, Label: cfg.False}: 9,
+		{Node: paperex.IfNGe, Label: cfg.True}:  0,
+		{Node: paperex.IfNGe, Label: cfg.False}: 0,
+	}
+	for _, c := range a.FCDG.Conditions() {
+		if c.Label.IsPseudo() {
+			t[c] = 0
+		}
+	}
+	return t
+}
+
+// TestFigure3HandBuilt reproduces every published number of Figure 3 from
+// the hand-built CFG: TIME(START) = 920, VAR(START) = 90000,
+// STD_DEV(START) = 300, and the intermediate tuples derived in the text.
+func TestFigure3HandBuilt(t *testing.T) {
+	a, err := analysis.AnalyzeProc(&lower.Proc{G: paperex.CFG()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := freq.Compute(a.FCDG, figure3Totals(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := estimateProc(a, tab, paperex.Costs(), nil, nil, Options{})
+
+	if math.Abs(pe.Time-paperex.PaperTime) > 1e-9 {
+		t.Errorf("TIME(START) = %g, want %g", pe.Time, paperex.PaperTime)
+	}
+	if math.Abs(pe.Var-paperex.PaperVariance) > 1e-9 {
+		t.Errorf("VAR(START) = %g, want %g", pe.Var, paperex.PaperVariance)
+	}
+	if math.Abs(pe.StdDev()-paperex.PaperStdDev) > 1e-9 {
+		t.Errorf("STD_DEV(START) = %g, want %g", pe.StdDev(), paperex.PaperStdDev)
+	}
+
+	// Node-level tuples from the worked example.
+	checks := []struct {
+		n          cfg.NodeID
+		time, vari float64
+	}{
+		{paperex.Call, 100, 0},
+		{paperex.IfNLt, 91, 900},
+		{paperex.IfNGe, 1, 0}, // never executes: local cost only
+		{paperex.IfM, 92, 900},
+		{paperex.Cont20, 0, 0},
+	}
+	for _, c := range checks {
+		e := pe.Node[c.n]
+		if math.Abs(e.Time-c.time) > 1e-9 || math.Abs(e.Var-c.vari) > 1e-9 {
+			t.Errorf("node %d: TIME=%g VAR=%g, want TIME=%g VAR=%g", c.n, e.Time, e.Var, c.time, c.vari)
+		}
+	}
+	ph := a.Ext.Preheader[paperex.IfM]
+	if e := pe.Node[ph]; math.Abs(e.Time-920) > 1e-9 || math.Abs(e.Var-90000) > 1e-9 {
+		t.Errorf("preheader: TIME=%g VAR=%g, want 920, 90000", e.Time, e.Var)
+	}
+}
+
+// TestFigure3FullPipeline reproduces the same numbers end to end: parse the
+// example source, run it, profile it with optimized counters, recover
+// frequencies, and estimate with the paper's explicit COST assignment.
+func TestFigure3FullPipeline(t *testing.T) {
+	p, err := Load(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := p.Profile(interp.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's COST table: 1 per IF, 100 for the CALL, 0 elsewhere —
+	// and FOO is free so rule 2 contributes nothing extra.
+	costs := map[string]map[cfg.NodeID]float64{"EXMPL": {}, "FOO": {}}
+	a := p.An.Procs["EXMPL"]
+	for id, s := range a.P.Stmt {
+		switch s.Text()[0:2] {
+		case "IF":
+			costs["EXMPL"][id] = 1
+		case "CA":
+			costs["EXMPL"][id] = 100
+		}
+	}
+	est, err := EstimateProgram(p.An, map[string]freq.Totals(profile), costs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Main.Time-920) > 1e-9 {
+		t.Errorf("TIME(START) = %g, want 920\n%s", est.Main.Time, Report(est.Main))
+	}
+	if math.Abs(est.Main.StdDev()-300) > 1e-9 {
+		t.Errorf("STD_DEV(START) = %g, want 300\n%s", est.Main.StdDev(), Report(est.Main))
+	}
+}
+
+// TestMeanMatchesMeasuredExactly: with the profile extracted from a set of
+// runs, the estimated TIME(START) equals the average measured trace cost of
+// those same runs, to floating point — the estimator's mean is exact, with
+// no independence assumptions (Section 4's recurrences just redistribute
+// the frequency-weighted sum).
+func TestMeanMatchesMeasuredExactly(t *testing.T) {
+	src := `      PROGRAM MMM
+      INTEGER I, K
+      REAL X, S
+      S = 0.0
+      DO 10 I = 1, 50
+         X = RAND()
+         IF (X .LT. 0.4) THEN
+            S = S + X*X
+            CALL HEAVY(S)
+         ELSE IF (X .LT. 0.8) THEN
+            S = S + X
+         ELSE
+            S = S - X
+         ENDIF
+   10 CONTINUE
+      PRINT *, S
+      END
+
+      SUBROUTINE HEAVY(S)
+      REAL S
+      INTEGER J
+      DO 20 J = 1, 10
+         S = S + SIN(S) * COS(S)
+   20 CONTINUE
+      RETURN
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Optimized
+	seeds := []uint64{1, 2, 3, 4, 5}
+	var total float64
+	for _, s := range seeds {
+		c, err := p.MeasuredCost(model, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c
+	}
+	measuredAvg := total / float64(len(seeds))
+	est, err := p.Estimate(model, Options{}, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Main.Time-measuredAvg) / measuredAvg; rel > 1e-12 {
+		t.Errorf("estimated TIME = %.10g, measured average = %.10g (rel err %g)",
+			est.Main.Time, measuredAvg, rel)
+	}
+}
+
+// TestVarianceExactForSingleBranch: for a loop-free main program whose cost
+// is decided by one multi-way branch over fixed-cost callees, the estimated
+// variance equals the population variance of the observed per-run costs
+// exactly: the branch distribution recovered from the profile IS the
+// empirical distribution. Callee variance propagation stays off because the
+// paper's model assigns phantom variance to deterministic counted loops
+// (their test branch is treated as a Bernoulli draw with p = trip/(trip+1));
+// see TestDeterministicLoopPhantomVariance.
+func TestVarianceExactForSingleBranch(t *testing.T) {
+	src := `      PROGRAM ONEB
+      REAL X
+      X = RAND()
+      IF (X .LT. 0.3) THEN
+         CALL COSTA
+      ELSE IF (X .LT. 0.6) THEN
+         CALL COSTB
+      ELSE
+         CALL COSTC
+      ENDIF
+      END
+
+      SUBROUTINE COSTA
+      INTEGER I
+      DO 10 I = 1, 10
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE COSTB
+      INTEGER I
+      DO 20 I = 1, 50
+   20 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE COSTC
+      INTEGER I
+      DO 30 I = 1, 200
+   30 CONTINUE
+      RETURN
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Unit
+	var seeds []uint64
+	for s := uint64(1); s <= 40; s++ {
+		seeds = append(seeds, s)
+	}
+	var costs []float64
+	var sum float64
+	for _, s := range seeds {
+		c, err := p.MeasuredCost(model, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, c)
+		sum += c
+	}
+	mean := sum / float64(len(costs))
+	var popVar float64
+	for _, c := range costs {
+		popVar += (c - mean) * (c - mean)
+	}
+	popVar /= float64(len(costs))
+
+	est, err := p.Estimate(model, Options{}, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Main.Time-mean) > 1e-9*math.Abs(mean) {
+		t.Errorf("TIME = %g, want measured mean %g", est.Main.Time, mean)
+	}
+	if math.Abs(est.Main.Var-popVar) > 1e-6*math.Max(1, popVar) {
+		t.Errorf("VAR = %g, want population variance %g", est.Main.Var, popVar)
+	}
+
+	// With callee variance propagation the estimate strictly exceeds the
+	// multinomial variance: the deterministic callees' loops contribute
+	// phantom variance under the paper's model.
+	withProp, err := p.Estimate(model, Options{PropagateCallVariance: true}, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withProp.Main.Var <= est.Main.Var {
+		t.Errorf("propagated VAR %g should exceed plain VAR %g", withProp.Main.Var, est.Main.Var)
+	}
+}
+
+// TestDeterministicLoopPhantomVariance documents a property of Section 5's
+// model: a DO loop with a compile-time-constant trip count still gets
+// non-zero variance, because its test is modelled as a Bernoulli branch
+// with p = trip/(trip+1). VAR(test) = p(1−p)·T_body² and the preheader
+// scales it by FREQ² = (trip+1)².
+func TestDeterministicLoopPhantomVariance(t *testing.T) {
+	src := `      PROGRAM DLOOP
+      INTEGER I, S
+      S = 0
+      DO 10 I = 1, 4
+         S = S + 1
+   10 CONTINUE
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate(cost.Unit, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.An.Procs["DLOOP"]
+	h := a.Intervals.Headers()[0]
+	ph := a.Ext.Preheader[h]
+	pe := est.Procs["DLOOP"]
+
+	// Body per iteration: S=S+1 (1) + CONTINUE (1) + DO-INCR (1) = T_b.
+	var tb float64
+	for _, v := range a.FCDG.Children(h, cfg.True) {
+		tb += pe.Node[v].Time
+	}
+	const trip = 4.0
+	pT := trip / (trip + 1)
+	wantTestVar := pT*tb*tb - (pT*tb)*(pT*tb)
+	if math.Abs(pe.Node[h].Var-wantTestVar) > 1e-9 {
+		t.Errorf("VAR(test) = %g, want p(1-p)T² = %g", pe.Node[h].Var, wantTestVar)
+	}
+	wantPhVar := (trip + 1) * (trip + 1) * (pe.Node[h].Var)
+	if math.Abs(pe.Node[ph].Var-wantPhVar) > 1e-9 {
+		t.Errorf("VAR(preheader) = %g, want F²·VAR(header) = %g", pe.Node[ph].Var, wantPhVar)
+	}
+	// The program is deterministic, so this variance is a model artifact —
+	// assert it is indeed positive (the paper's formulas, faithfully).
+	if est.Main.Var <= 0 {
+		t.Errorf("phantom variance expected, got %g", est.Main.Var)
+	}
+}
+
+// TestSelfRecursionClosedForm: a procedure that calls itself with expected
+// count p per activation and local cost a has TIME = a / (1 − p); the
+// linear solver must reproduce the geometric series.
+func TestSelfRecursionClosedForm(t *testing.T) {
+	src := `      PROGRAM RECM
+      INTEGER N
+      N = 5
+      CALL R(N)
+      END
+
+      SUBROUTINE R(N)
+      INTEGER N
+      IF (N .LE. 0) RETURN
+      N = N - 1
+      CALL R(N)
+      RETURN
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.An.IsRecursive("R") {
+		t.Fatal("R must be detected as recursive")
+	}
+	model := cost.Unit
+	est, err := p.Estimate(model, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: total measured cost of the program equals its
+	// estimated TIME (mean exactness extends to recursion because the
+	// deterministic run IS the profile).
+	measured, err := p.MeasuredCost(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Main.Time-measured) > 1e-9*measured {
+		t.Errorf("recursive TIME = %g, want measured %g", est.Main.Time, measured)
+	}
+	// And R itself: 6 activations, 5 recursive calls → p = 5/6; TIME(R)
+	// must equal total R cost / activations.
+	r := est.Procs["R"]
+	if r.Time <= 0 {
+		t.Fatalf("TIME(R) = %g", r.Time)
+	}
+}
+
+// TestMutualRecursion solves a two-member SCC.
+func TestMutualRecursion(t *testing.T) {
+	src := `      PROGRAM MUT
+      INTEGER N
+      N = 8
+      CALL EVEN(N)
+      END
+
+      SUBROUTINE EVEN(N)
+      INTEGER N
+      IF (N .LE. 0) RETURN
+      N = N - 1
+      CALL ODD(N)
+      RETURN
+      END
+
+      SUBROUTINE ODD(N)
+      INTEGER N
+      IF (N .LE. 0) RETURN
+      N = N - 1
+      CALL EVEN(N)
+      RETURN
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.An.IsRecursive("EVEN") || !p.An.IsRecursive("ODD") {
+		t.Fatal("EVEN/ODD must be detected as a recursive component")
+	}
+	model := cost.Unit
+	est, err := p.Estimate(model, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := p.MeasuredCost(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Main.Time-measured) > 1e-9*measured {
+		t.Errorf("mutual recursion TIME = %g, want measured %g", est.Main.Time, measured)
+	}
+}
+
+// TestDivergentRecursionRejected: a synthetic profile claiming one or more
+// expected recursive calls per activation has no finite expected time.
+func TestDivergentRecursionRejected(t *testing.T) {
+	a := []float64{1}
+	M := [][]float64{{1.0}} // exactly one recursive call per activation
+	if _, err := solveAffine(a, M); err == nil {
+		t.Fatal("p = 1 recursion must be rejected")
+	}
+	M = [][]float64{{1.5}}
+	if _, err := solveAffine(a, M); err == nil {
+		t.Fatal("p > 1 recursion must be rejected")
+	}
+	// p < 1 solves the geometric series.
+	x, err := solveAffine([]float64{2}, [][]float64{{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-12 {
+		t.Errorf("x = %g, want 4", x[0])
+	}
+}
+
+// TestLoopFrequencyVariance: Section 5 case 1 with VAR(FREQ) from the
+// second-moment profile. A loop body of constant cost c executed F times
+// with VAR(F) = v has VAR(loop) = v·c² exactly (ΣVAR(children) = 0).
+func TestLoopFrequencyVariance(t *testing.T) {
+	src := `      PROGRAM LV
+      INTEGER I, J, S
+      S = 0
+      DO 10 I = 1, 5
+         DO 20 J = 1, I
+            S = S + 1
+   20    CONTINUE
+   10 CONTINUE
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, err := profiler.VarianceRun(p.An, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, _, err := p.Profile(interp.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Unit
+	withVar, err := EstimateProgram(p.An, map[string]freq.Totals(profile), p.CostTables(model),
+		Options{FreqVar: fv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := EstimateProgram(p.An, map[string]freq.Totals(profile), p.CostTables(model), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withVar.Main.Var <= without.Main.Var {
+		t.Errorf("VAR with loop-frequency variance (%g) must exceed the zero-variance assumption (%g)",
+			withVar.Main.Var, without.Main.Var)
+	}
+	if without.Main.Time != withVar.Main.Time {
+		t.Errorf("TIME must not depend on VAR(FREQ): %g vs %g", without.Main.Time, withVar.Main.Time)
+	}
+
+	// Case 1's full formula for the inner preheader:
+	// VAR = F²·ΣVAR + VAR(F)·(ΣTIME)² + VAR(F)·ΣVAR.
+	a := p.An.Procs["LV"]
+	var inner cfg.NodeID
+	for _, h := range a.Intervals.Headers() {
+		if a.Intervals.Depth(h) == 2 {
+			inner = h
+		}
+	}
+	ph := a.Ext.Preheader[inner]
+	pe := withVar.Procs["LV"]
+	cond := cdg.Condition{Node: ph, Label: ecfg.LoopBodyLabel}
+	varF := fv["LV"][cond]
+	if varF != 2 {
+		t.Errorf("VAR(FREQ(inner)) = %g, want 2 (header executions 2..6)", varF)
+	}
+	F := pe.Freq.Freq[cond]
+	var sumT, sumV float64
+	for _, v := range a.FCDG.Children(ph, ecfg.LoopBodyLabel) {
+		sumT += pe.Node[v].Time
+		sumV += pe.Node[v].Var
+	}
+	want := F*F*sumV + varF*sumT*sumT + varF*sumV
+	if math.Abs(pe.Node[ph].Var-want) > 1e-9 {
+		t.Errorf("VAR(inner preheader) = %g, want %g", pe.Node[ph].Var, want)
+	}
+}
+
+// TestZeroRunProfile: estimating from an empty profile (all totals zero)
+// must fail cleanly in freq, not crash.
+func TestZeroRunProfile(t *testing.T) {
+	p, err := Load(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := map[string]freq.Totals{"EXMPL": {}, "FOO": {}}
+	est, err := EstimateProgram(p.An, empty, p.CostTables(cost.Unit), Options{})
+	if err != nil {
+		t.Fatal(err) // zero totals are consistent: everything has FREQ 0
+	}
+	if est.Main.Time != 0 {
+		t.Errorf("TIME from empty profile = %g, want 0", est.Main.Time)
+	}
+}

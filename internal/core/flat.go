@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/lower"
+)
+
+// FlatRow is one procedure's line in the flat profile: the gprof-style
+// report [GKM82] that rule 2's assumption ("the execution time of a
+// procedure call is independent of the call site") makes derivable from
+// the estimates alone.
+type FlatRow struct {
+	Name string
+	// Calls is the expected number of activations per program run.
+	Calls float64
+	// Self is the average time per activation spent in the procedure's own
+	// nodes (callees excluded); Cumulative includes callees (= TIME(START)).
+	Self, Cumulative float64
+	// TotalSelf is Calls × Self: the procedure's expected contribution to
+	// one program run.
+	TotalSelf float64
+	// StdDev is the per-activation standard deviation (callees included).
+	StdDev float64
+}
+
+// FlatProfile derives the per-procedure flat profile from a program
+// estimate. Expected call counts solve the call-graph flow system (exactly
+// like recursive TIME does), so recursive components are handled.
+func (pe *ProgramEstimate) FlatProfile() ([]FlatRow, error) {
+	prog := pe.Prog
+	names := make([]string, 0, len(prog.Procs))
+	for name := range prog.Procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	idx := make(map[string]int, len(names))
+	for i, name := range names {
+		idx[name] = i
+	}
+
+	// callRate[i][j] = expected calls from one activation of i to j.
+	n := len(names)
+	callRate := make([][]float64, n)
+	for i := range callRate {
+		callRate[i] = make([]float64, n)
+	}
+	for caller, a := range prog.Procs {
+		est := pe.Procs[caller]
+		for _, u := range a.FCDG.Topo() {
+			op, ok := a.Ext.G.Node(u).Payload.(lower.OpCall)
+			if !ok {
+				continue
+			}
+			j, ok := idx[op.S.Name]
+			if !ok {
+				continue
+			}
+			callRate[idx[caller]][j] += est.Freq.NodeFreq[u]
+		}
+	}
+
+	// calls = e + Mᵀ·calls, e = unit vector at main.
+	e := make([]float64, n)
+	var mainName string
+	if prog.Res.Main != nil {
+		mainName = prog.Res.Main.G.Name
+		e[idx[mainName]] = 1
+	}
+	mt := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		mt[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			mt[i][j] = callRate[j][i]
+		}
+	}
+	calls, err := solveAffine(e, mt)
+	if err != nil {
+		return nil, fmt.Errorf("core: flat profile: %w", err)
+	}
+
+	rows := make([]FlatRow, 0, n)
+	for _, name := range names {
+		est := pe.Procs[name]
+		self := est.Time
+		for j, rate := range callRate[idx[name]] {
+			self -= rate * pe.Procs[names[j]].Time
+		}
+		if self < 0 && self > -1e-9 {
+			self = 0
+		}
+		rows = append(rows, FlatRow{
+			Name:       name,
+			Calls:      calls[idx[name]],
+			Self:       self,
+			Cumulative: est.Time,
+			TotalSelf:  calls[idx[name]] * self,
+			StdDev:     est.StdDev(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalSelf != rows[j].TotalSelf {
+			return rows[i].TotalSelf > rows[j].TotalSelf
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows, nil
+}
+
+// FormatFlat renders the flat profile in gprof's familiar layout.
+func FormatFlat(rows []FlatRow) string {
+	total := 0.0
+	for _, r := range rows {
+		total += r.TotalSelf
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %12s %12s %14s %12s  %s\n",
+		"%time", "calls", "self/call", "cumulative", "std dev", "name")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.TotalSelf / total
+		}
+		fmt.Fprintf(&b, "%6.2f%% %12.4g %12.4g %14.4g %12.4g  %s\n",
+			pct, r.Calls, r.Self, r.Cumulative, r.StdDev, r.Name)
+	}
+	return b.String()
+}
+
+// ConditionFreq is a convenience accessor: FREQ(u,l) of one procedure's
+// condition, or 0 if unknown.
+func (pe *ProgramEstimate) ConditionFreq(proc string, u cfg.NodeID, l cfg.Label) float64 {
+	p, ok := pe.Procs[proc]
+	if !ok {
+		return 0
+	}
+	return p.Freq.Freq[cdg.Condition{Node: u, Label: l}]
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/paperex"
+)
+
+func TestFlatProfilePaperExample(t *testing.T) {
+	p, err := Load(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Unit
+	est, err := p.Estimate(model, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := est.FlatProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FlatRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if got := byName["EXMPL"].Calls; got != 1 {
+		t.Errorf("EXMPL calls = %g, want 1", got)
+	}
+	if got := byName["FOO"].Calls; got != 9 {
+		t.Errorf("FOO calls = %g, want 9", got)
+	}
+	// Self/cumulative consistency: main's cumulative is the whole-program
+	// time and exceeds its self time (it calls FOO).
+	if byName["EXMPL"].Self >= byName["EXMPL"].Cumulative {
+		t.Errorf("EXMPL self %g !< cumulative %g", byName["EXMPL"].Self, byName["EXMPL"].Cumulative)
+	}
+	// Total self across procedures = whole-program time.
+	total := 0.0
+	for _, r := range rows {
+		total += r.TotalSelf
+	}
+	if math.Abs(total-est.Main.Time) > 1e-9 {
+		t.Errorf("Σ calls×self = %g, want TIME = %g", total, est.Main.Time)
+	}
+	text := FormatFlat(rows)
+	for _, want := range []string{"%time", "EXMPL", "FOO"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatFlat missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFlatProfileRecursive(t *testing.T) {
+	src := `      PROGRAM RECM
+      INTEGER N
+      N = 7
+      CALL R(N)
+      END
+
+      SUBROUTINE R(N)
+      INTEGER N
+      IF (N .LE. 0) RETURN
+      N = N - 1
+      CALL R(N)
+      RETURN
+      END
+`
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Unit
+	est, err := p.Estimate(model, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := est.FlatProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r FlatRow
+	for _, row := range rows {
+		if row.Name == "R" {
+			r = row
+		}
+	}
+	// R activates 8 times (N=7 down to 0).
+	if math.Abs(r.Calls-8) > 1e-9 {
+		t.Errorf("R calls = %g, want 8", r.Calls)
+	}
+	// Flat total equals the measured program cost (mean exactness).
+	measured, err := p.MeasuredCost(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, row := range rows {
+		total += row.TotalSelf
+	}
+	if math.Abs(total-measured) > 1e-6*measured {
+		t.Errorf("flat total %g, measured %g", total, measured)
+	}
+}
+
+func TestConditionFreq(t *testing.T) {
+	p, err := Load(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate(cost.Unit, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.An.Procs["EXMPL"]
+	h := a.Intervals.Headers()[0]
+	if got := est.ConditionFreq("EXMPL", h, "T"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("FREQ(header,T) = %g, want 1", got)
+	}
+	if got := est.ConditionFreq("NOPE", h, "T"); got != 0 {
+		t.Errorf("unknown proc freq = %g, want 0", got)
+	}
+}
+
+func TestFlatProfileSIMPLEShares(t *testing.T) {
+	// Sanity on a multi-procedure program: phases called once per cycle,
+	// INIT once.
+	src := simpleSrc(t)
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate(cost.Optimized, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := est.FlatProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FlatRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if got := byName["INIT"].Calls; got != 1 {
+		t.Errorf("INIT calls = %g, want 1", got)
+	}
+	if got := byName["VELO"].Calls; got != 3 {
+		t.Errorf("VELO calls = %g, want 3 (NCYC=3)", got)
+	}
+	_ = interp.Options{}
+}
+
+func simpleSrc(t *testing.T) string {
+	t.Helper()
+	// A miniature SIMPLE-shaped driver (3 cycles, 2 phases).
+	return `      PROGRAM MINI
+      INTEGER IC
+      CALL INIT
+      DO 10 IC = 1, 3
+         CALL VELO
+         CALL POSN
+   10 CONTINUE
+      END
+
+      SUBROUTINE INIT
+      RETURN
+      END
+
+      SUBROUTINE VELO
+      INTEGER I
+      DO 20 I = 1, 10
+   20 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE POSN
+      INTEGER I
+      DO 30 I = 1, 5
+   30 CONTINUE
+      RETURN
+      END
+`
+}

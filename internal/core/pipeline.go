@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/freq"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/profiler"
+)
+
+// Pipeline is the one-stop entry point used by the command-line tools and
+// the examples: parse → lower → analyze → profile → estimate.
+type Pipeline struct {
+	Prog *lang.Program
+	Res  *lower.Result
+	An   *analysis.Program
+}
+
+// Load parses and analyzes a source program.
+func Load(src string) (*Pipeline, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	an, err := analysis.AnalyzeProgram(res)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Prog: prog, Res: res, An: an}, nil
+}
+
+// Profile executes the program once per seed with optimized counter-based
+// profiling and returns the accumulated per-procedure TOTAL_FREQ profile
+// (the program-database content) together with the last run's result.
+func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.ProgramProfile, *interp.Result, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	acc := make(profiler.ProgramProfile)
+	var last *interp.Result
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		run, err := interp.Run(p.Res, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		last = run
+		prof, err := profiler.ProfileProgram(p.An, run)
+		if err != nil {
+			return nil, nil, err
+		}
+		for name, totals := range prof {
+			if acc[name] == nil {
+				acc[name] = make(freq.Totals)
+			}
+			acc[name].Add(totals)
+		}
+	}
+	return acc, last, nil
+}
+
+// CostTables computes COST(u) for every procedure under a cost model.
+func (p *Pipeline) CostTables(m cost.Model) map[string]map[cfg.NodeID]float64 {
+	out := make(map[string]map[cfg.NodeID]float64, len(p.Res.Procs))
+	for name, proc := range p.Res.Procs {
+		out[name] = m.Table(proc)
+	}
+	return out
+}
+
+// Estimate profiles with the given seeds and estimates under the cost
+// model: the full paper pipeline in one call.
+func (p *Pipeline) Estimate(m cost.Model, opt Options, seeds ...uint64) (*ProgramEstimate, error) {
+	profile, _, err := p.Profile(interp.Options{}, seeds...)
+	if err != nil {
+		return nil, err
+	}
+	return EstimateProgram(p.An, toTotals(profile), p.CostTables(m), opt)
+}
+
+// EstimateWithProfile estimates from an existing profile (e.g. loaded from
+// the program database) — the cross-architecture use case: profile once,
+// estimate under any cost model.
+func (p *Pipeline) EstimateWithProfile(profile profiler.ProgramProfile, m cost.Model, opt Options) (*ProgramEstimate, error) {
+	return EstimateProgram(p.An, toTotals(profile), p.CostTables(m), opt)
+}
+
+func toTotals(p profiler.ProgramProfile) map[string]freq.Totals {
+	return map[string]freq.Totals(p)
+}
+
+// MeasuredCost runs the program once under the model and returns the exact
+// trace cost — the ground truth TIME estimates are validated against.
+func (p *Pipeline) MeasuredCost(m cost.Model, seed uint64) (float64, error) {
+	run, err := interp.Run(p.Res, interp.Options{Seed: seed, Model: &m})
+	if err != nil {
+		return 0, err
+	}
+	return run.Cost, nil
+}
+
+// Report renders the per-node estimate table of one procedure in the style
+// of Figure 3's [COST, TIME, E[T²], VAR, STD_DEV] tuples.
+func Report(pe *ProcEstimate) string {
+	out := fmt.Sprintf("procedure %s: TIME(START) = %.6g, STD_DEV(START) = %.6g\n",
+		pe.A.P.G.Name, pe.Time, pe.StdDev())
+	for _, u := range pe.A.FCDG.Topo() {
+		e := pe.Node[u]
+		out += fmt.Sprintf("  %3d %-24s [COST=%-8.4g TIME=%-10.6g E[T2]=%-12.6g VAR=%-10.6g SD=%-8.4g] freq=%.4g\n",
+			u, pe.A.Ext.G.Node(u).Name, e.Cost, e.Time, e.SecondMoment, e.Var, e.StdDev, pe.Freq.NodeFreq[u])
+	}
+	return out
+}

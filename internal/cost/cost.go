@@ -1,0 +1,224 @@
+// Package cost defines target-architecture cost models: the mapping from a
+// lowered statement node to its (average) local execution time COST(u), in
+// abstract machine cycles.
+//
+// The paper treats primitive-operation costs as an input ("it is assumed
+// that the (average) local execution time of each node ... has already been
+// estimated, and is stored as COST(u)") and obtains its Table 1 numbers on
+// an IBM 3090 with VS Fortran optimization ON and OFF. We substitute two
+// cost tables: Optimized models compiled code with register allocation and
+// pipelining (cheap loads, cheap loop bookkeeping), Unoptimized models
+// memory-to-memory code. Absolute values are arbitrary cycles; what the
+// experiments rely on is (a) the ratio between the two models and (b) the
+// relative weight of counter-update operations, both chosen to sit in the
+// range the paper's Table 1 exhibits.
+package cost
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// Model prices the primitive operations of the lowered language.
+type Model struct {
+	Name string
+
+	// Arithmetic operation costs.
+	AddSub float64
+	Mul    float64
+	Div    float64
+	Pow    float64
+	Rel    float64 // relational / logical op
+	Intrin float64 // transcendental intrinsic (SQRT, EXP, ...)
+
+	// Memory access costs.
+	Load      float64 // scalar load
+	Store     float64 // scalar store
+	IndexCalc float64 // per-dimension array address arithmetic
+
+	// Control costs.
+	Branch   float64 // conditional branch
+	Jump     float64 // unconditional jump
+	LoopOvhd float64 // DO test/increment bookkeeping (per node)
+	CallOvhd float64 // call/return linkage (excludes the callee body)
+	PrintOp  float64 // per printed item
+
+	// CounterUpdate is the cost of one profiling counter increment
+	// (load + add + store of a memory word). CounterAdd is the cost of
+	// adding an arbitrary value to a counter (the DO-loop optimization's
+	// one-shot add); it equals CounterUpdate plus the cost of having the
+	// value on hand.
+	CounterUpdate float64
+	CounterAdd    float64
+
+	// Floor, when non-zero, is a minimum cost applied to every node.
+	Floor float64
+}
+
+// Optimized models full optimization/vectorization: operands mostly live in
+// registers, loop bookkeeping is cheap, but a profiling counter update is
+// still a memory read-modify-write.
+var Optimized = Model{
+	Name:   "opt-on",
+	AddSub: 1, Mul: 1, Div: 8, Pow: 20, Rel: 1, Intrin: 20,
+	Load: 0.5, Store: 1, IndexCalc: 0.5,
+	Branch: 1, Jump: 0.5, LoopOvhd: 1, CallOvhd: 10, PrintOp: 50,
+	CounterUpdate: 3, CounterAdd: 4,
+}
+
+// Unoptimized models no optimization: every operand is loaded from and
+// stored to memory, loop bookkeeping is spelled out.
+var Unoptimized = Model{
+	Name:   "opt-off",
+	AddSub: 3, Mul: 5, Div: 15, Pow: 40, Rel: 3, Intrin: 40,
+	Load: 3, Store: 3, IndexCalc: 3,
+	Branch: 4, Jump: 2, LoopOvhd: 6, CallOvhd: 25, PrintOp: 50,
+	CounterUpdate: 9, CounterAdd: 10,
+}
+
+// Unit is the trivial model: every node costs exactly 1 (so trace cost
+// equals step count) and counters cost 1. Useful in tests where the
+// interesting quantity is a frequency, not a time.
+var Unit = Model{
+	Name:          "unit",
+	CounterUpdate: 1, CounterAdd: 1,
+	Floor: 1,
+}
+
+// NodeCost returns COST(u) for a lowered node payload under the model.
+func (m Model) NodeCost(op lower.Op) float64 {
+	c := 0.0
+	switch o := op.(type) {
+	case lower.OpAssign:
+		c = m.exprCost(o.S.RHS) + m.storeCost(o.S.LHS)
+	case lower.OpBranch:
+		c = m.exprCost(o.Cond) + m.Branch
+	case lower.OpArithIf:
+		c = m.exprCost(o.E) + 2*m.Branch // compare-and-branch twice
+	case lower.OpComputedGoto:
+		c = m.exprCost(o.E) + m.Branch + m.Jump // bounds check + indexed jump
+	case lower.OpCall:
+		c = m.CallOvhd
+		for _, a := range o.S.Args {
+			c += m.argCost(a)
+		}
+	case lower.OpDoInit:
+		c = m.exprCost(o.L.Lo) + m.exprCost(o.L.Hi) + m.stepCost(o.L.Step) + m.Store + m.LoopOvhd
+	case lower.OpDoTest:
+		c = m.LoopOvhd + m.Branch
+	case lower.OpDoIncr:
+		c = m.LoopOvhd + m.AddSub + m.Jump
+	case lower.OpPrint:
+		c = float64(len(o.S.Items)) * m.PrintOp
+		for _, e := range o.S.Items {
+			c += m.exprCost(e)
+		}
+	case lower.OpNop:
+		c = 0
+	case lower.OpReturn:
+		c = m.Jump
+	case lower.OpStop:
+		c = m.Jump
+	case lower.OpEnd:
+		c = 0
+	}
+	if c < m.Floor {
+		c = m.Floor
+	}
+	return c
+}
+
+func (m Model) stepCost(e lang.Expr) float64 {
+	if e == nil {
+		return 0
+	}
+	return m.exprCost(e)
+}
+
+// storeCost prices writing to an lvalue.
+func (m Model) storeCost(lhs lang.Expr) float64 {
+	if ix, ok := lhs.(*lang.Index); ok {
+		c := m.Store + float64(len(ix.Subs))*m.IndexCalc
+		for _, s := range ix.Subs {
+			c += m.exprCost(s)
+		}
+		return c
+	}
+	return m.Store
+}
+
+// argCost prices preparing one call argument (address computation for
+// by-reference passing, or evaluation for expressions).
+func (m Model) argCost(a lang.Expr) float64 {
+	switch x := a.(type) {
+	case *lang.Var:
+		_ = x
+		return 0 // just an address: free
+	case *lang.Index:
+		c := float64(len(x.Subs)) * m.IndexCalc
+		for _, s := range x.Subs {
+			c += m.exprCost(s)
+		}
+		return c
+	default:
+		return m.exprCost(a)
+	}
+}
+
+// exprCost prices evaluating an expression tree.
+func (m Model) exprCost(e lang.Expr) float64 {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *lang.IntLit, *lang.RealLit, *lang.LogLit, *lang.StrLit:
+		return 0
+	case *lang.Var:
+		return m.Load
+	case *lang.Index:
+		c := m.Load + float64(len(x.Subs))*m.IndexCalc
+		for _, s := range x.Subs {
+			c += m.exprCost(s)
+		}
+		return c
+	case *lang.Intrinsic:
+		c := 0.0
+		for _, a := range x.Args {
+			c += m.exprCost(a)
+		}
+		switch x.Name {
+		case "ABS", "MOD", "MIN", "MAX", "INT", "REAL", "SIGN":
+			return c + m.AddSub
+		default: // SQRT, EXP, LOG, SIN, COS, RAND, IRAND
+			return c + m.Intrin
+		}
+	case *lang.Un:
+		return m.exprCost(x.X) + m.AddSub
+	case *lang.Bin:
+		c := m.exprCost(x.L) + m.exprCost(x.R)
+		switch x.Op {
+		case lang.OpAdd, lang.OpSub:
+			return c + m.AddSub
+		case lang.OpMul:
+			return c + m.Mul
+		case lang.OpDiv:
+			return c + m.Div
+		case lang.OpPow:
+			return c + m.Pow
+		default:
+			return c + m.Rel
+		}
+	}
+	return 0
+}
+
+// Table computes the full COST(u) table for one lowered procedure.
+func (m Model) Table(p *lower.Proc) map[cfg.NodeID]float64 {
+	out := make(map[cfg.NodeID]float64, p.G.NumNodes())
+	for _, n := range p.G.Nodes() {
+		if op, ok := n.Payload.(lower.Op); ok {
+			out[n.ID] = m.NodeCost(op)
+		}
+	}
+	return out
+}

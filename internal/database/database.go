@@ -1,0 +1,155 @@
+// Package database is the reproduction's stand-in for the PTRAN program
+// database: it accumulates TOTAL_FREQ profiles (and the optional
+// loop-frequency second moments) across program executions and persists
+// them as JSON. Section 3: "it is a good idea to accumulate the TOTAL_FREQ
+// values (as a sum or average) from different program executions in the
+// program database, so as to get a more representative set of frequency
+// values" — only ratios of totals matter downstream, so plain sums are the
+// merge operation.
+package database
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/profiler"
+)
+
+// DB is one program's accumulated profile.
+type DB struct {
+	// Program names the profiled program (free-form, e.g. a source path).
+	Program string `json:"program"`
+	// Runs counts the executions accumulated.
+	Runs int `json:"runs"`
+	// Seeds records which interpreter seeds contributed (documentation
+	// only; merging identical seeds twice is the caller's responsibility).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Totals maps procedure name -> "node:label" -> accumulated
+	// TOTAL_FREQ.
+	Totals map[string]map[string]float64 `json:"totals"`
+	// LoopVar maps procedure name -> "node:label" -> VAR(FREQ) of loop
+	// conditions, averaged over merges.
+	LoopVar map[string]map[string]float64 `json:"loop_var,omitempty"`
+}
+
+// New returns an empty database for a program.
+func New(program string) *DB {
+	return &DB{
+		Program: program,
+		Totals:  make(map[string]map[string]float64),
+		LoopVar: make(map[string]map[string]float64),
+	}
+}
+
+// Key renders a condition as the stable string key used on disk.
+func Key(c cdg.Condition) string {
+	return fmt.Sprintf("%d:%s", int(c.Node), string(c.Label))
+}
+
+// ParseKey inverts Key.
+func ParseKey(s string) (cdg.Condition, error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return cdg.Condition{}, fmt.Errorf("database: bad condition key %q", s)
+	}
+	n, err := strconv.Atoi(s[:i])
+	if err != nil || n <= 0 {
+		return cdg.Condition{}, fmt.Errorf("database: bad node in key %q", s)
+	}
+	return cdg.Condition{Node: cfg.NodeID(n), Label: cfg.Label(s[i+1:])}, nil
+}
+
+// Merge accumulates one profiling session (one or more runs already summed
+// in profile) into the database.
+func (db *DB) Merge(profile profiler.ProgramProfile, runs int, seeds ...uint64) {
+	db.Runs += runs
+	db.Seeds = append(db.Seeds, seeds...)
+	for proc, totals := range profile {
+		if db.Totals[proc] == nil {
+			db.Totals[proc] = make(map[string]float64)
+		}
+		for c, v := range totals {
+			db.Totals[proc][Key(c)] += v
+		}
+	}
+}
+
+// MergeLoopVar records loop-frequency variances (keeping the latest value;
+// variance of merged sample sets would need raw moments, which VarianceRun
+// callers can maintain themselves if needed).
+func (db *DB) MergeLoopVar(vars map[string]map[cdg.Condition]float64) {
+	for proc, m := range vars {
+		if db.LoopVar[proc] == nil {
+			db.LoopVar[proc] = make(map[string]float64)
+		}
+		for c, v := range m {
+			db.LoopVar[proc][Key(c)] = v
+		}
+	}
+}
+
+// ProcTotals reconstructs the freq.Totals of every procedure.
+func (db *DB) ProcTotals() (map[string]freq.Totals, error) {
+	out := make(map[string]freq.Totals, len(db.Totals))
+	for proc, m := range db.Totals {
+		t := make(freq.Totals, len(m))
+		for k, v := range m {
+			c, err := ParseKey(k)
+			if err != nil {
+				return nil, fmt.Errorf("database: proc %s: %w", proc, err)
+			}
+			t[c] = v
+		}
+		out[proc] = t
+	}
+	return out, nil
+}
+
+// LoopVariance reconstructs the per-procedure VAR(FREQ) maps.
+func (db *DB) LoopVariance() (map[string]map[cdg.Condition]float64, error) {
+	out := make(map[string]map[cdg.Condition]float64, len(db.LoopVar))
+	for proc, m := range db.LoopVar {
+		pm := make(map[cdg.Condition]float64, len(m))
+		for k, v := range m {
+			c, err := ParseKey(k)
+			if err != nil {
+				return nil, fmt.Errorf("database: proc %s: %w", proc, err)
+			}
+			pm[c] = v
+		}
+		out[proc] = pm
+	}
+	return out, nil
+}
+
+// Save writes the database as indented JSON.
+func (db *DB) Save(path string) error {
+	data, err := json.MarshalIndent(db, "", "  ")
+	if err != nil {
+		return fmt.Errorf("database: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a database written by Save.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("database: %w", err)
+	}
+	db := New("")
+	if err := json.Unmarshal(data, db); err != nil {
+		return nil, fmt.Errorf("database: %s: %w", path, err)
+	}
+	// Validate keys eagerly so corruption surfaces at load time.
+	if _, err := db.ProcTotals(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,312 @@
+// Package dfst computes depth-first spanning trees over control flow
+// graphs, classifies edges, tests reducibility, and performs node splitting
+// to make irreducible graphs reducible.
+//
+// The paper assumes a reducible CFG ("As in other code analysis and
+// optimization techniques, we assume that the control flow graph is
+// reducible. Node splitting is a standard approach that can be used to
+// transform an irreducible control flow graph."); this package supplies both
+// the test and the transformation.
+package dfst
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+)
+
+// EdgeKind classifies an edge with respect to a depth-first spanning tree.
+type EdgeKind int
+
+// Edge kinds. Tree edges form the spanning tree; Retreating edges go from a
+// node to one of its DFS ancestors (in a reducible graph every retreating
+// edge is a back edge whose target dominates its source); Forward edges go
+// to a proper DFS descendant that is not a tree child via this edge; Cross
+// edges connect unrelated subtrees.
+const (
+	Tree EdgeKind = iota
+	Retreating
+	Forward
+	Cross
+)
+
+var kindNames = [...]string{"tree", "retreating", "forward", "cross"}
+
+func (k EdgeKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Result holds a depth-first spanning tree of a graph rooted at its entry,
+// together with derived orderings.
+type Result struct {
+	G *cfg.Graph
+
+	// Pre and Post are 1-based DFS preorder and postorder numbers; 0 means
+	// the node is unreachable from the entry.
+	Pre, Post []int
+
+	// RPO lists reachable node IDs in reverse postorder.
+	RPO []cfg.NodeID
+
+	// Parent is the DFS tree parent of each node (None for the root and
+	// unreachable nodes).
+	Parent []cfg.NodeID
+
+	// kinds[i] classifies G.Edges()[i]... stored as map keyed by edge.
+	kinds map[cfg.Edge]EdgeKind
+}
+
+// New runs a depth-first search over g from g.Entry and returns the
+// resulting spanning tree and edge classification. Successors are visited in
+// edge insertion order so the traversal is deterministic.
+func New(g *cfg.Graph) *Result {
+	r := &Result{
+		G:      g,
+		Pre:    make([]int, g.MaxID()+1),
+		Post:   make([]int, g.MaxID()+1),
+		Parent: make([]cfg.NodeID, g.MaxID()+1),
+		kinds:  make(map[cfg.Edge]EdgeKind),
+	}
+	preClock, postClock := 0, 0
+	// Iterative DFS to avoid recursion limits on large graphs.
+	type frame struct {
+		node cfg.NodeID
+		next int // index into OutEdges(node)
+	}
+	if g.Node(g.Entry) == nil {
+		return r
+	}
+	preClock++
+	r.Pre[g.Entry] = preClock
+	stack := []frame{{node: g.Entry}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		edges := g.OutEdges(f.node)
+		if f.next < len(edges) {
+			e := edges[f.next]
+			f.next++
+			if r.Pre[e.To] == 0 {
+				r.kinds[e] = Tree
+				r.Parent[e.To] = f.node
+				preClock++
+				r.Pre[e.To] = preClock
+				stack = append(stack, frame{node: e.To})
+			}
+			continue
+		}
+		postClock++
+		r.Post[f.node] = postClock
+		stack = stack[:len(stack)-1]
+	}
+	// Classify non-tree edges now that numbering is complete.
+	for _, e := range g.Edges() {
+		if _, ok := r.kinds[e]; ok {
+			continue
+		}
+		switch {
+		case r.Pre[e.From] == 0 || r.Pre[e.To] == 0:
+			// Edge touching an unreachable node: call it cross; analyses
+			// require Validate()d graphs so this only happens in tests.
+			r.kinds[e] = Cross
+		case e.From == e.To:
+			r.kinds[e] = Retreating
+		case r.isAncestor(e.To, e.From):
+			r.kinds[e] = Retreating
+		case r.isAncestor(e.From, e.To):
+			r.kinds[e] = Forward
+		default:
+			r.kinds[e] = Cross
+		}
+	}
+	// Reverse postorder.
+	reach := make([]cfg.NodeID, 0, g.NumNodes())
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if r.Pre[id] != 0 {
+			reach = append(reach, id)
+		}
+	}
+	sort.Slice(reach, func(i, j int) bool { return r.Post[reach[i]] > r.Post[reach[j]] })
+	r.RPO = reach
+	return r
+}
+
+// isAncestor reports whether a is an ancestor of b in the DFS tree
+// (a == b counts). It uses the standard preorder/postorder interval test.
+func (r *Result) isAncestor(a, b cfg.NodeID) bool {
+	return r.Pre[a] <= r.Pre[b] && r.Post[a] >= r.Post[b]
+}
+
+// Kind returns the classification of e. The edge must belong to the graph
+// the Result was built from.
+func (r *Result) Kind(e cfg.Edge) EdgeKind {
+	k, ok := r.kinds[e]
+	if !ok {
+		panic(fmt.Sprintf("dfst: unknown edge %v", e))
+	}
+	return k
+}
+
+// RetreatingEdges returns all retreating edges in deterministic order.
+func (r *Result) RetreatingEdges() []cfg.Edge {
+	var out []cfg.Edge
+	for _, e := range r.G.Edges() {
+		if r.kinds[e] == Retreating {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reducible reports whether g is reducible, using iterated T1/T2 interval
+// reduction: repeatedly remove self-loops (T1) and merge single-predecessor
+// nodes into their predecessor (T2); g is reducible iff the limit graph is a
+// single node. Only the subgraph reachable from g.Entry is considered.
+func Reducible(g *cfg.Graph) bool {
+	return len(limitGraph(g)) == 1
+}
+
+// limitGraph runs T1/T2 reduction to a fixpoint and returns the surviving
+// node set (the "limit graph" vertices), represented as a map from
+// representative node ID to its predecessor-representative set.
+func limitGraph(g *cfg.Graph) map[cfg.NodeID]map[cfg.NodeID]bool {
+	reach := g.ReachableFrom(g.Entry)
+	// preds[n] = set of predecessor representatives; merged nodes are
+	// removed from the map entirely.
+	preds := make(map[cfg.NodeID]map[cfg.NodeID]bool)
+	succs := make(map[cfg.NodeID]map[cfg.NodeID]bool)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if !reach[id] {
+			continue
+		}
+		preds[id] = make(map[cfg.NodeID]bool)
+		succs[id] = make(map[cfg.NodeID]bool)
+	}
+	for _, e := range g.Edges() {
+		if !reach[e.From] || !reach[e.To] {
+			continue
+		}
+		if e.From != e.To { // T1 applied up front: drop self loops
+			preds[e.To][e.From] = true
+			succs[e.From][e.To] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Deterministic scan order.
+		ids := make([]cfg.NodeID, 0, len(preds))
+		for id := range preds {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, n := range ids {
+			ps, ok := preds[n]
+			if !ok || n == g.Entry {
+				continue
+			}
+			if len(ps) != 1 {
+				continue
+			}
+			// T2: merge n into its unique predecessor p.
+			var p cfg.NodeID
+			for q := range ps {
+				p = q
+			}
+			for s := range succs[n] {
+				delete(preds[s], n)
+				if s != p { // self-loop after merge: T1 removes it
+					preds[s][p] = true
+					succs[p][s] = true
+				}
+			}
+			delete(succs[p], n)
+			delete(preds, n)
+			delete(succs, n)
+			changed = true
+		}
+	}
+	return preds
+}
+
+// SplitResult reports what MakeReducible did.
+type SplitResult struct {
+	// Splits counts how many node duplications were performed.
+	Splits int
+	// Original maps each node of the output graph to the node of the input
+	// graph it copies (identity for unsplit nodes).
+	Original map[cfg.NodeID]cfg.NodeID
+}
+
+// MakeReducible returns a reducible graph equivalent to g, applying node
+// splitting: while the graph is irreducible, some node that survives T1/T2
+// reduction with multiple predecessors is duplicated, one copy per
+// predecessor. The input graph is not modified. For reducible inputs the
+// result is a clone with zero splits.
+//
+// Node splitting can blow up exponentially in the worst case; real programs
+// (and the paper's benchmarks) have tiny irreducible regions, so no effort
+// is spent being clever about copy minimization.
+func MakeReducible(g *cfg.Graph) (*cfg.Graph, *SplitResult) {
+	out := g.Clone()
+	res := &SplitResult{Original: make(map[cfg.NodeID]cfg.NodeID)}
+	for id := cfg.NodeID(1); id <= out.MaxID(); id++ {
+		res.Original[id] = id
+	}
+	for {
+		limit := limitGraph(out)
+		if len(limit) <= 1 {
+			return out, res
+		}
+		// Choose the smallest non-entry survivor with >1 predecessors in the
+		// limit graph; duplicate it in the real graph per incoming edge.
+		var victim cfg.NodeID
+		ids := make([]cfg.NodeID, 0, len(limit))
+		for id := range limit {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if id != out.Entry && len(limit[id]) > 1 {
+				victim = id
+				break
+			}
+		}
+		if victim == cfg.None {
+			// Should be impossible: an irreducible limit graph must contain
+			// a multi-entry node other than the entry.
+			panic("dfst: irreducible graph with no splittable node")
+		}
+		splitNode(out, victim, res)
+		res.Splits++
+	}
+}
+
+// splitNode duplicates node v so that each incoming edge gets a private
+// copy. The first incoming edge keeps the original node; each further edge
+// is redirected to a fresh copy that inherits all of v's out-edges.
+func splitNode(g *cfg.Graph, v cfg.NodeID, res *SplitResult) {
+	in := append([]cfg.Edge(nil), g.InEdges(v)...)
+	out := append([]cfg.Edge(nil), g.OutEdges(v)...)
+	orig := res.Original[v]
+	for i, e := range in {
+		if i == 0 {
+			continue // original keeps the first predecessor
+		}
+		copyNode := g.AddNode(g.Node(v).Type, g.Node(v).Name)
+		copyNode.Payload = g.Node(v).Payload
+		res.Original[copyNode.ID] = orig
+		g.RemoveEdge(e.From, v, e.Label)
+		g.MustAddEdge(e.From, copyNode.ID, e.Label)
+		for _, oe := range out {
+			to := oe.To
+			if to == v {
+				to = copyNode.ID // self loop duplicates onto the copy
+			}
+			g.MustAddEdge(copyNode.ID, to, oe.Label)
+		}
+	}
+}

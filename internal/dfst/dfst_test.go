@@ -1,0 +1,204 @@
+package dfst
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/paperex"
+)
+
+// loopGraph: 1 -> 2 -> 3 -> 2 (back), 3 -> 4.
+func loopGraph() *cfg.Graph {
+	g := cfg.New("loop")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.Uncond)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 2, cfg.True)
+	g.MustAddEdge(3, 4, cfg.False)
+	g.Entry, g.Exit = 1, 4
+	return g
+}
+
+// irreducibleGraph is the classic two-entry loop: 1->2, 1->3, 2->3, 3->2,
+// 2->4, with neither 2 nor 3 dominating the other.
+func irreducibleGraph() *cfg.Graph {
+	g := cfg.New("irreducible")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.True)
+	g.MustAddEdge(1, 3, cfg.False)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 2, cfg.True)
+	g.MustAddEdge(2, 4, cfg.True)
+	g.Entry, g.Exit = 1, 4
+	return g
+}
+
+func TestDFSNumbering(t *testing.T) {
+	g := loopGraph()
+	r := New(g)
+	for id := cfg.NodeID(1); id <= 4; id++ {
+		if r.Pre[id] == 0 || r.Post[id] == 0 {
+			t.Errorf("node %d not numbered: pre=%d post=%d", id, r.Pre[id], r.Post[id])
+		}
+	}
+	if r.Pre[1] != 1 {
+		t.Errorf("entry preorder = %d, want 1", r.Pre[1])
+	}
+	if len(r.RPO) != 4 || r.RPO[0] != 1 {
+		t.Errorf("RPO = %v, want entry first and all 4 nodes", r.RPO)
+	}
+	// RPO property: for tree/forward edges, source precedes target.
+	pos := map[cfg.NodeID]int{}
+	for i, n := range r.RPO {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if k := r.Kind(e); k == Tree || k == Forward {
+			if pos[e.From] >= pos[e.To] {
+				t.Errorf("%v edge %v violates RPO", k, e)
+			}
+		}
+	}
+}
+
+func TestEdgeClassification(t *testing.T) {
+	g := loopGraph()
+	r := New(g)
+	if k := r.Kind(cfg.Edge{From: 3, To: 2, Label: cfg.True}); k != Retreating {
+		t.Errorf("3->2 classified %v, want retreating", k)
+	}
+	if k := r.Kind(cfg.Edge{From: 1, To: 2, Label: cfg.Uncond}); k != Tree {
+		t.Errorf("1->2 classified %v, want tree", k)
+	}
+	back := r.RetreatingEdges()
+	if len(back) != 1 || back[0].From != 3 {
+		t.Errorf("RetreatingEdges = %v, want [3->2]", back)
+	}
+}
+
+func TestForwardAndCrossEdges(t *testing.T) {
+	g := cfg.New("fc")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	// 1->2->4, 1->3, 3->4 visited after 2's subtree: cross or forward
+	// depending on DFS order; with insertion order 1->2 first, 2->4 tree,
+	// then 1->3 tree, 3->4 is a cross edge (4 in a finished subtree).
+	g.MustAddEdge(1, 2, cfg.True)
+	g.MustAddEdge(2, 4, cfg.Uncond)
+	g.MustAddEdge(1, 3, cfg.False)
+	g.MustAddEdge(3, 4, cfg.Uncond)
+	g.MustAddEdge(1, 4, cfg.Uncond) // forward edge to grandchild
+	g.Entry, g.Exit = 1, 4
+	r := New(g)
+	if k := r.Kind(cfg.Edge{From: 3, To: 4, Label: cfg.Uncond}); k != Cross {
+		t.Errorf("3->4 classified %v, want cross", k)
+	}
+	if k := r.Kind(cfg.Edge{From: 1, To: 4, Label: cfg.Uncond}); k != Forward {
+		t.Errorf("1->4 classified %v, want forward", k)
+	}
+}
+
+func TestSelfLoopIsRetreating(t *testing.T) {
+	g := cfg.New("self")
+	g.AddNode(cfg.Other, "a")
+	g.AddNode(cfg.Other, "b")
+	g.MustAddEdge(1, 1, cfg.True)
+	g.MustAddEdge(1, 2, cfg.False)
+	g.Entry, g.Exit = 1, 2
+	r := New(g)
+	if k := r.Kind(cfg.Edge{From: 1, To: 1, Label: cfg.True}); k != Retreating {
+		t.Errorf("self loop classified %v, want retreating", k)
+	}
+}
+
+func TestReducible(t *testing.T) {
+	if !Reducible(loopGraph()) {
+		t.Error("loop graph should be reducible")
+	}
+	if !Reducible(paperex.CFG()) {
+		t.Error("paper example should be reducible")
+	}
+	if Reducible(irreducibleGraph()) {
+		t.Error("two-entry loop should be irreducible")
+	}
+	// Straight line.
+	g := cfg.New("line")
+	g.AddNode(cfg.Other, "a")
+	g.AddNode(cfg.Other, "b")
+	g.MustAddEdge(1, 2, cfg.Uncond)
+	g.Entry, g.Exit = 1, 2
+	if !Reducible(g) {
+		t.Error("straight-line graph should be reducible")
+	}
+}
+
+func TestMakeReducibleOnReducibleIsClone(t *testing.T) {
+	g := loopGraph()
+	out, res := MakeReducible(g)
+	if res.Splits != 0 {
+		t.Errorf("Splits = %d, want 0", res.Splits)
+	}
+	if out.NumNodes() != g.NumNodes() {
+		t.Errorf("node count changed: %d -> %d", g.NumNodes(), out.NumNodes())
+	}
+}
+
+func TestMakeReducibleSplitsIrreducible(t *testing.T) {
+	g := irreducibleGraph()
+	out, res := MakeReducible(g)
+	if res.Splits == 0 {
+		t.Fatal("expected at least one split")
+	}
+	if !Reducible(out) {
+		t.Fatal("result is still irreducible")
+	}
+	if g.NumNodes() != 4 {
+		t.Error("input graph was modified")
+	}
+	// Every new node maps back to an original node.
+	for id := cfg.NodeID(1); id <= out.MaxID(); id++ {
+		orig, ok := res.Original[id]
+		if !ok || orig < 1 || orig > 4 {
+			t.Errorf("node %d has bad original mapping %d (ok=%v)", id, orig, ok)
+		}
+	}
+	// Behaviour preservation (paths): every node reachable from the entry.
+	if err := out.Validate(); err != nil {
+		t.Errorf("split graph invalid: %v", err)
+	}
+}
+
+func TestMakeReducibleSelfLoopOnCopy(t *testing.T) {
+	// Irreducible region where the split node has a self loop.
+	g := cfg.New("selfsplit")
+	for i := 0; i < 5; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.True)
+	g.MustAddEdge(1, 3, cfg.False)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 3, cfg.True) // self loop on 3
+	g.MustAddEdge(3, 2, cfg.False)
+	g.MustAddEdge(2, 4, cfg.True)
+	g.MustAddEdge(4, 5, cfg.Uncond)
+	g.Entry, g.Exit = 1, 5
+	out, _ := MakeReducible(g)
+	if !Reducible(out) {
+		t.Fatal("result is still irreducible")
+	}
+}
+
+func TestKindPanicsOnForeignEdge(t *testing.T) {
+	r := New(loopGraph())
+	defer func() {
+		if recover() == nil {
+			t.Error("Kind on unknown edge should panic")
+		}
+	}()
+	r.Kind(cfg.Edge{From: 9, To: 9, Label: cfg.Uncond})
+}

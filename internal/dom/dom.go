@@ -1,0 +1,247 @@
+// Package dom computes dominator and postdominator trees and dominance
+// frontiers for control flow graphs.
+//
+// The implementation is the iterative algorithm of Cooper, Harvey and
+// Kennedy ("A Simple, Fast Dominance Algorithm") over a reverse postorder
+// of the graph, which is near-linear in practice and simple to verify.
+// Postdominators are dominators of the edge-reversed graph rooted at the
+// exit node. The postdominator tree is the foundation of control dependence
+// (Definition 2 of the paper, after Ferrante–Ottenstein–Warren).
+package dom
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+)
+
+// Tree is a dominator (or postdominator) tree.
+type Tree struct {
+	// Root is the tree root: the graph entry for dominators, the exit for
+	// postdominators.
+	Root cfg.NodeID
+	// Idom maps each node to its immediate dominator; Idom[Root] == Root,
+	// and Idom[n] == cfg.None for nodes outside the analyzed subgraph.
+	Idom []cfg.NodeID
+	// children in deterministic (ascending ID) order.
+	children [][]cfg.NodeID
+	// pre/post numbers of the *tree* for O(1) ancestor queries.
+	pre, post []int
+}
+
+// Dominators computes the dominator tree of g rooted at g.Entry.
+func Dominators(g *cfg.Graph) *Tree {
+	return build(g, g.Entry, g.Succs, g.Preds)
+}
+
+// PostDominators computes the postdominator tree of g rooted at g.Exit,
+// i.e. the dominator tree of the reversed graph.
+func PostDominators(g *cfg.Graph) *Tree {
+	return build(g, g.Exit, g.Preds, g.Succs)
+}
+
+// build runs the CHK iterative algorithm. forward yields the successors in
+// the direction of the analysis and backward the predecessors (swap them to
+// get postdominators).
+func build(g *cfg.Graph, root cfg.NodeID, forward, backward func(cfg.NodeID) []cfg.NodeID) *Tree {
+	n := int(g.MaxID())
+	t := &Tree{
+		Root: root,
+		Idom: make([]cfg.NodeID, n+1),
+	}
+	if g.Node(root) == nil {
+		return t
+	}
+
+	// Reverse postorder of the subgraph reachable from root in the analysis
+	// direction, computed with an iterative DFS.
+	rpoNum := make([]int, n+1) // 0 = unreachable
+	var order []cfg.NodeID
+	visited := make([]bool, n+1)
+	type frame struct {
+		node cfg.NodeID
+		next int
+	}
+	stack := []frame{{node: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succ := forward(f.node)
+		if f.next < len(succ) {
+			s := succ[f.next]
+			f.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, id := range order {
+		rpoNum[id] = i + 1
+	}
+
+	intersect := func(a, b cfg.NodeID) cfg.NodeID {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = t.Idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = t.Idom[b]
+			}
+		}
+		return a
+	}
+
+	t.Idom[root] = root
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == root {
+				continue
+			}
+			var newIdom cfg.NodeID
+			for _, p := range backward(b) {
+				if rpoNum[p] == 0 || t.Idom[p] == cfg.None {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == cfg.None {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != cfg.None && t.Idom[b] != newIdom {
+				t.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Build children lists and tree pre/post numbers for ancestor queries.
+	t.children = make([][]cfg.NodeID, n+1)
+	for id := cfg.NodeID(1); id <= cfg.NodeID(n); id++ {
+		if id == root || t.Idom[id] == cfg.None {
+			continue
+		}
+		t.children[t.Idom[id]] = append(t.children[t.Idom[id]], id)
+	}
+	for _, kids := range t.children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	}
+	t.pre = make([]int, n+1)
+	t.post = make([]int, n+1)
+	clock := 0
+	type tframe struct {
+		node cfg.NodeID
+		next int
+	}
+	tstack := []tframe{{node: root}}
+	clock++
+	t.pre[root] = clock
+	for len(tstack) > 0 {
+		f := &tstack[len(tstack)-1]
+		kids := t.children[f.node]
+		if f.next < len(kids) {
+			k := kids[f.next]
+			f.next++
+			clock++
+			t.pre[k] = clock
+			tstack = append(tstack, tframe{node: k})
+			continue
+		}
+		clock++
+		t.post[f.node] = clock
+		tstack = tstack[:len(tstack)-1]
+	}
+	return t
+}
+
+// Parent returns the immediate dominator of n, or cfg.None for the root and
+// nodes outside the analyzed subgraph.
+func (t *Tree) Parent(n cfg.NodeID) cfg.NodeID {
+	if n == t.Root {
+		return cfg.None
+	}
+	if int(n) >= len(t.Idom) {
+		return cfg.None
+	}
+	return t.Idom[n]
+}
+
+// Children returns the tree children of n in ascending ID order. The slice
+// is shared; callers must not mutate it.
+func (t *Tree) Children(n cfg.NodeID) []cfg.NodeID { return t.children[n] }
+
+// Dominates reports whether a (post)dominates b, reflexively: every node
+// dominates itself.
+func (t *Tree) Dominates(a, b cfg.NodeID) bool {
+	if int(a) >= len(t.pre) || int(b) >= len(t.pre) || t.pre[a] == 0 || t.pre[b] == 0 {
+		return false
+	}
+	return t.pre[a] <= t.pre[b] && t.post[a] >= t.post[b]
+}
+
+// StrictlyDominates reports whether a (post)dominates b and a != b.
+func (t *Tree) StrictlyDominates(a, b cfg.NodeID) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// InTree reports whether n was reachable in the analysis direction and is
+// part of the tree.
+func (t *Tree) InTree(n cfg.NodeID) bool {
+	return int(n) < len(t.pre) && n > cfg.None && t.pre[n] != 0
+}
+
+// Frontier computes the dominance frontier of every node, per Cytron et
+// al.: DF(n) contains the nodes m such that n dominates a predecessor of m
+// but does not strictly dominate m. succsOf must match the direction the
+// tree was built with (g.Succs for a dominator tree, g.Preds for a
+// postdominator tree — i.e. the postdominance frontier uses CFG successors'
+// reverse direction automatically when given g).
+func (t *Tree) Frontier(g *cfg.Graph, preds func(cfg.NodeID) []cfg.NodeID) [][]cfg.NodeID {
+	n := len(t.Idom) - 1
+	df := make([]map[cfg.NodeID]bool, n+1)
+	for id := cfg.NodeID(1); id <= cfg.NodeID(n); id++ {
+		if !t.InTree(id) {
+			continue
+		}
+		ps := preds(id)
+		if len(ps) < 2 {
+			continue
+		}
+		for _, p := range ps {
+			if !t.InTree(p) {
+				continue
+			}
+			runner := p
+			for runner != t.Idom[id] && runner != cfg.None {
+				if df[runner] == nil {
+					df[runner] = make(map[cfg.NodeID]bool)
+				}
+				df[runner][id] = true
+				if runner == t.Root {
+					break
+				}
+				runner = t.Idom[runner]
+			}
+		}
+	}
+	out := make([][]cfg.NodeID, n+1)
+	for id := 1; id <= n; id++ {
+		if df[id] == nil {
+			continue
+		}
+		for m := range df[id] {
+			out[id] = append(out[id], m)
+		}
+		sort.Slice(out[id], func(a, b int) bool { return out[id][a] < out[id][b] })
+	}
+	return out
+}

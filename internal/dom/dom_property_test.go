@@ -1,0 +1,147 @@
+package dom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfg"
+)
+
+// bruteDominators computes dominance by definition: a dominates b iff
+// removing a makes b unreachable from the entry (or a == b).
+func bruteDominators(g *cfg.Graph, entry cfg.NodeID, succs func(cfg.NodeID) []cfg.NodeID) [][]bool {
+	n := int(g.MaxID())
+	dom := make([][]bool, n+1)
+	reachableWithout := func(blocked cfg.NodeID) []bool {
+		seen := make([]bool, n+1)
+		if entry == blocked {
+			return seen
+		}
+		stack := []cfg.NodeID{entry}
+		seen[entry] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range succs(u) {
+				if v != blocked && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		return seen
+	}
+	base := reachableWithout(cfg.None)
+	for a := cfg.NodeID(1); a <= cfg.NodeID(n); a++ {
+		dom[a] = make([]bool, n+1)
+		without := reachableWithout(a)
+		for b := cfg.NodeID(1); b <= cfg.NodeID(n); b++ {
+			if !base[b] {
+				continue // b unreachable: dominance undefined, skip
+			}
+			dom[a][b] = a == b || (base[a] && !without[b])
+		}
+	}
+	return dom
+}
+
+// randomGraph builds an arbitrary (possibly irreducible) digraph with a
+// guaranteed entry-to-exit spine.
+func randomGraph(seed uint64, n int) *cfg.Graph {
+	g := cfg.New("rand")
+	rng := seed*2862933555777941757 + 3037000493
+	next := func(k int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 11) % uint64(k))
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	// Spine so that everything is reachable and the exit is reachable.
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(cfg.NodeID(i), cfg.NodeID(i+1), cfg.Uncond)
+	}
+	// Random extra edges with synthetic labels to keep the multigraph
+	// constraint (distinct labels per pair).
+	extra := n + next(2*n+1)
+	for i := 0; i < extra; i++ {
+		from := cfg.NodeID(1 + next(n))
+		to := cfg.NodeID(1 + next(n))
+		lbl := cfg.Label("X" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)))
+		_ = g.AddEdge(from, to, lbl) // duplicates silently skipped
+	}
+	g.Entry, g.Exit = 1, cfg.NodeID(n)
+	return g
+}
+
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := 3 + int(sizeRaw%10)
+		g := randomGraph(seed, n)
+		d := Dominators(g)
+		brute := bruteDominators(g, g.Entry, g.Succs)
+		for a := cfg.NodeID(1); a <= g.MaxID(); a++ {
+			for b := cfg.NodeID(1); b <= g.MaxID(); b++ {
+				if d.Dominates(a, b) != brute[a][b] {
+					t.Logf("seed %d n %d: Dominates(%d,%d) = %v, brute = %v\n%s",
+						seed, n, a, b, d.Dominates(a, b), brute[a][b], g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := 3 + int(sizeRaw%10)
+		g := randomGraph(seed+1_000_000, n)
+		p := PostDominators(g)
+		brute := bruteDominators(g, g.Exit, g.Preds)
+		for a := cfg.NodeID(1); a <= g.MaxID(); a++ {
+			for b := cfg.NodeID(1); b <= g.MaxID(); b++ {
+				if p.Dominates(a, b) != brute[a][b] {
+					t.Logf("seed %d: PDom(%d,%d) = %v, brute = %v\n%s",
+						seed, a, b, p.Dominates(a, b), brute[a][b], g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdomIsClosestDominator: the immediate dominator strictly dominates
+// the node and is dominated by every other strict dominator.
+func TestIdomIsClosestDominator(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := 3 + int(sizeRaw%10)
+		g := randomGraph(seed+2_000_000, n)
+		d := Dominators(g)
+		for b := cfg.NodeID(1); b <= g.MaxID(); b++ {
+			if b == g.Entry || !d.InTree(b) {
+				continue
+			}
+			idom := d.Parent(b)
+			if !d.StrictlyDominates(idom, b) {
+				return false
+			}
+			for a := cfg.NodeID(1); a <= g.MaxID(); a++ {
+				if a != b && a != idom && d.StrictlyDominates(a, b) && !d.Dominates(a, idom) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

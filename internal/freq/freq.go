@@ -1,0 +1,146 @@
+// Package freq computes relative execution frequencies from raw
+// TOTAL_FREQ counter totals, implementing the recurrence equations of
+// Section 3 of the paper:
+//
+//	NODE_FREQ(START) = 1
+//	FREQ(u,l)        = TOTAL_FREQ(u,l) / (TOTAL_FREQ(START,U) × NODE_FREQ(u))
+//	NODE_FREQ(v)     = Σ over FCDG edges (u,v,l) of NODE_FREQ(u) × FREQ(u,l)
+//
+// evaluated in a single top-down pass over the forward control dependence
+// graph. Per the paper's footnote 2, a zero denominator forces the
+// numerator to zero too, so FREQ is defined as 0 without dividing.
+//
+// FREQ(u,l) is a branch probability in [0,1] for ordinary nodes and the
+// average iteration count (≥ 0) of the interval for preheader loop
+// conditions.
+package freq
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+)
+
+// Totals maps control conditions to their accumulated TOTAL_FREQ. The
+// special condition (START, U) holds the number of procedure invocations
+// the profile covers.
+type Totals map[cdg.Condition]float64
+
+// Add accumulates another profile into t (the program-database merge
+// operation: only ratios matter, so sums over several runs are valid
+// inputs).
+func (t Totals) Add(other Totals) {
+	for c, v := range other {
+		t[c] += v
+	}
+}
+
+// Table holds the recovered relative frequencies of one procedure.
+type Table struct {
+	F *cdg.Graph
+	// Freq is FREQ(u,l) per Definition 3.
+	Freq map[cdg.Condition]float64
+	// NodeFreq is the average number of executions of each node per
+	// invocation of the procedure.
+	NodeFreq map[cfg.NodeID]float64
+	// Runs is TOTAL_FREQ(START, U): the number of invocations profiled.
+	Runs float64
+	// FreqVar optionally holds VAR(FREQ(u,l)) for loop conditions, when
+	// the profile recorded per-entry iteration counts (E[F²] support for
+	// Section 5 case 1). Nil entries mean "assume zero variance".
+	FreqVar map[cdg.Condition]float64
+}
+
+// Opts modify Compute.
+type Opts struct {
+	// Static supplies FREQ values known from compile-time analysis
+	// (package staticfreq); they take precedence over profile totals, and
+	// conditions covered statically need no profile data at all.
+	Static map[cdg.Condition]float64
+}
+
+// Compute runs the top-down pass over the FCDG using profile totals only.
+func Compute(f *cdg.Graph, totals Totals) (*Table, error) {
+	return ComputeOpts(f, totals, Opts{})
+}
+
+// ComputeOpts runs the top-down pass over the FCDG, blending compile-time
+// frequencies with profile totals (the paper's "complemented by execution
+// profile information wherever compile-time analysis is unsuccessful").
+func ComputeOpts(f *cdg.Graph, totals Totals, opts Opts) (*Table, error) {
+	t := &Table{
+		F:        f,
+		Freq:     make(map[cdg.Condition]float64),
+		NodeFreq: make(map[cfg.NodeID]float64),
+	}
+	startCond := cdg.Condition{Node: f.Root, Label: cfg.Uncond}
+	t.Runs = totals[startCond]
+	if t.Runs < 0 {
+		return nil, fmt.Errorf("freq: negative run count %g", t.Runs)
+	}
+
+	topo := f.Topo()
+	if len(topo) == 0 {
+		return nil, fmt.Errorf("freq: FCDG has no topological order (not a forward CDG?)")
+	}
+	t.NodeFreq[f.Root] = 1
+	for _, u := range topo {
+		nf := t.NodeFreq[u]
+		// FREQ for each of u's conditions (footnote 2: guard the division).
+		for _, l := range f.Labels(u) {
+			c := cdg.Condition{Node: u, Label: l}
+			if sv, ok := opts.Static[c]; ok {
+				t.Freq[c] = sv
+				continue
+			}
+			den := t.Runs * nf
+			num := totals[c]
+			if den == 0 {
+				if num != 0 {
+					return nil, fmt.Errorf("freq: inconsistent profile: TOTAL%v = %g but node %d never executes", c, num, u)
+				}
+				t.Freq[c] = 0
+				continue
+			}
+			t.Freq[c] = num / den
+		}
+		// Propagate NODE_FREQ to children.
+		for _, e := range f.OutEdges(u) {
+			c := cdg.Condition{Node: u, Label: e.Label}
+			t.NodeFreq[e.To] += nf * t.Freq[c]
+		}
+	}
+
+	// Sanity: branch probabilities must lie in [0,1] (loop conditions may
+	// exceed 1). A violation means the totals did not come from a
+	// consistent profile.
+	for c, v := range t.Freq {
+		if v < 0 {
+			return nil, fmt.Errorf("freq: FREQ%v = %g < 0", c, v)
+		}
+		if !isLoopCondition(f, c) && v > 1+1e-9 {
+			return nil, fmt.Errorf("freq: branch probability FREQ%v = %g > 1", c, v)
+		}
+	}
+	return t, nil
+}
+
+// isLoopCondition reports whether c is a preheader's loop-body condition,
+// whose FREQ is an iteration count rather than a probability.
+func isLoopCondition(f *cdg.Graph, c cdg.Condition) bool {
+	n := f.Ext.G.Node(c.Node)
+	return n != nil && n.Type == cfg.Preheader && !c.Label.IsPseudo()
+}
+
+// LoopConditions returns the preheader loop conditions of the FCDG in
+// deterministic order.
+func LoopConditions(f *cdg.Graph) []cdg.Condition {
+	var out []cdg.Condition
+	for _, c := range f.Conditions() {
+		if isLoopCondition(f, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package freq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/ecfg"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+)
+
+func exampleFCDG(t *testing.T) *analysis.Proc {
+	t.Helper()
+	a, err := analysis.AnalyzeProc(&lower.Proc{G: paperex.CFG()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func paperTotals(a *analysis.Proc) Totals {
+	ph := a.Ext.Preheader[paperex.IfM]
+	t := Totals{
+		{Node: a.Ext.Start, Label: cfg.Uncond}:  1,
+		{Node: ph, Label: ecfg.LoopBodyLabel}:   10,
+		{Node: paperex.IfM, Label: cfg.True}:    10,
+		{Node: paperex.IfM, Label: cfg.False}:   0,
+		{Node: paperex.IfNLt, Label: cfg.True}:  1,
+		{Node: paperex.IfNLt, Label: cfg.False}: 9,
+		{Node: paperex.IfNGe, Label: cfg.True}:  0,
+		{Node: paperex.IfNGe, Label: cfg.False}: 0,
+	}
+	for _, c := range a.FCDG.Conditions() {
+		if c.Label.IsPseudo() {
+			t[c] = 0
+		}
+	}
+	return t
+}
+
+func TestComputePaperValues(t *testing.T) {
+	a := exampleFCDG(t)
+	tab, err := Compute(a.FCDG, paperTotals(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := a.Ext.Preheader[paperex.IfM]
+	checks := []struct {
+		c    cdg.Condition
+		want float64
+	}{
+		{cdg.Condition{Node: ph, Label: ecfg.LoopBodyLabel}, 10},
+		{cdg.Condition{Node: paperex.IfM, Label: cfg.True}, 1},
+		{cdg.Condition{Node: paperex.IfNLt, Label: cfg.True}, 0.1},
+		{cdg.Condition{Node: paperex.IfNLt, Label: cfg.False}, 0.9},
+	}
+	for _, c := range checks {
+		if got := tab.Freq[c.c]; math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FREQ%v = %g, want %g", c.c, got, c.want)
+		}
+	}
+	nodeChecks := map[cfg.NodeID]float64{
+		paperex.IfM:    10,
+		paperex.IfNLt:  10,
+		paperex.IfNGe:  0,
+		paperex.Call:   9,
+		paperex.Goto10: 9,
+		paperex.Cont20: 1,
+	}
+	for n, want := range nodeChecks {
+		if got := tab.NodeFreq[n]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("NODE_FREQ(%d) = %g, want %g", n, got, want)
+		}
+	}
+	if tab.Runs != 1 {
+		t.Errorf("Runs = %g", tab.Runs)
+	}
+}
+
+func TestFootnote2ZeroGuard(t *testing.T) {
+	// A condition on a never-executing node has TOTAL 0 and must get FREQ
+	// 0 without dividing.
+	a := exampleFCDG(t)
+	totals := paperTotals(a)
+	tab, err := Compute(a.FCDG, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cdg.Condition{Node: paperex.IfNGe, Label: cfg.True}
+	if tab.Freq[c] != 0 {
+		t.Errorf("FREQ of dead branch = %g", tab.Freq[c])
+	}
+}
+
+func TestInconsistentProfileRejected(t *testing.T) {
+	a := exampleFCDG(t)
+	totals := paperTotals(a)
+	// Claim the dead ELSE arm took branches anyway.
+	totals[cdg.Condition{Node: paperex.IfNGe, Label: cfg.True}] = 5
+	if _, err := Compute(a.FCDG, totals); err == nil {
+		t.Fatal("inconsistent profile must be rejected")
+	}
+	// Negative run count.
+	totals = paperTotals(a)
+	totals[cdg.Condition{Node: a.Ext.Start, Label: cfg.Uncond}] = -1
+	if _, err := Compute(a.FCDG, totals); err == nil {
+		t.Fatal("negative runs must be rejected")
+	}
+	// Branch probability above 1.
+	totals = paperTotals(a)
+	totals[cdg.Condition{Node: paperex.IfM, Label: cfg.True}] = 25
+	if _, err := Compute(a.FCDG, totals); err == nil {
+		t.Fatal("probability > 1 must be rejected")
+	}
+}
+
+func TestTotalsAdd(t *testing.T) {
+	a := Totals{{Node: 1, Label: cfg.True}: 2}
+	b := Totals{{Node: 1, Label: cfg.True}: 3, {Node: 2, Label: cfg.False}: 1}
+	a.Add(b)
+	if a[cdg.Condition{Node: 1, Label: cfg.True}] != 5 {
+		t.Errorf("add failed: %v", a)
+	}
+	if a[cdg.Condition{Node: 2, Label: cfg.False}] != 1 {
+		t.Errorf("new key not merged: %v", a)
+	}
+}
+
+func TestStaticOverridesTotals(t *testing.T) {
+	a := exampleFCDG(t)
+	totals := paperTotals(a)
+	// Statically claim the header branch is 50/50 — overriding the
+	// profiled 10/0 — and keep the downstream totals consistent with the
+	// halved node frequency (NODE_FREQ(IfNLt) becomes 5).
+	static := map[cdg.Condition]float64{
+		{Node: paperex.IfM, Label: cfg.True}:  0.5,
+		{Node: paperex.IfM, Label: cfg.False}: 0.5,
+	}
+	totals[cdg.Condition{Node: paperex.IfNLt, Label: cfg.True}] = 0.5
+	totals[cdg.Condition{Node: paperex.IfNLt, Label: cfg.False}] = 4.5
+	tab, err := ComputeOpts(a.FCDG, totals, Opts{Static: static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Freq[cdg.Condition{Node: paperex.IfM, Label: cfg.True}]; got != 0.5 {
+		t.Errorf("static override ignored: %g", got)
+	}
+	// NODE_FREQ downstream reflects the static value.
+	if got := tab.NodeFreq[paperex.IfNLt]; math.Abs(got-5) > 1e-12 {
+		t.Errorf("NODE_FREQ(IfNLt) = %g, want 5", got)
+	}
+}
+
+func TestLoopConditions(t *testing.T) {
+	a := exampleFCDG(t)
+	lcs := LoopConditions(a.FCDG)
+	if len(lcs) != 1 {
+		t.Fatalf("loop conditions = %v", lcs)
+	}
+	if lcs[0].Node != a.Ext.Preheader[paperex.IfM] || lcs[0].Label != ecfg.LoopBodyLabel {
+		t.Errorf("loop condition = %v", lcs[0])
+	}
+}

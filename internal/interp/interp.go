@@ -1,0 +1,936 @@
+// Package interp executes lowered programs by walking their control flow
+// graphs. It is the substrate that stands in for the paper's IBM 3090:
+// "CPU time" is the sum of per-node costs (from a cost.Model) along the
+// executed trace, and the exact number of times every node and every
+// labelled edge executes is recorded — the ground truth that execution
+// profiling approximates and that estimation is validated against.
+//
+// Semantics follow Fortran 77 where the subset overlaps it: scalars and
+// arrays are passed by reference, arrays are 1-based and column-major,
+// counted DO loops evaluate their bounds once and run a precomputed trip
+// count MAX(0, (hi-lo+step)/step), and integer division truncates.
+// The RAND/IRAND intrinsics draw from a seeded 64-bit LCG owned by the
+// machine, so every run is reproducible from its seed.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cfg"
+	"repro/internal/cost"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// Value is a runtime scalar value.
+type Value struct {
+	T lang.Type
+	I int64
+	R float64
+	B bool
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{T: lang.TInt, I: i} }
+
+// Real returns a real Value.
+func Real(r float64) Value { return Value{T: lang.TReal, R: r} }
+
+// Logical returns a logical Value.
+func Logical(b bool) Value { return Value{T: lang.TLogical, B: b} }
+
+// Float returns the value as float64, promoting integers.
+func (v Value) Float() float64 {
+	if v.T == lang.TInt {
+		return float64(v.I)
+	}
+	return v.R
+}
+
+func (v Value) String() string {
+	switch v.T {
+	case lang.TInt:
+		return fmt.Sprintf("%d", v.I)
+	case lang.TLogical:
+		if v.B {
+			return "T"
+		}
+		return "F"
+	default:
+		return fmt.Sprintf("%g", v.R)
+	}
+}
+
+// Array is runtime array storage: column-major, 1-based in every dimension.
+type Array struct {
+	Type  lang.Type
+	Dims  []int64
+	Elems []Value
+}
+
+// offset converts 1-based subscripts to a linear index, column-major.
+func (a *Array) offset(subs []int64) (int64, error) {
+	if len(subs) != len(a.Dims) {
+		return 0, fmt.Errorf("array has %d dimensions, indexed with %d", len(a.Dims), len(subs))
+	}
+	off := int64(0)
+	stride := int64(1)
+	for d := 0; d < len(subs); d++ {
+		if subs[d] < 1 || subs[d] > a.Dims[d] {
+			return 0, fmt.Errorf("subscript %d out of bounds 1..%d in dimension %d", subs[d], a.Dims[d], d+1)
+		}
+		off += (subs[d] - 1) * stride
+		stride *= a.Dims[d]
+	}
+	return off, nil
+}
+
+// binding is one name's storage in a frame: a scalar cell or an array.
+type binding struct {
+	cell *Value
+	arr  *Array
+}
+
+// frame is one procedure activation.
+type frame struct {
+	proc  *lower.Proc
+	vars  map[string]*binding
+	trips map[cfg.NodeID]int64 // remaining trips per DO test node
+}
+
+// Options configure a run.
+type Options struct {
+	// Seed seeds the RAND/IRAND generator; runs are reproducible per seed.
+	Seed uint64
+	// MaxSteps bounds the number of executed nodes (0 = 500 million).
+	MaxSteps int64
+	// Out receives PRINT output (nil discards it).
+	Out io.Writer
+	// Model prices executed nodes; nil skips cost accounting.
+	Model *cost.Model
+	// OnNode, if set, is invoked before each node executes. For OpDoInit
+	// nodes trip holds the just-computed trip count, otherwise -1.
+	OnNode func(p *lower.Proc, n cfg.NodeID, trip int64)
+	// OnNodeCost, if set, is invoked before each node executes with the
+	// model cost accumulated so far, the node's own cost included.
+	// Requires Model to be set; silently never fires otherwise.
+	OnNodeCost func(p *lower.Proc, n cfg.NodeID, costSoFar float64)
+}
+
+// Counts holds per-procedure execution counts.
+type Counts struct {
+	// Node[id] is how many times the node executed.
+	Node []int64
+	// Edge[id][k] is how many times the k-th out-edge of node id (in
+	// OutEdges order) was taken.
+	Edge [][]int64
+	// Activations is how many times the procedure was entered.
+	Activations int64
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Steps is the number of node executions.
+	Steps int64
+	// Cost is the accumulated model cost (0 when Options.Model is nil).
+	Cost float64
+	// ByProc maps unit name to its execution counts.
+	ByProc map[string]*Counts
+	// Stopped records whether the run ended via STOP (vs falling off the
+	// main program's END).
+	Stopped bool
+}
+
+// LabelCount returns how often an edge labelled l was taken from node n in
+// proc p (each node has at most one out-edge per label).
+func (r *Result) LabelCount(p *lower.Proc, n cfg.NodeID, l cfg.Label) int64 {
+	c := r.ByProc[p.G.Name]
+	if c == nil || int(n) >= len(c.Edge) {
+		return 0
+	}
+	total := int64(0)
+	for k, oe := range p.G.OutEdges(n) {
+		if oe.Label == l {
+			total += c.Edge[n][k]
+		}
+	}
+	return total
+}
+
+// EdgeCount returns the count of the exact edge e in proc p, or 0.
+func (r *Result) EdgeCount(p *lower.Proc, e cfg.Edge) int64 {
+	c := r.ByProc[p.G.Name]
+	if c == nil {
+		return 0
+	}
+	for k, oe := range p.G.OutEdges(e.From) {
+		if oe == e {
+			return c.Edge[e.From][k]
+		}
+	}
+	return 0
+}
+
+// NodeCount returns how often node n of proc p executed.
+func (r *Result) NodeCount(p *lower.Proc, n cfg.NodeID) int64 {
+	c := r.ByProc[p.G.Name]
+	if c == nil || int(n) >= len(c.Node) {
+		return 0
+	}
+	return c.Node[n]
+}
+
+// errStop unwinds all frames on STOP.
+var errStop = errors.New("stop")
+
+// RuntimeError is an execution failure with source position context.
+type RuntimeError struct {
+	Unit string
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s (line %d): %s", e.Unit, e.Line, e.Msg)
+}
+
+// machine is the execution engine.
+type machine struct {
+	res    *lower.Result
+	opt    Options
+	result *Result
+	costs  map[string][]float64 // per-proc node cost table
+	rng    uint64
+	steps  int64
+	max    int64
+	depth  int
+}
+
+// Run executes the program's main unit to completion.
+func Run(res *lower.Result, opt Options) (*Result, error) {
+	if res.Main == nil {
+		return nil, fmt.Errorf("interp: program has no main unit")
+	}
+	m := &machine{
+		res: res,
+		opt: opt,
+		rng: opt.Seed*2862933555777941757 + 3037000493,
+		max: opt.MaxSteps,
+		result: &Result{
+			ByProc: make(map[string]*Counts),
+		},
+	}
+	if m.max == 0 {
+		m.max = 500_000_000
+	}
+	for name, p := range res.Procs {
+		m.result.ByProc[name] = &Counts{
+			Node: make([]int64, p.G.MaxID()+1),
+			Edge: make([][]int64, p.G.MaxID()+1),
+		}
+		for id := cfg.NodeID(1); id <= p.G.MaxID(); id++ {
+			m.result.ByProc[name].Edge[id] = make([]int64, len(p.G.OutEdges(id)))
+		}
+		if opt.Model != nil {
+			if m.costs == nil {
+				m.costs = make(map[string][]float64)
+			}
+			tab := make([]float64, p.G.MaxID()+1)
+			for _, n := range p.G.Nodes() {
+				if op, ok := n.Payload.(lower.Op); ok {
+					tab[n.ID] = opt.Model.NodeCost(op)
+				}
+			}
+			m.costs[name] = tab
+		}
+	}
+	err := m.call(res.Main, nil, nil)
+	if errors.Is(err, errStop) {
+		m.result.Stopped = true
+		err = nil
+	}
+	m.result.Steps = m.steps
+	return m.result, err
+}
+
+// call runs one procedure activation. args/argStmt describe the CALL site
+// bindings (nil for main).
+func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) error {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > 10000 {
+		return &RuntimeError{Unit: p.G.Name, Line: 0, Msg: "call stack overflow (runaway recursion?)"}
+	}
+	f := &frame{
+		proc:  p,
+		vars:  make(map[string]*binding),
+		trips: make(map[cfg.NodeID]int64),
+	}
+	// Bind parameters by reference.
+	if callStmt != nil {
+		for i, name := range p.Unit.Params {
+			b, err := m.argBinding(caller, callStmt.Args[i], p.Unit.Symbols[name], callStmt.Line)
+			if err != nil {
+				return err
+			}
+			f.vars[name] = b
+		}
+	}
+	// Allocate locals: every non-param, non-const symbol.
+	for name, sym := range p.Unit.Symbols {
+		if sym.IsParam || sym.Kind == lang.SymConst {
+			continue
+		}
+		if sym.Kind == lang.SymArray {
+			arr, err := m.allocArray(f, sym)
+			if err != nil {
+				return err
+			}
+			f.vars[name] = &binding{arr: arr}
+		} else {
+			f.vars[name] = &binding{cell: &Value{T: sym.Type}}
+		}
+	}
+	// Reinterpret passed arrays with the callee's declared shape (Fortran
+	// sequence association for adjustable arrays).
+	if callStmt != nil {
+		for _, name := range p.Unit.Params {
+			sym := p.Unit.Symbols[name]
+			b := f.vars[name]
+			if sym.Kind != lang.SymArray {
+				continue
+			}
+			if b.arr == nil {
+				return &RuntimeError{Unit: p.G.Name, Line: callStmt.Line,
+					Msg: fmt.Sprintf("argument for array parameter %s is not an array", name)}
+			}
+			dims := make([]int64, len(sym.Dims))
+			total := int64(1)
+			for i, de := range sym.Dims {
+				v, err := m.eval(f, de)
+				if err != nil {
+					return err
+				}
+				dims[i] = v.I
+				total *= v.I
+			}
+			if total > int64(len(b.arr.Elems)) {
+				return &RuntimeError{Unit: p.G.Name, Line: callStmt.Line,
+					Msg: fmt.Sprintf("array parameter %s needs %d elements, argument has %d", name, total, len(b.arr.Elems))}
+			}
+			f.vars[name] = &binding{arr: &Array{Type: b.arr.Type, Dims: dims, Elems: b.arr.Elems}}
+		}
+	}
+
+	counts := m.result.ByProc[p.G.Name]
+	counts.Activations++
+	costs := m.costs[p.G.Name]
+	g := p.G
+	pc := g.Entry
+	for {
+		m.steps++
+		if m.steps > m.max {
+			return &RuntimeError{Unit: p.G.Name, Line: m.lineOf(p, pc), Msg: "step limit exceeded"}
+		}
+		counts.Node[pc]++
+		if costs != nil {
+			m.result.Cost += costs[pc]
+			if m.opt.OnNodeCost != nil {
+				m.opt.OnNodeCost(p, pc, m.result.Cost)
+			}
+		}
+		op, _ := g.Node(pc).Payload.(lower.Op)
+		if m.opt.OnNode != nil {
+			trip := int64(-1)
+			if di, ok := op.(lower.OpDoInit); ok {
+				t, err := m.tripCount(f, di.L)
+				if err != nil {
+					return err
+				}
+				trip = t
+			}
+			m.opt.OnNode(p, pc, trip)
+		}
+		label, done, err := m.exec(f, pc, op)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		taken := -1
+		for k, e := range g.OutEdges(pc) {
+			if e.Label == label {
+				taken = k
+				break
+			}
+		}
+		if taken < 0 {
+			return &RuntimeError{Unit: p.G.Name, Line: m.lineOf(p, pc),
+				Msg: fmt.Sprintf("no out-edge labelled %s from node %d", label, pc)}
+		}
+		counts.Edge[pc][taken]++
+		pc = g.OutEdges(pc)[taken].To
+	}
+}
+
+func (m *machine) lineOf(p *lower.Proc, n cfg.NodeID) int {
+	if s, ok := p.Stmt[n]; ok {
+		return s.Pos()
+	}
+	return 0
+}
+
+// exec runs one node and returns the label of the edge to take, or done for
+// OpEnd.
+func (m *machine) exec(f *frame, pc cfg.NodeID, op lower.Op) (cfg.Label, bool, error) {
+	switch o := op.(type) {
+	case lower.OpNop:
+		return cfg.Uncond, false, nil
+	case lower.OpEnd:
+		return "", true, nil
+	case lower.OpReturn:
+		return cfg.Uncond, false, nil // edge leads to END
+	case lower.OpStop:
+		return "", false, errStop
+	case lower.OpAssign:
+		if err := m.assign(f, o.S); err != nil {
+			return "", false, err
+		}
+		return cfg.Uncond, false, nil
+	case lower.OpPrint:
+		if err := m.print(f, o.S); err != nil {
+			return "", false, err
+		}
+		return cfg.Uncond, false, nil
+	case lower.OpBranch:
+		v, err := m.eval(f, o.Cond)
+		if err != nil {
+			return "", false, err
+		}
+		if v.B {
+			return cfg.True, false, nil
+		}
+		return cfg.False, false, nil
+	case lower.OpArithIf:
+		v, err := m.eval(f, o.E)
+		if err != nil {
+			return "", false, err
+		}
+		x := v.Float()
+		switch {
+		case x < 0:
+			return lower.LabelNeg, false, nil
+		case x == 0:
+			return lower.LabelZero, false, nil
+		default:
+			return lower.LabelPos, false, nil
+		}
+	case lower.OpComputedGoto:
+		v, err := m.eval(f, o.E)
+		if err != nil {
+			return "", false, err
+		}
+		if v.I >= 1 && v.I <= int64(o.N) {
+			return lower.GotoCase(int(v.I)), false, nil
+		}
+		return lower.LabelDefault, false, nil
+	case lower.OpDoInit:
+		trip, err := m.tripCount(f, o.L)
+		if err != nil {
+			return "", false, err
+		}
+		lo, err := m.eval(f, o.L.Lo)
+		if err != nil {
+			return "", false, err
+		}
+		if err := m.setScalar(f, o.L.Var, Int(lo.I)); err != nil {
+			return "", false, err
+		}
+		f.trips[o.Test] = trip
+		return cfg.Uncond, false, nil
+	case lower.OpDoTest:
+		if f.trips[o.Key] > 0 {
+			return cfg.True, false, nil
+		}
+		return cfg.False, false, nil
+	case lower.OpDoIncr:
+		step := int64(1)
+		if o.L.Step != nil {
+			v, err := m.eval(f, o.L.Step)
+			if err != nil {
+				return "", false, err
+			}
+			step = v.I
+		}
+		cur, err := m.scalar(f, o.L.Var)
+		if err != nil {
+			return "", false, err
+		}
+		if err := m.setScalar(f, o.L.Var, Int(cur.I+step)); err != nil {
+			return "", false, err
+		}
+		f.trips[o.Test]--
+		return cfg.Uncond, false, nil
+	case lower.OpCall:
+		callee, ok := m.res.Procs[o.S.Name]
+		if !ok {
+			return "", false, &RuntimeError{Unit: f.proc.G.Name, Line: o.S.Line,
+				Msg: fmt.Sprintf("no subroutine %s", o.S.Name)}
+		}
+		if err := m.call(callee, f, o.S); err != nil {
+			return "", false, err
+		}
+		return cfg.Uncond, false, nil
+	}
+	return "", false, &RuntimeError{Unit: f.proc.G.Name, Line: m.lineOf(f.proc, pc),
+		Msg: fmt.Sprintf("node %d has no executable payload", pc)}
+}
+
+// tripCount computes the F77 trip count of a DO loop in the current frame.
+func (m *machine) tripCount(f *frame, l *lang.DoLoop) (int64, error) {
+	lo, err := m.eval(f, l.Lo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.eval(f, l.Hi)
+	if err != nil {
+		return 0, err
+	}
+	step := int64(1)
+	if l.Step != nil {
+		v, err := m.eval(f, l.Step)
+		if err != nil {
+			return 0, err
+		}
+		step = v.I
+	}
+	if step == 0 {
+		return 0, &RuntimeError{Unit: f.proc.G.Name, Line: l.Line, Msg: "DO step is zero"}
+	}
+	trip := (hi.I - lo.I + step) / step
+	if trip < 0 {
+		trip = 0
+	}
+	return trip, nil
+}
+
+func (m *machine) allocArray(f *frame, sym *lang.Symbol) (*Array, error) {
+	dims := make([]int64, len(sym.Dims))
+	total := int64(1)
+	for i, de := range sym.Dims {
+		v, err := m.eval(f, de)
+		if err != nil {
+			return nil, err
+		}
+		if v.I < 1 {
+			return nil, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+				Msg: fmt.Sprintf("array %s has non-positive extent %d", sym.Name, v.I)}
+		}
+		dims[i] = v.I
+		total *= v.I
+	}
+	if total > 50_000_000 {
+		return nil, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+			Msg: fmt.Sprintf("array %s too large (%d elements)", sym.Name, total)}
+	}
+	elems := make([]Value, total)
+	for i := range elems {
+		elems[i].T = sym.Type
+	}
+	return &Array{Type: sym.Type, Dims: dims, Elems: elems}, nil
+}
+
+// argBinding prepares the binding a callee parameter receives.
+func (m *machine) argBinding(caller *frame, arg lang.Expr, paramSym *lang.Symbol, line int) (*binding, error) {
+	switch a := arg.(type) {
+	case *lang.Var:
+		if b, ok := caller.vars[a.Name]; ok {
+			// Whole array or scalar by reference.
+			if b.arr != nil || paramSym.Kind != lang.SymArray {
+				return b, nil
+			}
+		}
+		// PARAMETER constant passed by value-copy.
+		if sym, ok := caller.proc.Unit.Symbols[a.Name]; ok && sym.Kind == lang.SymConst {
+			v, err := m.eval(caller, a)
+			if err != nil {
+				return nil, err
+			}
+			return &binding{cell: &v}, nil
+		}
+		if b, ok := caller.vars[a.Name]; ok {
+			return b, nil
+		}
+		return nil, &RuntimeError{Unit: caller.proc.G.Name, Line: line,
+			Msg: fmt.Sprintf("undefined argument %s", a.Name)}
+	case *lang.Index:
+		cellPtr, err := m.elemPtr(caller, a)
+		if err != nil {
+			return nil, err
+		}
+		return &binding{cell: cellPtr}, nil
+	default:
+		v, err := m.eval(caller, arg)
+		if err != nil {
+			return nil, err
+		}
+		return &binding{cell: &v}, nil
+	}
+}
+
+func (m *machine) elemPtr(f *frame, ix *lang.Index) (*Value, error) {
+	b, ok := f.vars[ix.Name]
+	if !ok || b.arr == nil {
+		return nil, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+			Msg: fmt.Sprintf("%s is not an array", ix.Name)}
+	}
+	subs := make([]int64, len(ix.Subs))
+	for i, se := range ix.Subs {
+		v, err := m.eval(f, se)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = v.I
+	}
+	off, err := b.arr.offset(subs)
+	if err != nil {
+		return nil, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+			Msg: fmt.Sprintf("%s: %v", ix.Name, err)}
+	}
+	return &b.arr.Elems[off], nil
+}
+
+func (m *machine) assign(f *frame, s *lang.Assign) error {
+	v, err := m.eval(f, s.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := s.LHS.(type) {
+	case *lang.Var:
+		return m.setScalar(f, lhs.Name, v)
+	case *lang.Index:
+		cell, err := m.elemPtr(f, lhs)
+		if err != nil {
+			return err
+		}
+		*cell = convert(v, cell.T)
+		return nil
+	}
+	return &RuntimeError{Unit: f.proc.G.Name, Line: s.Line, Msg: "bad assignment target"}
+}
+
+func (m *machine) scalar(f *frame, name string) (Value, error) {
+	if b, ok := f.vars[name]; ok && b.cell != nil {
+		return *b.cell, nil
+	}
+	if sym, ok := f.proc.Unit.Symbols[name]; ok && sym.Kind == lang.SymConst {
+		return constValue(sym), nil
+	}
+	return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+		Msg: fmt.Sprintf("no scalar %s", name)}
+}
+
+func (m *machine) setScalar(f *frame, name string, v Value) error {
+	b, ok := f.vars[name]
+	if !ok || b.cell == nil {
+		return &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+			Msg: fmt.Sprintf("cannot assign to %s", name)}
+	}
+	*b.cell = convert(v, b.cell.T)
+	return nil
+}
+
+func constValue(sym *lang.Symbol) Value {
+	switch cv := sym.ConstValue.(type) {
+	case int64:
+		return Int(cv)
+	case float64:
+		return Real(cv)
+	}
+	return Value{}
+}
+
+// convert coerces v to type t (Fortran assignment conversion).
+func convert(v Value, t lang.Type) Value {
+	if v.T == t || t == lang.TNone {
+		return v
+	}
+	switch t {
+	case lang.TInt:
+		return Int(int64(v.Float()))
+	case lang.TReal:
+		return Real(v.Float())
+	}
+	return v
+}
+
+func (m *machine) print(f *frame, s *lang.Print) error {
+	if m.opt.Out == nil {
+		// Still evaluate for effect parity (RAND advances, errors surface).
+		for _, e := range s.Items {
+			if _, err := m.eval(f, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	parts := make([]any, 0, len(s.Items))
+	for _, e := range s.Items {
+		if sl, ok := e.(*lang.StrLit); ok {
+			parts = append(parts, sl.Val)
+			continue
+		}
+		v, err := m.eval(f, e)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, v.String())
+	}
+	fmt.Fprintln(m.opt.Out, parts...)
+	return nil
+}
+
+// eval evaluates an expression in frame f.
+func (m *machine) eval(f *frame, e lang.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return Int(x.Val), nil
+	case *lang.RealLit:
+		return Real(x.Val), nil
+	case *lang.LogLit:
+		return Logical(x.Val), nil
+	case *lang.StrLit:
+		return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "string used as value"}
+	case *lang.Var:
+		return m.scalar(f, x.Name)
+	case *lang.Index:
+		cell, err := m.elemPtr(f, x)
+		if err != nil {
+			return Value{}, err
+		}
+		return *cell, nil
+	case *lang.Un:
+		v, err := m.eval(f, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case lang.OpNot:
+			return Logical(!v.B), nil
+		case lang.OpNeg:
+			if v.T == lang.TInt {
+				return Int(-v.I), nil
+			}
+			return Real(-v.R), nil
+		default:
+			return v, nil
+		}
+	case *lang.Bin:
+		return m.evalBin(f, x)
+	case *lang.Intrinsic:
+		return m.evalIntrinsic(f, x)
+	}
+	return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+		Msg: fmt.Sprintf("cannot evaluate %T", e)}
+}
+
+func (m *machine) evalBin(f *frame, x *lang.Bin) (Value, error) {
+	l, err := m.eval(f, x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := m.eval(f, x.R)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case lang.OpAnd:
+		return Logical(l.B && r.B), nil
+	case lang.OpOr:
+		return Logical(l.B || r.B), nil
+	case lang.OpEqv:
+		return Logical(l.B == r.B), nil
+	case lang.OpNeqv:
+		return Logical(l.B != r.B), nil
+	}
+	if x.Op.Relational() {
+		a, b := l.Float(), r.Float()
+		if l.T == lang.TInt && r.T == lang.TInt {
+			a, b = float64(l.I), float64(r.I)
+		}
+		switch x.Op {
+		case lang.OpLT:
+			return Logical(a < b), nil
+		case lang.OpLE:
+			return Logical(a <= b), nil
+		case lang.OpGT:
+			return Logical(a > b), nil
+		case lang.OpGE:
+			return Logical(a >= b), nil
+		case lang.OpEQ:
+			return Logical(a == b), nil
+		default:
+			return Logical(a != b), nil
+		}
+	}
+	// Arithmetic with INTEGER -> REAL promotion.
+	if l.T == lang.TInt && r.T == lang.TInt {
+		switch x.Op {
+		case lang.OpAdd:
+			return Int(l.I + r.I), nil
+		case lang.OpSub:
+			return Int(l.I - r.I), nil
+		case lang.OpMul:
+			return Int(l.I * r.I), nil
+		case lang.OpDiv:
+			if r.I == 0 {
+				return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "integer division by zero"}
+			}
+			return Int(l.I / r.I), nil
+		case lang.OpPow:
+			return Int(ipow(l.I, r.I)), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch x.Op {
+	case lang.OpAdd:
+		return Real(a + b), nil
+	case lang.OpSub:
+		return Real(a - b), nil
+	case lang.OpMul:
+		return Real(a * b), nil
+	case lang.OpDiv:
+		if b == 0 {
+			return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "division by zero"}
+		}
+		return Real(a / b), nil
+	case lang.OpPow:
+		return Real(math.Pow(a, b)), nil
+	}
+	return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+		Msg: fmt.Sprintf("bad operator %v", x.Op)}
+}
+
+// ipow is F77 integer exponentiation: negative exponents yield 0 except for
+// bases 1 and -1.
+func ipow(base, exp int64) int64 {
+	if exp < 0 {
+		switch base {
+		case 1:
+			return 1
+		case -1:
+			if exp%2 == 0 {
+				return 1
+			}
+			return -1
+		default:
+			return 0
+		}
+	}
+	out := int64(1)
+	for ; exp > 0; exp-- {
+		out *= base
+	}
+	return out
+}
+
+func (m *machine) evalIntrinsic(f *frame, x *lang.Intrinsic) (Value, error) {
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := m.eval(f, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	allInt := true
+	for _, a := range args {
+		if a.T != lang.TInt {
+			allInt = false
+		}
+	}
+	switch x.Name {
+	case "ABS":
+		if args[0].T == lang.TInt {
+			if args[0].I < 0 {
+				return Int(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		return Real(math.Abs(args[0].R)), nil
+	case "MOD":
+		if allInt {
+			if args[1].I == 0 {
+				return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "MOD by zero"}
+			}
+			return Int(args[0].I % args[1].I), nil
+		}
+		return Real(math.Mod(args[0].Float(), args[1].Float())), nil
+	case "SIGN":
+		mag := math.Abs(args[0].Float())
+		if args[1].Float() < 0 {
+			mag = -mag
+		}
+		if allInt {
+			return Int(int64(mag)), nil
+		}
+		return Real(mag), nil
+	case "MIN", "MAX":
+		best := args[0]
+		for _, a := range args[1:] {
+			better := a.Float() < best.Float()
+			if x.Name == "MAX" {
+				better = a.Float() > best.Float()
+			}
+			if better {
+				best = a
+			}
+		}
+		if allInt {
+			return Int(int64(best.Float())), nil
+		}
+		return Real(best.Float()), nil
+	case "SQRT":
+		v := args[0].Float()
+		if v < 0 {
+			return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "SQRT of negative value"}
+		}
+		return Real(math.Sqrt(v)), nil
+	case "EXP":
+		return Real(math.Exp(args[0].Float())), nil
+	case "LOG":
+		v := args[0].Float()
+		if v <= 0 {
+			return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "LOG of non-positive value"}
+		}
+		return Real(math.Log(v)), nil
+	case "SIN":
+		return Real(math.Sin(args[0].Float())), nil
+	case "COS":
+		return Real(math.Cos(args[0].Float())), nil
+	case "INT":
+		return Int(int64(args[0].Float())), nil
+	case "REAL":
+		return Real(args[0].Float()), nil
+	case "RAND":
+		return Real(m.rand()), nil
+	case "IRAND":
+		n := args[0].I
+		if n < 1 {
+			return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0, Msg: "IRAND needs a positive bound"}
+		}
+		return Int(1 + int64(m.rand()*float64(n))), nil
+	}
+	return Value{}, &RuntimeError{Unit: f.proc.G.Name, Line: 0,
+		Msg: fmt.Sprintf("unknown intrinsic %s", x.Name)}
+}
+
+// rand draws the next value of the 64-bit LCG in [0, 1).
+func (m *machine) rand() float64 {
+	m.rng = m.rng*6364136223846793005 + 1442695040888963407
+	return float64(m.rng>>11) / float64(1<<53)
+}

@@ -1,0 +1,54 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+)
+
+func TestSmokeRunPaperExample(t *testing.T) {
+	prog, err := lang.Parse(paperex.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Main.G.String())
+	r, err := Run(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("steps=%d", r.Steps)
+}
+
+func TestSmokeDoLoop(t *testing.T) {
+	src := `      PROGRAM P
+      INTEGER I, S
+      S = 0
+      DO 10 I = 1, 5
+      S = S + I
+   10 CONTINUE
+      PRINT *, S
+      END
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := Run(res, Options{Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "15" {
+		t.Fatalf("output = %q, want 15", out.String())
+	}
+}

@@ -1,0 +1,235 @@
+// Package interval computes the interval (loop nesting) structure of a
+// reducible control flow graph.
+//
+// Following Section 2 of the paper, the structure is summarized by three
+// mappings:
+//
+//	HDR(n)         — header of the innermost interval (loop) containing n;
+//	                 a header belongs to its own interval, and HDR(n) = 0
+//	                 (cfg.None) for nodes in no loop, which the paper calls
+//	                 the outermost interval.
+//	HDR_PARENT(h)  — header of the interval immediately enclosing interval
+//	                 h, or 0 if interval h is outermost.
+//	HDR_LCA(a, b)  — least common ancestor of headers a and b in the
+//	                 HDR_PARENT tree (with 0 as the tree root).
+//
+// On a reducible graph loop headers are exactly the targets of back edges
+// (edges whose target dominates their source), and the interval of a header
+// is the union of the natural loops of its back edges.
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/dfst"
+	"repro/internal/dom"
+)
+
+// Info holds the interval structure of one graph.
+type Info struct {
+	G *cfg.Graph
+
+	// hdr[n] is HDR(n) as defined above (cfg.None when n is in no loop).
+	hdr []cfg.NodeID
+	// parent[h] is HDR_PARENT(h); only header nodes appear as keys.
+	parent map[cfg.NodeID]cfg.NodeID
+	// depth[h] is the nesting depth of header h (outermost loop = 1).
+	depth map[cfg.NodeID]int
+	// body[h] is the node set of interval h, including h itself and all
+	// nodes of nested intervals.
+	body map[cfg.NodeID]map[cfg.NodeID]bool
+	// backEdges[h] lists the back edges targeting h.
+	backEdges map[cfg.NodeID][]cfg.Edge
+	// headers in deterministic (ascending ID) order.
+	headers []cfg.NodeID
+}
+
+// ErrIrreducible is returned by Analyze when the graph has a retreating
+// edge whose target does not dominate its source. Use dfst.MakeReducible
+// first.
+type ErrIrreducible struct {
+	Edge cfg.Edge
+}
+
+func (e *ErrIrreducible) Error() string {
+	return fmt.Sprintf("interval: graph is irreducible (retreating edge %v is not a back edge)", e.Edge)
+}
+
+// Analyze computes the interval structure of g. The graph must be reducible
+// and g.Entry must be set; otherwise an error is returned.
+func Analyze(g *cfg.Graph) (*Info, error) {
+	if g.Node(g.Entry) == nil {
+		return nil, fmt.Errorf("interval: graph %q has no entry node", g.Name)
+	}
+	d := dfst.New(g)
+	doms := dom.Dominators(g)
+
+	in := &Info{
+		G:         g,
+		hdr:       make([]cfg.NodeID, g.MaxID()+1),
+		parent:    make(map[cfg.NodeID]cfg.NodeID),
+		depth:     make(map[cfg.NodeID]int),
+		body:      make(map[cfg.NodeID]map[cfg.NodeID]bool),
+		backEdges: make(map[cfg.NodeID][]cfg.Edge),
+	}
+
+	// Collect back edges; reject irreducible graphs.
+	for _, e := range d.RetreatingEdges() {
+		if !doms.Dominates(e.To, e.From) {
+			return nil, &ErrIrreducible{Edge: e}
+		}
+		in.backEdges[e.To] = append(in.backEdges[e.To], e)
+	}
+	for h := range in.backEdges {
+		in.headers = append(in.headers, h)
+	}
+	sort.Slice(in.headers, func(i, j int) bool { return in.headers[i] < in.headers[j] })
+
+	// Natural loop of each header: union over its back edges (u, h) of all
+	// nodes that reach u along reversed edges without passing through h.
+	for _, h := range in.headers {
+		body := map[cfg.NodeID]bool{h: true}
+		var stack []cfg.NodeID
+		for _, e := range in.backEdges[h] {
+			if !body[e.From] {
+				body[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Preds(n) {
+				if !body[p] {
+					body[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		in.body[h] = body
+	}
+
+	// Nesting: in a reducible graph two loop bodies are either disjoint or
+	// one contains the other, so "innermost containing loop" is well
+	// defined. Order headers by increasing body size to find each node's
+	// innermost loop first.
+	bysize := append([]cfg.NodeID(nil), in.headers...)
+	sort.Slice(bysize, func(i, j int) bool {
+		a, b := bysize[i], bysize[j]
+		if len(in.body[a]) != len(in.body[b]) {
+			return len(in.body[a]) < len(in.body[b])
+		}
+		return a < b
+	})
+	for _, h := range bysize {
+		for n := range in.body[h] {
+			if in.hdr[n] == cfg.None {
+				in.hdr[n] = h
+			}
+		}
+	}
+	// A header is in its own interval; the scan above already guarantees
+	// hdr[h] == h because body[h] is the smallest loop containing h.
+	// Parent of header h: innermost loop that contains h's body strictly.
+	for _, h := range bysize {
+		in.parent[h] = cfg.None
+		best := cfg.None
+		bestSize := int(^uint(0) >> 1)
+		for _, h2 := range in.headers {
+			if h2 == h {
+				continue
+			}
+			if in.body[h2][h] && len(in.body[h2]) > len(in.body[h]) && len(in.body[h2]) < bestSize {
+				best, bestSize = h2, len(in.body[h2])
+			}
+		}
+		in.parent[h] = best
+	}
+	for _, h := range in.headers {
+		in.depth[h] = 0
+		for p := h; p != cfg.None; p = in.parent[p] {
+			in.depth[h]++
+		}
+	}
+	return in, nil
+}
+
+// Headers returns the loop header nodes in ascending ID order. The slice is
+// shared; callers must not mutate it.
+func (in *Info) Headers() []cfg.NodeID { return in.headers }
+
+// IsHeader reports whether h heads an interval (is the target of a back
+// edge).
+func (in *Info) IsHeader(h cfg.NodeID) bool { _, ok := in.parent[h]; return ok }
+
+// HDR returns the header of the innermost interval containing n, or
+// cfg.None if n belongs to the outermost (whole-procedure) interval.
+func (in *Info) HDR(n cfg.NodeID) cfg.NodeID {
+	if n <= cfg.None || int(n) >= len(in.hdr) {
+		return cfg.None
+	}
+	return in.hdr[n]
+}
+
+// Parent returns HDR_PARENT(h): the header of the immediately enclosing
+// interval, or cfg.None for outermost intervals. h must be a header.
+func (in *Info) Parent(h cfg.NodeID) cfg.NodeID { return in.parent[h] }
+
+// Depth returns the loop nesting depth of header h (1 = outermost loop).
+// Non-headers have depth 0.
+func (in *Info) Depth(h cfg.NodeID) int { return in.depth[h] }
+
+// LCA returns HDR_LCA(a, b): the least common ancestor of headers a and b
+// in the HDR_PARENT tree. cfg.None is the root of that tree, so LCA of two
+// unrelated headers is cfg.None. Both arguments must be headers or
+// cfg.None.
+func (in *Info) LCA(a, b cfg.NodeID) cfg.NodeID {
+	if a == cfg.None || b == cfg.None {
+		return cfg.None
+	}
+	da, db := in.depth[a], in.depth[b]
+	for da > db {
+		a = in.parent[a]
+		da--
+	}
+	for db > da {
+		b = in.parent[b]
+		db--
+	}
+	for a != b {
+		a, b = in.parent[a], in.parent[b]
+	}
+	return a
+}
+
+// Body returns the node set of interval h (h itself, its loop body, and all
+// nested intervals). The map is shared; callers must not mutate it.
+func (in *Info) Body(h cfg.NodeID) map[cfg.NodeID]bool { return in.body[h] }
+
+// Contains reports whether node n lies inside interval h (h's own header
+// included). Contains(cfg.None, n) is true for every n: everything is in
+// the outermost interval.
+func (in *Info) Contains(h, n cfg.NodeID) bool {
+	if h == cfg.None {
+		return true
+	}
+	return in.body[h][n]
+}
+
+// BackEdges returns the back edges whose target is header h, in graph edge
+// order.
+func (in *Info) BackEdges(h cfg.NodeID) []cfg.Edge { return in.backEdges[h] }
+
+// LoopExits returns the edges that leave interval h: edges (u, v) with u
+// inside the interval and v outside. Deterministic order.
+func (in *Info) LoopExits(h cfg.NodeID) []cfg.Edge {
+	var out []cfg.Edge
+	for _, e := range in.G.Edges() {
+		if in.body[h][e.From] && !in.body[h][e.To] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

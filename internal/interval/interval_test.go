@@ -1,0 +1,214 @@
+package interval
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/paperex"
+)
+
+// nested builds: 1 -> 2(outer hdr) -> 3(inner hdr) -> 4 -> 3, 4 -> 5 -> 2,
+// 5 -> 6(exit).
+func nested() *cfg.Graph {
+	g := cfg.New("nested")
+	for i := 0; i < 6; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.Uncond)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 4, cfg.Uncond)
+	g.MustAddEdge(4, 3, cfg.True)
+	g.MustAddEdge(4, 5, cfg.False)
+	g.MustAddEdge(5, 2, cfg.True)
+	g.MustAddEdge(5, 6, cfg.False)
+	g.Entry, g.Exit = 1, 6
+	return g
+}
+
+func TestPaperExampleSingleLoop(t *testing.T) {
+	in, err := Analyze(paperex.CFG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := in.Headers()
+	if len(hs) != 1 || hs[0] != paperex.IfM {
+		t.Fatalf("Headers = %v, want [%d]", hs, paperex.IfM)
+	}
+	// Body = {1,2,3,4,5}; CONTINUE (6) outside.
+	for n := cfg.NodeID(1); n <= 5; n++ {
+		if in.HDR(n) != paperex.IfM {
+			t.Errorf("HDR(%d) = %d, want %d", n, in.HDR(n), paperex.IfM)
+		}
+	}
+	if in.HDR(paperex.Cont20) != cfg.None {
+		t.Errorf("HDR(CONTINUE) = %d, want None", in.HDR(paperex.Cont20))
+	}
+	if in.Parent(paperex.IfM) != cfg.None {
+		t.Errorf("Parent(header) = %d, want None (outermost)", in.Parent(paperex.IfM))
+	}
+	if !in.IsHeader(paperex.IfM) || in.IsHeader(paperex.Call) {
+		t.Error("IsHeader wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	in, err := Analyze(nested())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := in.Headers()
+	if len(hs) != 2 || hs[0] != 2 || hs[1] != 3 {
+		t.Fatalf("Headers = %v, want [2 3]", hs)
+	}
+	if in.Parent(3) != 2 {
+		t.Errorf("Parent(3) = %d, want 2", in.Parent(3))
+	}
+	if in.Parent(2) != cfg.None {
+		t.Errorf("Parent(2) = %d, want None", in.Parent(2))
+	}
+	if in.Depth(2) != 1 || in.Depth(3) != 2 {
+		t.Errorf("Depth(2)=%d Depth(3)=%d, want 1, 2", in.Depth(2), in.Depth(3))
+	}
+	// HDR: 3 and 4 innermost in loop 3; 2 and 5 in loop 2; 1 and 6 outside.
+	cases := map[cfg.NodeID]cfg.NodeID{1: cfg.None, 2: 2, 3: 3, 4: 3, 5: 2, 6: cfg.None}
+	for n, want := range cases {
+		if in.HDR(n) != want {
+			t.Errorf("HDR(%d) = %d, want %d", n, in.HDR(n), want)
+		}
+	}
+	// Body containment.
+	if !in.Contains(2, 4) || !in.Contains(3, 4) || in.Contains(3, 5) {
+		t.Error("Contains wrong for nested bodies")
+	}
+	if !in.Contains(cfg.None, 6) {
+		t.Error("outermost interval must contain everything")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	in, err := Analyze(nested())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.LCA(3, 3); got != 3 {
+		t.Errorf("LCA(3,3) = %d, want 3", got)
+	}
+	if got := in.LCA(3, 2); got != 2 {
+		t.Errorf("LCA(3,2) = %d, want 2", got)
+	}
+	if got := in.LCA(2, 3); got != 2 {
+		t.Errorf("LCA(2,3) = %d, want 2", got)
+	}
+	if got := in.LCA(cfg.None, 3); got != cfg.None {
+		t.Errorf("LCA(None,3) = %d, want None", got)
+	}
+}
+
+func TestLCASiblingLoops(t *testing.T) {
+	// Two sibling loops: 1 -> 2 -> 2 (self), 2 -> 3 -> 3 (self), 3 -> 4.
+	g := cfg.New("siblings")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.Uncond)
+	g.MustAddEdge(2, 2, cfg.True)
+	g.MustAddEdge(2, 3, cfg.False)
+	g.MustAddEdge(3, 3, cfg.True)
+	g.MustAddEdge(3, 4, cfg.False)
+	g.Entry, g.Exit = 1, 4
+	in, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.LCA(2, 3); got != cfg.None {
+		t.Errorf("LCA of sibling loop headers = %d, want None", got)
+	}
+	if in.Depth(2) != 1 || in.Depth(3) != 1 {
+		t.Error("sibling loops must both have depth 1")
+	}
+}
+
+func TestBackEdgesAndExits(t *testing.T) {
+	in, err := Analyze(nested())
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := in.BackEdges(3)
+	if len(be) != 1 || be[0].From != 4 {
+		t.Errorf("BackEdges(3) = %v, want [4->3]", be)
+	}
+	ex := in.LoopExits(3)
+	if len(ex) != 1 || ex[0].From != 4 || ex[0].To != 5 {
+		t.Errorf("LoopExits(3) = %v, want [4->5]", ex)
+	}
+	ex2 := in.LoopExits(2)
+	if len(ex2) != 1 || ex2[0].From != 5 || ex2[0].To != 6 {
+		t.Errorf("LoopExits(2) = %v, want [5->6]", ex2)
+	}
+}
+
+func TestIrreducibleRejected(t *testing.T) {
+	g := cfg.New("irr")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.True)
+	g.MustAddEdge(1, 3, cfg.False)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 2, cfg.True)
+	g.MustAddEdge(2, 4, cfg.True)
+	g.Entry, g.Exit = 1, 4
+	_, err := Analyze(g)
+	var irr *ErrIrreducible
+	if !errors.As(err, &irr) {
+		t.Fatalf("Analyze = %v, want ErrIrreducible", err)
+	}
+}
+
+func TestNoEntryRejected(t *testing.T) {
+	g := cfg.New("empty")
+	if _, err := Analyze(g); err == nil {
+		t.Fatal("Analyze on graph without entry must fail")
+	}
+}
+
+func TestMultipleBackEdgesOneHeader(t *testing.T) {
+	// 1 -> 2(hdr) -> 3 -> 2 and 3 -> 4 -> 2, 3 -> 5(exit).
+	g := cfg.New("multi-latch")
+	for i := 0; i < 5; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.Uncond)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 2, cfg.True)
+	g.MustAddEdge(3, 4, cfg.False)
+	g.MustAddEdge(4, 2, cfg.True)
+	g.MustAddEdge(4, 5, cfg.False)
+	g.Entry, g.Exit = 1, 5
+	in, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Headers()) != 1 || in.Headers()[0] != 2 {
+		t.Fatalf("Headers = %v, want [2]", in.Headers())
+	}
+	if len(in.BackEdges(2)) != 2 {
+		t.Errorf("BackEdges(2) = %v, want two edges", in.BackEdges(2))
+	}
+	for _, n := range []cfg.NodeID{2, 3, 4} {
+		if in.HDR(n) != 2 {
+			t.Errorf("HDR(%d) = %d, want 2", n, in.HDR(n))
+		}
+	}
+}
+
+func TestHDROutOfRange(t *testing.T) {
+	in, err := Analyze(paperex.CFG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.HDR(cfg.None) != cfg.None || in.HDR(99) != cfg.None {
+		t.Error("HDR out of range must be None")
+	}
+}

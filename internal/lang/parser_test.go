@@ -1,0 +1,375 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// wrap builds a minimal program around body statements.
+func wrap(body string) string {
+	return "      PROGRAM T\n" + body + "      END\n"
+}
+
+func parseBody(t *testing.T, body string) *Unit {
+	t.Helper()
+	prog, err := Parse(wrap(body))
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, wrap(body))
+	}
+	return prog.Main()
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse succeeded, want error containing %q\nsource:\n%s", wantSub, src)
+	}
+	if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error = %v, want substring %q", err, wantSub)
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	prog, err := Parse(`      PROGRAM MAIN
+      CALL S(1)
+      END
+      SUBROUTINE S(I)
+      INTEGER I
+      RETURN
+      END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Units) != 2 || !prog.Units[0].IsMain || prog.Units[1].Name != "S" {
+		t.Fatalf("units wrong: %+v", prog.Units)
+	}
+	if prog.Unit("S") == nil || prog.Unit("NOPE") != nil {
+		t.Error("Unit lookup wrong")
+	}
+	if len(prog.Units[1].Params) != 1 || prog.Units[1].Params[0] != "I" {
+		t.Errorf("params = %v", prog.Units[1].Params)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	u := parseBody(t, `      INTEGER I, J
+      REAL A(10), B(5,5)
+      LOGICAL FLAG
+      DIMENSION C(7)
+      PARAMETER (N = 100, M = N*2)
+      I = 1
+`)
+	if u.Symbols["A"].Kind != SymArray || len(u.Symbols["A"].Dims) != 1 {
+		t.Errorf("A: %+v", u.Symbols["A"])
+	}
+	if u.Symbols["B"].Kind != SymArray || len(u.Symbols["B"].Dims) != 2 {
+		t.Errorf("B: %+v", u.Symbols["B"])
+	}
+	if u.Symbols["FLAG"].Type != TLogical {
+		t.Errorf("FLAG: %+v", u.Symbols["FLAG"])
+	}
+	// DIMENSION with implicit typing: C is REAL.
+	if u.Symbols["C"].Kind != SymArray || u.Symbols["C"].Type != TReal {
+		t.Errorf("C: %+v", u.Symbols["C"])
+	}
+	if u.Symbols["N"].Kind != SymConst || u.Symbols["N"].ConstValue.(int64) != 100 {
+		t.Errorf("N: %+v", u.Symbols["N"])
+	}
+	if u.Symbols["M"].ConstValue.(int64) != 200 {
+		t.Errorf("M: %+v", u.Symbols["M"])
+	}
+}
+
+func TestParseIfForms(t *testing.T) {
+	u := parseBody(t, `      INTEGER I
+      I = 0
+      IF (I .GT. 0) THEN
+         I = 1
+      ELSE IF (I .LT. 0) THEN
+         I = 2
+      ELSEIF (I .EQ. 0) THEN
+         I = 3
+      ELSE
+         I = 4
+      ENDIF
+      IF (I .GT. 2) I = 5
+      IF (I - 3) 10, 20, 30
+   10 CONTINUE
+   20 CONTINUE
+   30 CONTINUE
+`)
+	var blk *IfBlock
+	var lif *LogicalIf
+	var aif *ArithIf
+	Walk(u.Body, func(s Stmt) {
+		switch x := s.(type) {
+		case *IfBlock:
+			if blk == nil {
+				blk = x
+			}
+		case *LogicalIf:
+			lif = x
+		case *ArithIf:
+			aif = x
+		}
+	})
+	if blk == nil || len(blk.Elifs) != 2 || blk.Else == nil {
+		t.Fatalf("block IF parsed wrong: %+v", blk)
+	}
+	if lif == nil {
+		t.Fatal("logical IF missing")
+	}
+	if aif == nil || aif.OnNeg != 10 || aif.OnZero != 20 || aif.OnPos != 30 {
+		t.Fatalf("arith IF: %+v", aif)
+	}
+}
+
+func TestParseDoForms(t *testing.T) {
+	u := parseBody(t, `      INTEGER I, J, S
+      S = 0
+      DO 10 I = 1, 10, 2
+         S = S + I
+   10 CONTINUE
+      DO J = 1, 3
+         S = S - 1
+      ENDDO
+`)
+	var labelled, enddo *DoLoop
+	Walk(u.Body, func(s Stmt) {
+		if d, ok := s.(*DoLoop); ok {
+			if d.EndLabel != 0 {
+				labelled = d
+			} else {
+				enddo = d
+			}
+		}
+	})
+	if labelled == nil || labelled.Step == nil || labelled.EndLabel != 10 {
+		t.Fatalf("labelled DO: %+v", labelled)
+	}
+	if len(labelled.Body) != 2 { // S=S+I and the terminating CONTINUE
+		t.Errorf("labelled DO body = %d stmts", len(labelled.Body))
+	}
+	if enddo == nil || enddo.Var != "J" || enddo.Step != nil {
+		t.Fatalf("ENDDO DO: %+v", enddo)
+	}
+}
+
+func TestParseSharedDoTerminator(t *testing.T) {
+	u := parseBody(t, `      INTEGER I, J, S
+      S = 0
+      DO 10 I = 1, 3
+      DO 10 J = 1, 3
+      S = S + 1
+   10 CONTINUE
+`)
+	var outer *DoLoop
+	for _, s := range u.Body {
+		if d, ok := s.(*DoLoop); ok {
+			outer = d
+		}
+	}
+	if outer == nil {
+		t.Fatal("no outer DO")
+	}
+	inner, ok := outer.Body[0].(*DoLoop)
+	if !ok {
+		t.Fatalf("outer body[0] = %T", outer.Body[0])
+	}
+	if inner.EndLabel != 10 || outer.EndLabel != 10 {
+		t.Errorf("labels: outer %d inner %d", outer.EndLabel, inner.EndLabel)
+	}
+	// The terminating CONTINUE lives in the inner body.
+	last := inner.Body[len(inner.Body)-1]
+	if _, ok := last.(*Continue); !ok || last.Lab() != 10 {
+		t.Errorf("inner terminator: %T label %d", last, last.Lab())
+	}
+}
+
+func TestParseGotoForms(t *testing.T) {
+	u := parseBody(t, `      INTEGER I
+      I = 1
+      GOTO 10
+   10 CONTINUE
+      GO TO 20
+   20 CONTINUE
+      GOTO (30, 40), I
+   30 CONTINUE
+   40 CONTINUE
+`)
+	var gotos, computed int
+	Walk(u.Body, func(s Stmt) {
+		switch s.(type) {
+		case *Goto:
+			gotos++
+		case *ComputedGoto:
+			computed++
+		}
+	})
+	if gotos != 2 || computed != 1 {
+		t.Errorf("gotos = %d, computed = %d", gotos, computed)
+	}
+}
+
+func TestParseExpressionsPrecedence(t *testing.T) {
+	u := parseBody(t, "      X = 1.0 + 2.0*3.0**2.0\n")
+	asg := u.Body[0].(*Assign)
+	// 1 + (2 * (3**2)); top is +.
+	top, ok := asg.RHS.(*Bin)
+	if !ok || top.Op != OpAdd {
+		t.Fatalf("top = %v", asg.RHS)
+	}
+	mul, ok := top.R.(*Bin)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("rhs of + = %v", top.R)
+	}
+	pow, ok := mul.R.(*Bin)
+	if !ok || pow.Op != OpPow {
+		t.Fatalf("rhs of * = %v", mul.R)
+	}
+}
+
+func TestParsePowerRightAssociative(t *testing.T) {
+	u := parseBody(t, "      X = 2.0**3.0**2.0\n")
+	top := u.Body[0].(*Assign).RHS.(*Bin)
+	if top.Op != OpPow {
+		t.Fatal("top not **")
+	}
+	if inner, ok := top.R.(*Bin); !ok || inner.Op != OpPow {
+		t.Fatalf("** must be right associative: %v", u.Body[0].(*Assign).RHS)
+	}
+}
+
+func TestParseUnaryMinusBindsBelowPower(t *testing.T) {
+	// -A**2 parses as -(A**2).
+	u := parseBody(t, "      X = -2.0**2.0\n")
+	un, ok := u.Body[0].(*Assign).RHS.(*Un)
+	if !ok || un.Op != OpNeg {
+		t.Fatalf("top = %v", u.Body[0].(*Assign).RHS)
+	}
+	if inner, ok := un.X.(*Bin); !ok || inner.Op != OpPow {
+		t.Fatalf("-A**2 must be -(A**2): %v", un.X)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	// A.LT.B .AND. .NOT. C.GT.D .OR. E.EQ.F parses as ((A<B && !(C>D)) || E==F).
+	u := parseBody(t, "      LOGICAL Q\n      Q = 1.0.LT.2.0 .AND. .NOT. 3.0.GT.4.0 .OR. 5.0.EQ.6.0\n")
+	top := u.Body[0].(*Assign).RHS.(*Bin)
+	if top.Op != OpOr {
+		t.Fatalf("top = %v", top.Op)
+	}
+	l, ok := top.L.(*Bin)
+	if !ok || l.Op != OpAnd {
+		t.Fatalf("lhs of .OR. = %v", top.L)
+	}
+}
+
+func TestParseIntrinsicVsArray(t *testing.T) {
+	u := parseBody(t, `      REAL A(10)
+      X = MOD(3, 2) + A(1) + REAL(7)
+`)
+	asg := u.Body[0].(*Assign)
+	var intr, idx int
+	var walkE func(e Expr)
+	walkE = func(e Expr) {
+		switch x := e.(type) {
+		case *Bin:
+			walkE(x.L)
+			walkE(x.R)
+		case *Intrinsic:
+			intr++
+		case *Index:
+			idx++
+		}
+	}
+	walkE(asg.RHS)
+	if intr != 2 || idx != 1 {
+		t.Errorf("intrinsics = %d, indexes = %d, want 2, 1", intr, idx)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"      X = 1\n", "expected PROGRAM or SUBROUTINE"},
+		{"      PROGRAM P\n      X = 1\n", "missing END"},
+		{"      PROGRAM P\n      IF (1 .GT. 0) THEN\n      END\n", "no matching ENDIF"},
+		{"      PROGRAM P\n      DO 10 I = 1, 3\n      END\n", "unexpected END inside DO 10"},
+		{"      PROGRAM P\n      DO 10 I = 1, 3\n      X = 1\n", "DO loop has no statement labelled 10"},
+		{"      PROGRAM P\n      DO I = 1, 3\n      END\n", "unexpected END"},
+		{"      PROGRAM P\n      ENDIF\n      END\n", "unexpected ENDIF"},
+		{"      PROGRAM P\n      X = \n      END\n", "unexpected"},
+		{"      PROGRAM P\n      X = (1\n      END\n", "expected ')'"},
+		{"      PROGRAM P\n      GOTO X\n      END\n", "expected statement label"},
+		{"      PROGRAM P\n      IF (1 .GT. 0) IF (2 .GT. 0) X = 1\n      END\n", "logical IF body"},
+		{"      PROGRAM P\n      PRINT 'fmt', X\n      END\n", "list-directed"},
+		{"", "empty source"},
+	}
+	for _, c := range cases {
+		parseErr(t, c.src, c.want)
+	}
+}
+
+func TestParseStopForms(t *testing.T) {
+	u := parseBody(t, `      STOP
+`)
+	if _, ok := u.Body[0].(*StopStmt); !ok {
+		t.Fatalf("STOP parsed as %T", u.Body[0])
+	}
+	u = parseBody(t, "      STOP 1\n")
+	if _, ok := u.Body[0].(*StopStmt); !ok {
+		t.Fatalf("STOP 1 parsed as %T", u.Body[0])
+	}
+	u = parseBody(t, "      STOP 'done'\n")
+	if _, ok := u.Body[0].(*StopStmt); !ok {
+		t.Fatalf("STOP 'done' parsed as %T", u.Body[0])
+	}
+}
+
+func TestStmtTextRendering(t *testing.T) {
+	// ParseNoSema: the CALL target intentionally doesn't exist — only the
+	// Text renderings matter here (they drive CFG node names).
+	prog, err := ParseNoSema(wrap(`      INTEGER I
+      I = 1 + 2
+      IF (I .GT. 0) GOTO 10
+   10 CONTINUE
+      CALL FOO(I)
+      DO 20 I = 1, 5
+   20 CONTINUE
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := map[string]bool{}
+	Walk(prog.Main().Body, func(s Stmt) { texts[s.Text()] = true })
+	for _, want := range []string{"I = 1+2", "IF (I.GT.0) GOTO 10", "CONTINUE", "CALL FOO(I)", "DO I = 1,5"} {
+		if !texts[want] {
+			t.Errorf("missing rendering %q in %v", want, texts)
+		}
+	}
+}
+
+func TestParseNoSemaSkipsChecks(t *testing.T) {
+	// CALL to a missing subroutine parses, fails only in sema.
+	src := wrap("      CALL NOSUCH(1)\n")
+	if _, err := ParseNoSema(src); err != nil {
+		t.Fatalf("ParseNoSema: %v", err)
+	}
+	parseErr(t, src, "no such subroutine")
+}
+
+func TestParseWriteStatement(t *testing.T) {
+	u := parseBody(t, `      WRITE(*,*) 1, 2.5, 'text'
+      WRITE(*,*)
+`)
+	pr, ok := u.Body[0].(*Print)
+	if !ok || len(pr.Items) != 3 {
+		t.Fatalf("WRITE parsed as %T with %d items", u.Body[0], len(pr.Items))
+	}
+	if pr2, ok := u.Body[1].(*Print); !ok || len(pr2.Items) != 0 {
+		t.Fatalf("bare WRITE parsed as %T", u.Body[1])
+	}
+	parseErr(t, wrap("      WRITE(6,*) 1\n"), "WRITE(*,*)")
+}

@@ -1,0 +1,34 @@
+package lang
+
+import "testing"
+
+func TestSmokeParse(t *testing.T) {
+	src := `      PROGRAM EXMPL
+      INTEGER M, N
+      M = 5
+      N = 9
+   10 IF (M .GE. 0) THEN
+         IF (N .LT. 0) GOTO 20
+      ELSE
+         IF (N .GE. 0) GOTO 20
+      ENDIF
+      CALL FOO(M, N)
+      GOTO 10
+   20 CONTINUE
+      END
+
+      SUBROUTINE FOO(M, N)
+      INTEGER M, N
+      N = N - 1
+      RETURN
+      END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Units) != 2 {
+		t.Fatalf("units = %d", len(prog.Units))
+	}
+	t.Logf("main body has %d stmts", len(prog.Main().Body))
+}

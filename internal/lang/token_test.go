@@ -1,0 +1,232 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexOne(t *testing.T, src string) []Line {
+	t.Helper()
+	lines, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return lines
+}
+
+func kinds(ts []Token) []Kind {
+	out := make([]Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	lines := lexOne(t, "      X = Y + 2.5*Z(3) - 1E-2\n")
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	toks := lines[0].Tokens
+	want := []Kind{IDENT, ASSIGN, IDENT, PLUS, REALLIT, STAR, IDENT, LPAREN, INTLIT, RPAREN, MINUS, REALLIT}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], toks)
+		}
+	}
+}
+
+func TestLexLabels(t *testing.T) {
+	lines := lexOne(t, "   10 CONTINUE\n      X = 1\n")
+	if lines[0].Label != 10 {
+		t.Errorf("label = %d, want 10", lines[0].Label)
+	}
+	if lines[1].Label != 0 {
+		t.Errorf("unlabelled line got label %d", lines[1].Label)
+	}
+	if _, err := Lex("    0 CONTINUE\n"); err == nil {
+		t.Error("label 0 must be rejected")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `C this is a comment
+c lower case comment too
+* asterisk comment
+      X = 1 ! trailing comment
+! whole line bang comment
+      Y = 2
+`
+	lines := lexOne(t, src)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (comments stripped): %v", len(lines), lines)
+	}
+	if len(lines[0].Tokens) != 3 {
+		t.Errorf("trailing comment not stripped: %v", lines[0].Tokens)
+	}
+}
+
+func TestLexCommentVsCStatement(t *testing.T) {
+	// 'C' in column one can still start real statements.
+	lines := lexOne(t, "CALL FOO\nC = 1\nC(2) = 3\nC plain comment\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3: CALL, C=1, C(2)=3", len(lines))
+	}
+	if lines[0].Tokens[0].Text != "CALL" {
+		t.Errorf("first line = %v", lines[0].Tokens)
+	}
+	if lines[1].Tokens[0].Text != "C" || lines[1].Tokens[1].Kind != ASSIGN {
+		t.Errorf("second line = %v", lines[1].Tokens)
+	}
+}
+
+func TestLexContinuations(t *testing.T) {
+	// Trailing '&'.
+	lines := lexOne(t, "      X = 1 + &\n          2\n")
+	if len(lines) != 1 || len(lines[0].Tokens) != 5 {
+		t.Fatalf("trailing &: %v", lines)
+	}
+	// Leading '&' (fixed-form style).
+	lines = lexOne(t, "      X = 1 +\n     &    2\n")
+	if len(lines) != 1 || len(lines[0].Tokens) != 5 {
+		t.Fatalf("leading &: %v", lines)
+	}
+	// Chained.
+	lines = lexOne(t, "      X = 1 + &\n     &    2 + &\n     &    3\n")
+	if len(lines) != 1 || len(lines[0].Tokens) != 7 {
+		t.Fatalf("chained &: %v", lines)
+	}
+}
+
+func TestLexDottedOperators(t *testing.T) {
+	lines := lexOne(t, "      L = A .LT. B .AND. .NOT. C .OR. .TRUE.\n")
+	var ops []string
+	for _, tok := range lines[0].Tokens {
+		if tok.Kind == DOTOP {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"LT", "AND", "NOT", "OR", "TRUE"}
+	if strings.Join(ops, ",") != strings.Join(want, ",") {
+		t.Errorf("dotted ops = %v, want %v", ops, want)
+	}
+	if _, err := Lex("      X = A .FOO. B\n"); err == nil {
+		t.Error("unknown dotted operator must be rejected")
+	}
+}
+
+func TestLexNumberDotOperatorAmbiguity(t *testing.T) {
+	// "1.LT.2" must lex as INTLIT DOTOP INTLIT, not real "1." etc.
+	lines := lexOne(t, "      L = 1.LT.2\n")
+	got := kinds(lines[0].Tokens)
+	want := []Kind{IDENT, ASSIGN, INTLIT, DOTOP, INTLIT}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+	// But "1.5" stays a real literal.
+	lines = lexOne(t, "      X = 1.5\n")
+	if lines[0].Tokens[2].Kind != REALLIT {
+		t.Errorf("1.5 lexed as %v", lines[0].Tokens[2])
+	}
+}
+
+func TestLexRealForms(t *testing.T) {
+	cases := map[string]string{
+		"1.5":    "1.5",
+		"1E3":    "1E3",
+		"1.5E-3": "1.5E-3",
+		"2D0":    "2E0", // D exponent normalized
+		"3.D2":   "3.E2",
+	}
+	for src, want := range cases {
+		lines := lexOne(t, "      X = "+src+"\n")
+		tok := lines[0].Tokens[2]
+		if tok.Kind != REALLIT || tok.Text != want {
+			t.Errorf("%q lexed as %v %q, want REALLIT %q", src, tok.Kind, tok.Text, want)
+		}
+	}
+	// Integer stays integer.
+	lines := lexOne(t, "      I = 42\n")
+	if lines[0].Tokens[2].Kind != INTLIT {
+		t.Errorf("42 lexed as %v", lines[0].Tokens[2])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	lines := lexOne(t, "      PRINT *, 'hello there', \"double\"\n")
+	var strs []string
+	for _, tok := range lines[0].Tokens {
+		if tok.Kind == STRINGLIT {
+			strs = append(strs, tok.Text)
+		}
+	}
+	if len(strs) != 2 || strs[0] != "hello there" || strs[1] != "double" {
+		t.Errorf("strings = %v", strs)
+	}
+	if _, err := Lex("      PRINT *, 'unterminated\n"); err == nil {
+		t.Error("unterminated string must be rejected")
+	}
+	// '!' inside a string is not a comment.
+	lines = lexOne(t, "      PRINT *, 'has ! inside'\n")
+	found := false
+	for _, tok := range lines[0].Tokens {
+		if tok.Kind == STRINGLIT && strings.Contains(tok.Text, "!") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("'!' inside a string stripped as comment")
+	}
+}
+
+func TestLexFusedSpellings(t *testing.T) {
+	lines := lexOne(t, "      END IF\n      END DO\n      GO TO 10\n")
+	if lines[0].Tokens[0].Text != "ENDIF" {
+		t.Errorf("END IF -> %v", lines[0].Tokens)
+	}
+	if lines[1].Tokens[0].Text != "ENDDO" {
+		t.Errorf("END DO -> %v", lines[1].Tokens)
+	}
+	if lines[2].Tokens[0].Text != "GOTO" || lines[2].Tokens[0].Kind != KWWORD {
+		t.Errorf("GO TO -> %v", lines[2].Tokens)
+	}
+}
+
+func TestLexPower(t *testing.T) {
+	lines := lexOne(t, "      X = A ** 2 * B\n")
+	got := kinds(lines[0].Tokens)
+	want := []Kind{IDENT, ASSIGN, IDENT, POW, INTLIT, STAR, IDENT}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"      X = #\n",
+		"      X = A .\n",
+		"      X = .5LT.\n",
+	} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexKeywordsAreCaseInsensitive(t *testing.T) {
+	lines := lexOne(t, "      do 10 i = 1, n\n")
+	if lines[0].Tokens[0].Kind != KWWORD || lines[0].Tokens[0].Text != "DO" {
+		t.Errorf("lowercase do -> %v", lines[0].Tokens[0])
+	}
+	if lines[0].Tokens[2].Text != "I" {
+		t.Errorf("identifiers must be upper-cased: %v", lines[0].Tokens[2])
+	}
+}

@@ -1,0 +1,625 @@
+// Package livermore provides the LOOPS benchmark of Table 1: the 24
+// Livermore Fortran Kernels [McM86], re-expressed in this repository's
+// Fortran subset. The paper uses LOOPS to measure profiling overhead, so
+// what matters for reproduction is each kernel's control structure — loop
+// nests, strides, conditionals, GOTO search loops — which is preserved
+// faithfully; array payload arithmetic follows the standard kernel
+// recurrences with local initialization replacing the original COMMON-block
+// setup.
+//
+// Source(n, reps) renders a complete program whose main calls all 24
+// kernels reps times at problem size n; KernelSource(k, n) renders a
+// driver for one kernel, used by per-kernel tests.
+package livermore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kernels is the number of Livermore kernels.
+const Kernels = 24
+
+// names gives each kernel's traditional description.
+var names = [Kernels + 1]string{
+	"",
+	"hydro fragment",
+	"ICCG excerpt (incomplete Cholesky conjugate gradient)",
+	"inner product",
+	"banded linear equations",
+	"tri-diagonal elimination, below diagonal",
+	"general linear recurrence equations",
+	"equation of state fragment",
+	"ADI integration",
+	"integrate predictors",
+	"difference predictors",
+	"first sum",
+	"first difference",
+	"2-D PIC (particle in cell)",
+	"1-D PIC",
+	"casual Fortran",
+	"Monte Carlo search loop",
+	"implicit, conditional computation",
+	"2-D explicit hydrodynamics fragment",
+	"general linear recurrence equations (second form)",
+	"discrete ordinates transport",
+	"matrix*matrix product",
+	"Planckian distribution",
+	"2-D implicit hydrodynamics fragment",
+	"find location of first minimum",
+}
+
+// Name returns the traditional description of kernel k (1-based).
+func Name(k int) string {
+	if k < 1 || k > Kernels {
+		return "unknown"
+	}
+	return names[k]
+}
+
+// Source renders the full LOOPS program: every kernel called reps times at
+// size n (n is clamped to [10, 1000]).
+func Source(n, reps int) string {
+	n = clamp(n, 10, 1000)
+	if reps < 1 {
+		reps = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "      PROGRAM LOOPS\n")
+	fmt.Fprintf(&b, "      INTEGER IR\n")
+	fmt.Fprintf(&b, "      DO 900 IR = 1, %d\n", reps)
+	for k := 1; k <= Kernels; k++ {
+		fmt.Fprintf(&b, "      CALL KERN%02d\n", k)
+	}
+	fmt.Fprintf(&b, "  900 CONTINUE\n")
+	fmt.Fprintf(&b, "      END\n\n")
+	for k := 1; k <= Kernels; k++ {
+		b.WriteString(kernel(k, n))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// KernelSource renders a driver program for a single kernel.
+func KernelSource(k, n int) string {
+	n = clamp(n, 10, 1000)
+	var b strings.Builder
+	fmt.Fprintf(&b, "      PROGRAM K%02d\n", k)
+	fmt.Fprintf(&b, "      CALL KERN%02d\n", k)
+	fmt.Fprintf(&b, "      END\n\n")
+	b.WriteString(kernel(k, n))
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// kernel renders SUBROUTINE KERNxx at problem size n.
+func kernel(k, n int) string {
+	// Common sizes: most kernels loop to N; 2-D kernels use a reduced
+	// square dimension M so work stays O(n)-ish.
+	m := 10
+	for m*m < n {
+		m++
+	}
+	hdr := func(arrays string) string {
+		return fmt.Sprintf("      SUBROUTINE KERN%02d\n      INTEGER N, M\n      PARAMETER (N = %d, M = %d)\n%s", k, n, m, arrays)
+	}
+	switch k {
+	case 1: // X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
+		return hdr(`      REAL X(N), Y(N), Z(N)
+      REAL Q, R, T
+      INTEGER K
+      DO 5 K = 1, N
+         Y(K) = 0.0001*K
+         Z(K) = 0.0002*K
+    5 CONTINUE
+      Q = 0.5
+      R = 0.25
+      T = 0.125
+      DO 10 K = 1, N - 11
+         X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))
+   10 CONTINUE
+      RETURN
+      END`)
+	case 2: // ICCG: stride-halving inner structure
+		return hdr(`      REAL X(N), V(N)
+      INTEGER K, IPNT, IPNTP, II, I
+      DO 5 K = 1, N
+         X(K) = 0.001*K
+         V(K) = 0.002*K
+    5 CONTINUE
+      II = N/2
+      IPNTP = 0
+  222 IPNT = IPNTP
+      IPNTP = IPNTP + II
+      II = II/2
+      I = IPNTP + 1
+      DO 10 K = IPNT + 2, IPNTP, 2
+         I = I + 1
+         IF (I .LE. N) THEN
+            X(I) = X(K) - V(K)*X(K-1) - V(K+1)*X(K+1)
+         ENDIF
+   10 CONTINUE
+      IF (II .GT. 1) GOTO 222
+      RETURN
+      END`)
+	case 3: // inner product
+		return hdr(`      REAL X(N), Z(N)
+      REAL Q
+      INTEGER K
+      DO 5 K = 1, N
+         X(K) = 0.001*K
+         Z(K) = 0.002*K
+    5 CONTINUE
+      Q = 0.0
+      DO 10 K = 1, N
+         Q = Q + Z(K)*X(K)
+   10 CONTINUE
+      RETURN
+      END`)
+	case 4: // banded linear equations
+		return hdr(`      REAL X(N), Y(N)
+      REAL XI
+      INTEGER J, K, LB, II
+      DO 5 K = 1, N
+         X(K) = 0.001*K
+         Y(K) = 0.002*K
+    5 CONTINUE
+      LB = N/5
+      II = LB + 5
+      DO 10 K = II, N, 5
+         XI = X(K)
+         DO 20 J = 5, LB, 5
+            XI = XI - X(K-J)*Y(J)
+   20    CONTINUE
+         X(K) = XI*0.5
+   10 CONTINUE
+      RETURN
+      END`)
+	case 5: // tri-diagonal elimination, below diagonal
+		return hdr(`      REAL X(N), Y(N), Z(N)
+      INTEGER I
+      DO 5 I = 1, N
+         X(I) = 0.0
+         Y(I) = 0.001*I
+         Z(I) = 0.002*I
+    5 CONTINUE
+      DO 10 I = 2, N
+         X(I) = Z(I)*(Y(I) - X(I-1))
+   10 CONTINUE
+      RETURN
+      END`)
+	case 6: // general linear recurrence equations
+		return hdr(`      REAL W(N), B(M,M)
+      INTEGER I, K
+      DO 5 I = 1, N
+         W(I) = 0.001*I
+    5 CONTINUE
+      DO 6 I = 1, M
+         DO 7 K = 1, M
+            B(I,K) = 0.0001*(I+K)
+    7    CONTINUE
+    6 CONTINUE
+      DO 10 I = 2, M
+         DO 20 K = 1, I - 1
+            W(I) = W(I) + B(I,K)*W(I-K)
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END`)
+	case 7: // equation of state fragment
+		return hdr(`      REAL X(N), Y(N), Z(N), U(N)
+      REAL Q, R, T
+      INTEGER K
+      DO 5 K = 1, N
+         Y(K) = 0.001*K
+         Z(K) = 0.002*K
+         U(K) = 0.003*K
+    5 CONTINUE
+      Q = 0.5
+      R = 0.25
+      T = 0.125
+      DO 10 K = 1, N - 6
+         X(K) = U(K) + R*(Z(K) + R*Y(K)) +
+     &          T*(U(K+3) + R*(U(K+2) + R*U(K+1)) +
+     &          T*(U(K+6) + Q*(U(K+5) + Q*U(K+4))))
+   10 CONTINUE
+      RETURN
+      END`)
+	case 8: // ADI integration (two-plane sweep, reduced)
+		return hdr(`      REAL U1(M,M), U2(M,M), U3(M,M)
+      REAL A11, A12, A13
+      INTEGER KX, KY
+      DO 5 KX = 1, M
+         DO 6 KY = 1, M
+            U1(KX,KY) = 0.001*(KX+KY)
+            U2(KX,KY) = 0.002*(KX+KY)
+            U3(KX,KY) = 0.003*(KX+KY)
+    6    CONTINUE
+    5 CONTINUE
+      A11 = 0.1
+      A12 = 0.2
+      A13 = 0.3
+      DO 10 KX = 2, M - 1
+         DO 20 KY = 2, M - 1
+            U1(KX,KY) = U1(KX,KY) + A11*U2(KX,KY) + A12*U3(KX,KY)
+            U2(KX,KY) = U2(KX,KY) + A13*(U1(KX+1,KY) - U1(KX-1,KY))
+            U3(KX,KY) = U3(KX,KY) + A13*(U2(KX,KY+1) - U2(KX,KY-1))
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END`)
+	case 9: // integrate predictors
+		return hdr(`      REAL PX(13,M)
+      REAL DM(13)
+      INTEGER I, J
+      DO 5 I = 1, 13
+         DM(I) = 0.01*I
+         DO 6 J = 1, M
+            PX(I,J) = 0.001*(I+J)
+    6    CONTINUE
+    5 CONTINUE
+      DO 10 I = 1, M
+         PX(1,I) = DM(1)*PX(5,I) + DM(2)*PX(6,I) + DM(3)*PX(7,I) +
+     &             DM(4)*PX(8,I) + DM(5)*PX(9,I) + DM(6)*PX(10,I) +
+     &             DM(7)*PX(11,I) + DM(8)*PX(12,I) + DM(9)*PX(13,I) +
+     &             PX(3,I)
+   10 CONTINUE
+      RETURN
+      END`)
+	case 10: // difference predictors
+		return hdr(`      REAL PX(13,M)
+      REAL AR, BR, CR
+      INTEGER I, J
+      DO 5 I = 1, 13
+         DO 6 J = 1, M
+            PX(I,J) = 0.001*(I+J)
+    6    CONTINUE
+    5 CONTINUE
+      DO 10 I = 1, M
+         AR = PX(5,I)
+         BR = AR - PX(6,I)
+         PX(6,I) = AR
+         CR = BR - PX(7,I)
+         PX(7,I) = BR
+         AR = CR - PX(8,I)
+         PX(8,I) = CR
+         BR = AR - PX(9,I)
+         PX(9,I) = AR
+         CR = BR - PX(10,I)
+         PX(10,I) = BR
+         AR = CR - PX(11,I)
+         PX(11,I) = CR
+         BR = AR - PX(12,I)
+         PX(12,I) = AR
+         PX(13,I) = BR - PX(13,I)
+         PX(12,I) = BR
+   10 CONTINUE
+      RETURN
+      END`)
+	case 11: // first sum
+		return hdr(`      REAL X(N), Y(N)
+      INTEGER K
+      DO 5 K = 1, N
+         Y(K) = 0.001*K
+    5 CONTINUE
+      X(1) = Y(1)
+      DO 10 K = 2, N
+         X(K) = X(K-1) + Y(K)
+   10 CONTINUE
+      RETURN
+      END`)
+	case 12: // first difference
+		return hdr(`      REAL X(N), Y(N)
+      INTEGER K
+      DO 5 K = 1, N
+         Y(K) = 0.001*K*K
+    5 CONTINUE
+      DO 10 K = 1, N - 1
+         X(K) = Y(K+1) - Y(K)
+   10 CONTINUE
+      RETURN
+      END`)
+	case 13: // 2-D PIC
+		return hdr(`      REAL P(4,N), B(M,M), C(M,M), Y(N), Z(N), H(M,M)
+      INTEGER IP, I1, J1, I2, J2
+      DO 5 IP = 1, N
+         P(1,IP) = 1.0 + 0.001*IP
+         P(2,IP) = 1.0 + 0.002*IP
+         P(3,IP) = 0.0
+         P(4,IP) = 0.0
+         Y(IP) = 0.1
+         Z(IP) = 0.2
+    5 CONTINUE
+      DO 6 I1 = 1, M
+         DO 7 J1 = 1, M
+            B(I1,J1) = 0.5
+            C(I1,J1) = 0.25
+            H(I1,J1) = 0.0
+    7    CONTINUE
+    6 CONTINUE
+      DO 10 IP = 1, N
+         I1 = INT(P(1,IP))
+         J1 = INT(P(2,IP))
+         I1 = 1 + MOD(I1, M - 1)
+         J1 = 1 + MOD(J1, M - 1)
+         P(3,IP) = P(3,IP) + B(I1,J1)
+         P(4,IP) = P(4,IP) + C(I1,J1)
+         P(1,IP) = P(1,IP) + P(3,IP)
+         P(2,IP) = P(2,IP) + P(4,IP)
+         I2 = INT(P(1,IP))
+         J2 = INT(P(2,IP))
+         I2 = 1 + MOD(I2, M - 1)
+         J2 = 1 + MOD(J2, M - 1)
+         P(1,IP) = P(1,IP) + Y(I2+1)
+         P(2,IP) = P(2,IP) + Z(J2+1)
+         H(I2,J2) = H(I2,J2) + 1.0
+   10 CONTINUE
+      RETURN
+      END`)
+	case 14: // 1-D PIC
+		return hdr(`      REAL VX(N), XX(N), GRD(N), XI(N), EX(N), DEX(N), RH(N)
+      INTEGER K, IX, IR
+      DO 5 K = 1, N
+         VX(K) = 0.0
+         XX(K) = 0.01*K
+         GRD(K) = 1.0 + MOD(K, 8)
+         EX(K) = 0.01*K
+         DEX(K) = 0.001*K
+         RH(K) = 0.0
+    5 CONTINUE
+      DO 10 K = 1, N
+         IX = INT(GRD(K))
+         XI(K) = REAL(IX)
+         EX(IX) = EX(IX) + DEX(IX)
+   10 CONTINUE
+      DO 20 K = 1, N
+         VX(K) = VX(K) + EX(K)
+         XX(K) = XX(K) + VX(K)
+         IR = 1 + MOD(INT(XX(K)) + N, N - 1)
+         RH(IR) = RH(IR) + 1.0
+   20 CONTINUE
+      RETURN
+      END`)
+	case 15: // casual Fortran: branch-heavy 2-D sweep
+		return hdr(`      REAL VS(M,M), VE(M,M), VH(M,M)
+      REAL T, S
+      INTEGER I, J
+      DO 5 I = 1, M
+         DO 6 J = 1, M
+            VS(I,J) = 0.001*(I*J)
+            VE(I,J) = 0.002*(I+J)
+            VH(I,J) = 0.0
+    6    CONTINUE
+    5 CONTINUE
+      T = 0.0037
+      S = 0.0041
+      DO 10 I = 2, M - 1
+         DO 20 J = 2, M - 1
+            IF (VS(I,J) .LT. T) THEN
+               VH(I,J) = VE(I,J)
+            ELSE IF (VE(I,J) .GT. S) THEN
+               VH(I,J) = VS(I,J) - VE(I,J)
+            ELSE
+               VH(I,J) = VS(I,J) + VE(I,J)
+            ENDIF
+            IF (VH(I,J) .LT. 0.0) VH(I,J) = 0.0
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END`)
+	case 16: // Monte Carlo search loop (GOTO-driven, as in the original)
+		return hdr(`      REAL ZONE(N)
+      REAL PLAN, R
+      INTEGER K, J, M2
+      DO 5 K = 1, N
+         ZONE(K) = MOD(K*7, 100) * 0.01
+    5 CONTINUE
+      M2 = 0
+      J = 1
+      K = 1
+  100 K = K + 1
+      IF (K .GE. N - 1) GOTO 300
+      R = RAND()
+      PLAN = ZONE(K)
+      IF (PLAN .LT. R) GOTO 100
+      IF (PLAN .GT. R + 0.5) GOTO 200
+      M2 = M2 + 1
+      GOTO 100
+  200 J = J + 1
+      IF (J .GE. N) GOTO 300
+      GOTO 100
+  300 CONTINUE
+      RETURN
+      END`)
+	case 17: // implicit, conditional computation
+		return hdr(`      REAL VXNE(N), VLR(N), VSP(N)
+      REAL SCALE, XNM, E1
+      INTEGER K, I
+      DO 5 K = 1, N
+         VLR(K) = 0.001*K
+         VSP(K) = 0.0001*K
+         VXNE(K) = 0.0
+    5 CONTINUE
+      SCALE = 1.5
+      XNM = 0.0012
+      E1 = 1.0
+      I = N
+      K = 0
+   10 K = K + 1
+      IF (K .GT. N) GOTO 30
+      E1 = E1*VSP(K) + VLR(K)
+      IF (E1 .GT. SCALE) THEN
+         E1 = E1*XNM
+         I = I - 1
+      ENDIF
+      VXNE(K) = E1
+      GOTO 10
+   30 CONTINUE
+      RETURN
+      END`)
+	case 18: // 2-D explicit hydrodynamics fragment
+		return hdr(`      REAL ZA(M,M), ZB(M,M), ZP(M,M), ZQ(M,M), ZR(M,M), ZM(M,M)
+      REAL T, S
+      INTEGER J, K
+      DO 5 J = 1, M
+         DO 6 K = 1, M
+            ZP(J,K) = 0.001*(J+K)
+            ZQ(J,K) = 0.002*(J+K)
+            ZR(J,K) = 0.003*(J+K)
+            ZM(J,K) = 0.004*(J+K)
+            ZA(J,K) = 0.0
+            ZB(J,K) = 0.0
+    6    CONTINUE
+    5 CONTINUE
+      T = 0.0037
+      S = 0.0041
+      DO 10 J = 2, M - 1
+         DO 20 K = 2, M - 1
+            ZA(J,K) = (ZP(J-1,K+1) + ZQ(J-1,K+1) - ZP(J-1,K) -
+     &                ZQ(J-1,K)) * (ZR(J,K) + ZR(J-1,K)) /
+     &                (ZM(J-1,K) + ZM(J-1,K+1))
+            ZB(J,K) = (ZP(J-1,K) + ZQ(J-1,K) - ZP(J,K) - ZQ(J,K)) *
+     &                (ZR(J,K) + ZR(J,K-1)) / (ZM(J,K) + ZM(J-1,K))
+   20    CONTINUE
+   10 CONTINUE
+      DO 30 J = 2, M - 1
+         DO 40 K = 2, M - 1
+            ZR(J,K) = ZR(J,K) + T*ZA(J,K) - S*ZB(J,K)
+   40    CONTINUE
+   30 CONTINUE
+      RETURN
+      END`)
+	case 19: // general linear recurrence equations, second form
+		return hdr(`      REAL B5(N), SA(N), SB(N)
+      REAL STB5
+      INTEGER K
+      DO 5 K = 1, N
+         SA(K) = 0.001*K
+         SB(K) = 0.002*K
+    5 CONTINUE
+      STB5 = 0.0157
+      DO 10 K = 1, N
+         STB5 = SA(K) + STB5*SB(K)
+         B5(K) = STB5
+   10 CONTINUE
+      DO 20 K = N, 1, -1
+         STB5 = SA(K) + STB5*SB(K)
+         B5(K) = STB5
+   20 CONTINUE
+      RETURN
+      END`)
+	case 20: // discrete ordinates transport
+		return hdr(`      REAL G(N), U(N), V(N), W(N), X(N), Y(N), Z(N), XX(N), VX(N)
+      REAL DK, DI, DN, T, S
+      INTEGER K
+      DO 5 K = 1, N
+         U(K) = 0.001*K
+         V(K) = 0.002*K
+         W(K) = 0.003*K
+         Y(K) = 0.004*K
+         Z(K) = 0.005*K
+         G(K) = 0.5
+         VX(K) = 0.25
+    5 CONTINUE
+      DK = 0.2
+      DN = 0.4
+      T = 0.0037
+      S = 0.0041
+      XX(1) = 0.01
+      DO 10 K = 2, N
+         DI = Y(K) - G(K)/(XX(K-1) + DK)
+         DN = 0.2
+         IF (DI .NE. 0.0) THEN
+            DN = Z(K)/DI
+            IF (T .GT. DN) DN = T
+            IF (S .LT. DN) DN = S
+         ENDIF
+         X(K) = ((W(K) + V(K)*DN)*XX(K-1) + U(K)) / (VX(K) + V(K)*DN)
+         XX(K) = (X(K) - XX(K-1))*DN + XX(K-1)
+   10 CONTINUE
+      RETURN
+      END`)
+	case 21: // matrix * matrix product
+		return hdr(`      REAL PX(M,M), CX(M,M), VY(M,M)
+      INTEGER I, J, K
+      DO 5 I = 1, M
+         DO 6 J = 1, M
+            PX(I,J) = 0.0
+            CX(I,J) = 0.001*(I+J)
+            VY(I,J) = 0.002*(I*J)
+    6    CONTINUE
+    5 CONTINUE
+      DO 10 K = 1, M
+         DO 20 I = 1, M
+            DO 30 J = 1, M
+               PX(I,J) = PX(I,J) + VY(I,K) * CX(K,J)
+   30       CONTINUE
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END`)
+	case 22: // Planckian distribution
+		return hdr(`      REAL X(N), Y(N), U(N), V(N), W(N)
+      REAL EXPMAX
+      INTEGER K
+      EXPMAX = 20.0
+      DO 5 K = 1, N
+         U(K) = 0.001*K
+         V(K) = 0.5 + 0.0001*K
+         X(K) = 0.0
+    5 CONTINUE
+      DO 10 K = 1, N
+         Y(K) = U(K)/V(K)
+         IF (Y(K) .GT. EXPMAX) Y(K) = EXPMAX
+         W(K) = X(K)/(EXP(Y(K)) - 1.0 + 0.0001)
+   10 CONTINUE
+      RETURN
+      END`)
+	case 23: // 2-D implicit hydrodynamics fragment
+		return hdr(`      REAL ZA(M,M), ZB(M,M), ZU(M,M), ZV(M,M), ZR(M,M), ZZ(M,M)
+      REAL QA
+      INTEGER J, K
+      DO 5 J = 1, M
+         DO 6 K = 1, M
+            ZA(J,K) = 0.001*(J+K)
+            ZB(J,K) = 0.002*(J+K)
+            ZU(J,K) = 0.003*(J+K)
+            ZV(J,K) = 0.004*(J+K)
+            ZR(J,K) = 0.005*(J+K)
+            ZZ(J,K) = 0.006*(J+K)
+    6    CONTINUE
+    5 CONTINUE
+      DO 10 J = 2, M - 1
+         DO 20 K = 2, M - 1
+            QA = ZA(J,K+1)*ZR(J,K) + ZA(J,K-1)*ZB(J,K) +
+     &           ZA(J+1,K)*ZU(J,K) + ZA(J-1,K)*ZV(J,K) + ZZ(J,K)
+            ZA(J,K) = ZA(J,K) + 0.175*(QA - ZA(J,K))
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END`)
+	case 24: // find location of first minimum
+		return hdr(`      REAL X(N)
+      INTEGER K, MLOC
+      DO 5 K = 1, N
+         X(K) = MOD(K*13, 97) * 0.01
+    5 CONTINUE
+      X(N/2) = -1.0
+      MLOC = 1
+      DO 10 K = 2, N
+         IF (X(K) .LT. X(MLOC)) MLOC = K
+   10 CONTINUE
+      RETURN
+      END`)
+	}
+	panic(fmt.Sprintf("livermore: no kernel %d", k))
+}

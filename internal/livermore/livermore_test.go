@@ -1,0 +1,95 @@
+package livermore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/profiler"
+)
+
+// TestEveryKernelRunsAndProfiles parses, lowers, runs, profiles and
+// verifies counter recovery for each of the 24 kernels in isolation.
+func TestEveryKernelRunsAndProfiles(t *testing.T) {
+	for k := 1; k <= Kernels; k++ {
+		k := k
+		t.Run(Name(k), func(t *testing.T) {
+			p, err := core.Load(KernelSource(k, 60))
+			if err != nil {
+				t.Fatalf("kernel %d: %v", k, err)
+			}
+			run, err := interp.Run(p.Res, interp.Options{Seed: 7, MaxSteps: 20_000_000})
+			if err != nil {
+				t.Fatalf("kernel %d: %v", k, err)
+			}
+			if run.Steps == 0 {
+				t.Fatalf("kernel %d executed nothing", k)
+			}
+			for name, a := range p.An.Procs {
+				plan, err := profiler.PlanSmart(a)
+				if err != nil {
+					t.Fatalf("kernel %d %s: %v", k, name, err)
+				}
+				got, err := plan.Recover(plan.SimulateReadings(run))
+				if err != nil {
+					t.Fatalf("kernel %d %s: %v", k, name, err)
+				}
+				want := profiler.ExactTotals(a, run)
+				for c, w := range want {
+					if g := got[c]; g != w {
+						t.Errorf("kernel %d %s: TOTAL%v = %g, want %g", k, name, c, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFullLoopsProgram runs the complete 24-kernel program and checks the
+// estimator's mean against the measured cost (single deterministic run,
+// except for kernel 16's RAND which the shared profile still captures
+// exactly for that same run).
+func TestFullLoopsProgram(t *testing.T) {
+	p, err := core.Load(Source(60, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Optimized
+	measured, err := p.MeasuredCost(model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate(model, core.Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (est.Main.Time - measured) / measured
+	if rel < -1e-9 || rel > 1e-9 {
+		t.Errorf("estimated %g vs measured %g (rel %g)", est.Main.Time, measured, rel)
+	}
+	if est.Main.Var < 0 {
+		t.Errorf("negative variance %g", est.Main.Var)
+	}
+}
+
+func TestSourceShape(t *testing.T) {
+	src := Source(100, 2)
+	for k := 1; k <= Kernels; k++ {
+		want := "SUBROUTINE KERN"
+		if !strings.Contains(src, want) {
+			t.Fatalf("source missing %q", want)
+		}
+	}
+	if !strings.Contains(src, "DO 900 IR = 1, 2") {
+		t.Error("reps not honoured")
+	}
+	if Name(1) == "unknown" || Name(0) != "unknown" || Name(25) != "unknown" {
+		t.Error("Name bounds wrong")
+	}
+	// Clamping.
+	if !strings.Contains(Source(5, 0), "N = 10") {
+		t.Error("size clamp failed")
+	}
+}

@@ -1,0 +1,103 @@
+// Package paperex constructs the running example of the paper (Figures
+// 1–3): the Fortran fragment
+//
+//	10 IF (M .GE. 0) THEN
+//	       IF (N .LT. 0) GOTO 20
+//	   ELSE
+//	       IF (N .GE. 0) GOTO 20
+//	   ENDIF
+//	   CALL FOO(M,N)
+//	   GOTO 10
+//	20 CONTINUE
+//
+// Both the hand-built statement-level CFG (exactly Figure 1) and the
+// matching source text for the frontend are provided, together with the
+// profile and cost assignments the paper uses for Figure 3: the IF with
+// label 10 executes 10 times, the loop exits via the IF(N.LT.0) branch,
+// COST is 1 for IF nodes, 100 for the CALL, and 0 elsewhere. With these
+// inputs the paper reports TIME(START) = 920 and STD_DEV(START) = 300.
+package paperex
+
+import "repro/internal/cfg"
+
+// Node IDs of the hand-built Figure 1 CFG, exported so tests can refer to
+// specific statements.
+const (
+	IfM    cfg.NodeID = 1 // 10 IF (M .GE. 0)   — loop header
+	IfNLt  cfg.NodeID = 2 // IF (N .LT. 0) GOTO 20   (THEN arm)
+	IfNGe  cfg.NodeID = 3 // IF (N .GE. 0) GOTO 20   (ELSE arm)
+	Call   cfg.NodeID = 4 // CALL FOO(M,N)
+	Goto10 cfg.NodeID = 5 // GOTO 10
+	Cont20 cfg.NodeID = 6 // 20 CONTINUE
+)
+
+// CFG builds the statement-level control flow graph of Figure 1.
+func CFG() *cfg.Graph {
+	g := cfg.New("FIGURE1")
+	g.AddNode(cfg.Other, "IF (M.GE.0)")
+	g.AddNode(cfg.Other, "IF (N.LT.0) GOTO 20")
+	g.AddNode(cfg.Other, "IF (N.GE.0) GOTO 20")
+	g.AddNode(cfg.Other, "CALL FOO(M,N)")
+	g.AddNode(cfg.Other, "GOTO 10")
+	g.AddNode(cfg.Other, "CONTINUE")
+	g.MustAddEdge(IfM, IfNLt, cfg.True)
+	g.MustAddEdge(IfM, IfNGe, cfg.False)
+	g.MustAddEdge(IfNLt, Cont20, cfg.True)
+	g.MustAddEdge(IfNLt, Call, cfg.False)
+	g.MustAddEdge(IfNGe, Cont20, cfg.True)
+	g.MustAddEdge(IfNGe, Call, cfg.False)
+	g.MustAddEdge(Call, Goto10, cfg.Uncond)
+	g.MustAddEdge(Goto10, IfM, cfg.Uncond)
+	g.Entry, g.Exit = IfM, Cont20
+	return g
+}
+
+// Source is the example as frontend input. M and N are chosen so that the
+// run matches the paper's profile: the IF labelled 10 executes 10 times
+// (9 iterations run CALL FOO, the 10th exits), M stays non-negative
+// throughout, and the loop exits through the IF (N .LT. 0) branch. FOO
+// decrements N, so with N = 8 the 10th test sees N = -1.
+const Source = `      PROGRAM EXMPL
+      INTEGER M, N
+      M = 5
+      N = 8
+   10 IF (M .GE. 0) THEN
+         IF (N .LT. 0) GOTO 20
+      ELSE
+         IF (N .GE. 0) GOTO 20
+      ENDIF
+      CALL FOO(M, N)
+      GOTO 10
+   20 CONTINUE
+      END
+
+      SUBROUTINE FOO(M, N)
+      INTEGER M, N
+      N = N - 1
+      RETURN
+      END
+`
+
+// Paper-reported results for Figure 3.
+const (
+	// PaperTime is TIME(START) for the example.
+	PaperTime = 920.0
+	// PaperVariance is VAR(START); the paper reports STD_DEV(START) = 300.
+	PaperVariance = 90000.0
+	// PaperStdDev is STD_DEV(START).
+	PaperStdDev = 300.0
+)
+
+// Costs returns the paper's COST assignment for the Figure 1 statement
+// nodes: 1 for the IF nodes, 100 for the CALL, 0 elsewhere (START,
+// CONTINUE, PREHEADER and POSTEXIT nodes all cost 0).
+func Costs() map[cfg.NodeID]float64 {
+	return map[cfg.NodeID]float64{
+		IfM:    1,
+		IfNLt:  1,
+		IfNGe:  1,
+		Call:   100,
+		Goto10: 0,
+		Cont20: 0,
+	}
+}

@@ -1,0 +1,61 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+)
+
+func TestCFGWellFormed(t *testing.T) {
+	g := CFG()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 {
+		t.Errorf("nodes = %d, want 6", g.NumNodes())
+	}
+	// Figure 1's edge set, exactly.
+	want := map[cfg.Edge]bool{
+		{From: IfM, To: IfNLt, Label: cfg.True}:     true,
+		{From: IfM, To: IfNGe, Label: cfg.False}:    true,
+		{From: IfNLt, To: Cont20, Label: cfg.True}:  true,
+		{From: IfNLt, To: Call, Label: cfg.False}:   true,
+		{From: IfNGe, To: Cont20, Label: cfg.True}:  true,
+		{From: IfNGe, To: Call, Label: cfg.False}:   true,
+		{From: Call, To: Goto10, Label: cfg.Uncond}: true,
+		{From: Goto10, To: IfM, Label: cfg.Uncond}:  true,
+	}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v", got)
+	}
+	for _, e := range got {
+		if !want[e] {
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+}
+
+func TestSourceParses(t *testing.T) {
+	prog, err := lang.Parse(Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Main() == nil || prog.Unit("FOO") == nil {
+		t.Error("expected EXMPL and FOO units")
+	}
+}
+
+func TestCostsCoverAllNodes(t *testing.T) {
+	costs := Costs()
+	if len(costs) != 6 {
+		t.Errorf("costs cover %d nodes, want 6", len(costs))
+	}
+	if costs[Call] != 100 || costs[IfM] != 1 || costs[Goto10] != 0 {
+		t.Errorf("cost assignment wrong: %v", costs)
+	}
+	if PaperStdDev*PaperStdDev != PaperVariance {
+		t.Error("paper constants inconsistent")
+	}
+}

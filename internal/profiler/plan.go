@@ -1,0 +1,503 @@
+// Package profiler implements the counter-based execution profiling of
+// Section 3 of the paper, in both the naive form (one counter per basic
+// block) and the optimized "smart" form built on the interval structure and
+// the forward control dependence graph:
+//
+//  1. one counter per control condition of the FCDG, so identically
+//     control dependent statements share a counter;
+//  2. counter elimination by conservation — for a branch whose labels are
+//     all control conditions only n−1 need counters, and a loop's
+//     frequency counter can be inferred from its entry and back-edge
+//     counts;
+//  3. the DO-loop optimization — a counted loop with no exits adds its
+//     trip count to the counter once per entry, or needs no counter at all
+//     when the trip count is a compile-time constant.
+//
+// Placement is greedy-with-proof: a counter is eliminated only if a
+// symbolic solvability pass confirms that every control condition's
+// TOTAL_FREQ can still be reconstructed from the remaining counters; the
+// reconstruction itself (Plan.Recover) runs the same fixpoint with numbers.
+//
+// Instrumented runs are simulated: the interpreter already records the
+// exact count of every node and labelled edge, so counter readings are
+// extracted from those counts — precisely the values compiled-in counters
+// would hold — and the overhead a real instrumented binary would pay is
+// charged as (counter increments executed) × the cost model's counter
+// price.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/ecfg"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// CounterKind distinguishes the instrumentation a counter needs.
+type CounterKind int
+
+// Counter kinds. CondCounter increments when a control condition (u,l) is
+// taken (smart scheme). BlockCounter increments when a basic block executes
+// (naive scheme). TripAdd adds a DO loop's just-computed trip count once
+// per loop entry (both schemes' DO optimization).
+const (
+	CondCounter CounterKind = iota
+	BlockCounter
+	TripAdd
+)
+
+// Counter is one counter variable the instrumented program maintains.
+type Counter struct {
+	Kind CounterKind
+	// Cond is the counted control condition (CondCounter).
+	Cond cdg.Condition
+	// Node is the block leader (BlockCounter) or the DoInit node whose
+	// trip count is added (TripAdd).
+	Node cfg.NodeID
+}
+
+func (c Counter) String() string {
+	switch c.Kind {
+	case CondCounter:
+		return fmt.Sprintf("cond%v", c.Cond)
+	case BlockCounter:
+		return fmt.Sprintf("block(%d)", c.Node)
+	default:
+		return fmt.Sprintf("tripadd(%d)", c.Node)
+	}
+}
+
+// rule is one inference rule the recovery fixpoint may apply.
+type rule struct {
+	kind ruleKind
+	// node is the branch node (branchBalance) or loop header (loop rules).
+	node cfg.NodeID
+	// dropped is the condition the rule recovers.
+	dropped cdg.Condition
+	// others are the sibling conditions summed by branchBalance.
+	others []cdg.Condition
+	// backEdges are the CFG back edges of a loopIdentity.
+	backEdges []cfg.Edge
+	// trip is the constant trip count (doConst) and counter the TripAdd
+	// index (doTrip).
+	trip    int64
+	counter int
+	// staticFreq is the compile-time FREQ of a staticCond rule.
+	staticFreq float64
+}
+
+type ruleKind int
+
+const (
+	branchBalance ruleKind = iota // dropped = exec(node) − Σ others
+	loopIdentity                  // (ph,U) = exec(ph) + Σ back-edge takings
+	doConstTrip                   // (ph,U), (test,T) from exec(ph) × const trip
+	doAddTrip                     // (ph,U), (test,T) from TripAdd reading
+	staticCond                    // dropped = staticFreq × exec(node)
+)
+
+// Plan is a counter placement for one procedure.
+type Plan struct {
+	A *analysis.Proc
+	// Counters in deterministic order.
+	Counters []Counter
+	// rules recover the eliminated conditions.
+	rules []rule
+	// conds caches the non-pseudo FCDG conditions.
+	conds []cdg.Condition
+	// Naive marks a per-block plan (no condition recovery).
+	Naive bool
+	// Blocks lists the basic block leaders (naive plans).
+	Blocks []cfg.NodeID
+}
+
+// NumCounters returns the number of counter variables the plan maintains.
+func (p *Plan) NumCounters() int { return len(p.Counters) }
+
+// --------------------------------------------------------------------------
+// Smart placement.
+
+// Level selects which of Section 3's optimizations a placement applies,
+// for the ablation study. Each level includes the previous ones;
+// LevelConditions alone is optimization 1 (counters per control condition
+// instead of per block).
+type Level int
+
+// Ablation levels.
+const (
+	LevelConditions Level = iota // opt 1: one counter per control condition
+	LevelBranches                // + opt 2: n−1 branch counters, loop inference
+	LevelFull                    // + opt 3: DO-loop trip hoisting
+)
+
+// PlanSmart computes the fully optimized counter placement for a
+// procedure (all three optimizations).
+func PlanSmart(a *analysis.Proc) (*Plan, error) { return PlanLevel(a, LevelFull) }
+
+// PlanLevel computes a placement applying the optimizations up to level.
+func PlanLevel(a *analysis.Proc, level Level) (*Plan, error) {
+	return planImpl(a, level, nil)
+}
+
+// PlanStatic computes the fully optimized placement and additionally drops
+// counters for conditions whose FREQ is known at compile time (package
+// staticfreq): the paper's complementary program analysis. static maps
+// conditions to their compile-time FREQ.
+func PlanStatic(a *analysis.Proc, static map[cdg.Condition]float64) (*Plan, error) {
+	return planImpl(a, LevelFull, static)
+}
+
+func planImpl(a *analysis.Proc, level Level, static map[cdg.Condition]float64) (*Plan, error) {
+	p := &Plan{A: a}
+	for _, c := range a.FCDG.Conditions() {
+		if c.Label.IsPseudo() {
+			continue
+		}
+		p.conds = append(p.conds, c)
+	}
+	counted := make(map[cdg.Condition]bool, len(p.conds))
+	for _, c := range p.conds {
+		counted[c] = true
+	}
+	var trial []rule
+
+	// Pass 0 — compile-time frequencies: a statically known condition's
+	// total is FREQ × exec(node), so its counter can go.
+	for _, c := range p.conds {
+		v, ok := static[c]
+		if !ok || !counted[c] {
+			continue
+		}
+		r := rule{kind: staticCond, node: c.Node, dropped: c, staticFreq: v}
+		counted[c] = false
+		trial = append(p.rules, r)
+		if p.solvable(counted, trial) {
+			p.rules = trial
+		} else {
+			counted[c] = true
+		}
+	}
+
+	// Pass 1 — loops, innermost first (headers sorted by depth descending
+	// so inner-loop eliminations are tried before outer ones).
+	headers := append([]cfg.NodeID(nil), a.Intervals.Headers()...)
+	sort.Slice(headers, func(i, j int) bool {
+		di, dj := a.Intervals.Depth(headers[i]), a.Intervals.Depth(headers[j])
+		if di != dj {
+			return di > dj
+		}
+		return headers[i] < headers[j]
+	})
+	for _, h := range headers {
+		if level < LevelBranches {
+			break
+		}
+		ph := a.Ext.Preheader[h]
+		loopCond := cdg.Condition{Node: ph, Label: ecfg.LoopBodyLabel}
+		if !counted[loopCond] {
+			continue
+		}
+		if r, ok := p.doLoopRule(h); ok && level >= LevelFull {
+			// DO optimization: drop the loop condition and the body-entry
+			// condition together.
+			saved := []cdg.Condition{loopCond}
+			testCond := cdg.Condition{Node: h, Label: cfg.True}
+			if counted[testCond] {
+				saved = append(saved, testCond)
+			}
+			for _, c := range saved {
+				counted[c] = false
+			}
+			trial = append(p.rules, r)
+			if p.solvable(counted, trial) {
+				p.rules = trial
+				continue
+			}
+			for _, c := range saved {
+				counted[c] = true
+			}
+		}
+		// General loop: infer the frequency from entries + back edges.
+		r := rule{kind: loopIdentity, node: h, dropped: loopCond,
+			backEdges: a.Intervals.BackEdges(h)}
+		counted[loopCond] = false
+		trial = append(p.rules, r)
+		if p.solvable(counted, trial) {
+			p.rules = trial
+			continue
+		}
+		counted[loopCond] = true
+	}
+
+	// Pass 2 — branch conservation: for each node whose CFG labels are all
+	// control conditions, try to drop one (the highest-sorting label).
+	byNode := map[cfg.NodeID][]cdg.Condition{}
+	for _, c := range p.conds {
+		byNode[c.Node] = append(byNode[c.Node], c)
+	}
+	nodes := make([]cfg.NodeID, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, u := range nodes {
+		if level < LevelBranches {
+			break
+		}
+		if a.Ext.IsSynthetic(u) {
+			continue // preheaders handled above; START keeps its run counter
+		}
+		cfgLabels := nonPseudoLabels(a.Ext.G, u)
+		if len(cfgLabels) < 2 {
+			continue
+		}
+		condSet := map[cfg.Label]bool{}
+		for _, c := range byNode[u] {
+			condSet[c.Label] = true
+		}
+		complete := true
+		for _, l := range cfgLabels {
+			if !condSet[l] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		// Try dropping each still-counted label, highest first.
+		labels := append([]cdg.Condition(nil), byNode[u]...)
+		sort.Slice(labels, func(i, j int) bool { return labels[i].Label > labels[j].Label })
+		for _, cand := range labels {
+			if !counted[cand] {
+				continue
+			}
+			var others []cdg.Condition
+			for _, c := range byNode[u] {
+				if c != cand {
+					others = append(others, c)
+				}
+			}
+			r := rule{kind: branchBalance, node: u, dropped: cand, others: others}
+			counted[cand] = false
+			trial = append(p.rules, r)
+			if p.solvable(counted, trial) {
+				p.rules = trial
+			} else {
+				counted[cand] = true
+			}
+			break // at most one label per node may be dropped
+		}
+	}
+
+	// Materialize counters.
+	tripAdds := map[cfg.NodeID]int{}
+	for i := range p.rules {
+		if p.rules[i].kind == doAddTrip {
+			init := p.doInitNode(p.rules[i].node)
+			if _, dup := tripAdds[init]; !dup {
+				tripAdds[init] = 0
+			}
+		}
+	}
+	for _, c := range p.conds {
+		if counted[c] {
+			p.Counters = append(p.Counters, Counter{Kind: CondCounter, Cond: c})
+		}
+	}
+	inits := make([]cfg.NodeID, 0, len(tripAdds))
+	for n := range tripAdds {
+		inits = append(inits, n)
+	}
+	sort.Slice(inits, func(i, j int) bool { return inits[i] < inits[j] })
+	for _, n := range inits {
+		tripAdds[n] = len(p.Counters)
+		p.Counters = append(p.Counters, Counter{Kind: TripAdd, Node: n})
+	}
+	for i := range p.rules {
+		if p.rules[i].kind == doAddTrip {
+			p.rules[i].counter = tripAdds[p.doInitNode(p.rules[i].node)]
+		}
+	}
+	if !p.solvable(counted, p.rules) {
+		return nil, fmt.Errorf("profiler: final plan for %s is not solvable", a.P.G.Name)
+	}
+	return p, nil
+}
+
+// doLoopRule checks whether header h is an exit-free counted DO loop and
+// returns the matching rule (doConstTrip when the trip count folds to a
+// constant, doAddTrip otherwise).
+func (p *Plan) doLoopRule(h cfg.NodeID) (rule, bool) {
+	node := p.A.Ext.G.Node(h)
+	op, ok := node.Payload.(lower.OpDoTest)
+	if !ok {
+		return rule{}, false
+	}
+	// Exit-free: every postexit of this interval is fed by the test's own
+	// F edge; any other source is a GOTO out of the loop. This is the
+	// paper's FCDG test "just look for an edge to a POSTEXIT node" (from a
+	// node other than the header).
+	for _, pe := range p.A.Ext.Postexits {
+		if p.A.Ext.ExitedInterval[pe] != h {
+			continue
+		}
+		for _, e := range p.A.Ext.G.InEdges(pe) {
+			if e.Pseudo() {
+				continue
+			}
+			if e.From != h {
+				return rule{}, false
+			}
+		}
+	}
+	l := op.L
+	lo, okLo := lang.FoldInt(p.A.P.Unit, l.Lo)
+	hi, okHi := lang.FoldInt(p.A.P.Unit, l.Hi)
+	step := int64(1)
+	okStep := true
+	if l.Step != nil {
+		step, okStep = lang.FoldInt(p.A.P.Unit, l.Step)
+	}
+	if okLo && okHi && okStep && step != 0 {
+		trip := (hi - lo + step) / step
+		if trip < 0 {
+			trip = 0
+		}
+		return rule{kind: doConstTrip, node: h, trip: trip}, true
+	}
+	return rule{kind: doAddTrip, node: h}, true
+}
+
+// doInitNode finds the DoInit node feeding the DO test h. In the extended
+// graph the init is a predecessor of the loop preheader, not of the header
+// itself, so the node is located by its payload.
+func (p *Plan) doInitNode(h cfg.NodeID) cfg.NodeID {
+	for _, n := range p.A.P.G.Nodes() {
+		if op, ok := n.Payload.(lower.OpDoInit); ok && op.Test == h {
+			return n.ID
+		}
+	}
+	panic(fmt.Sprintf("profiler: DO test %d has no DoInit node", h))
+}
+
+// nonPseudoLabels returns the distinct non-pseudo edge labels leaving u in
+// the extended graph (these equal the original CFG labels for original
+// nodes).
+func nonPseudoLabels(g *cfg.Graph, u cfg.NodeID) []cfg.Label {
+	var out []cfg.Label
+	for _, l := range g.Labels(u) {
+		if !l.IsPseudo() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Naive placement.
+
+// PlanNaive computes the baseline placement: one counter per basic block of
+// the procedure's CFG, with the DO-loop optimization applied only when the
+// loop body is straight-line code (the paper's Table 1 "naive profiling"
+// configuration).
+func PlanNaive(a *analysis.Proc) *Plan {
+	p := &Plan{A: a, Naive: true}
+	g := a.P.G
+	leaders := BlockLeaders(g)
+	// DO optimization, restricted form: an exit-free DO whose body is one
+	// straight-line block. The body-block counter and the test-block
+	// counter are replaced by one TripAdd at the DoInit (body executions =
+	// Σtrips, test executions = Σtrips + init executions).
+	skip := map[cfg.NodeID]bool{}
+	var adds []cfg.NodeID
+	for _, h := range a.Intervals.Headers() {
+		r, ok := p.doLoopRule(h)
+		if !ok {
+			continue
+		}
+		body, straight := straightLineBody(a, h)
+		if !straight {
+			continue
+		}
+		skip[h] = true    // test block
+		skip[body] = true // body block leader
+		if r.kind == doAddTrip {
+			adds = append(adds, p.doInitNode(h))
+		}
+		// Constant trips need no counter at all; both blocks derive from
+		// the init block count.
+	}
+	for _, l := range leaders {
+		if skip[l] {
+			continue
+		}
+		p.Blocks = append(p.Blocks, l)
+		p.Counters = append(p.Counters, Counter{Kind: BlockCounter, Node: l})
+	}
+	for _, n := range adds {
+		p.Counters = append(p.Counters, Counter{Kind: TripAdd, Node: n})
+	}
+	return p
+}
+
+// BlockLeaders returns the basic block leader nodes of g in ascending
+// order: the entry, every branch target of a multi-way transfer, and every
+// join point.
+func BlockLeaders(g *cfg.Graph) []cfg.NodeID {
+	lead := map[cfg.NodeID]bool{g.Entry: true}
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if len(g.InEdges(id)) > 1 {
+			lead[id] = true
+		}
+		if len(g.OutEdges(id)) > 1 {
+			for _, e := range g.OutEdges(id) {
+				lead[e.To] = true
+			}
+		}
+	}
+	out := make([]cfg.NodeID, 0, len(lead))
+	for n := range lead {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// straightLineBody reports whether the body of DO loop h (the subgraph
+// entered by the test's T edge, up to the DoIncr) is a single basic block,
+// and returns its leader.
+func straightLineBody(a *analysis.Proc, h cfg.NodeID) (cfg.NodeID, bool) {
+	g := a.P.G
+	var entry cfg.NodeID
+	for _, e := range g.OutEdges(h) {
+		if e.Label == cfg.True {
+			entry = e.To
+		}
+	}
+	if entry == cfg.None {
+		return cfg.None, false
+	}
+	n := entry
+	for {
+		if len(g.InEdges(n)) > 1 && n != entry {
+			return cfg.None, false
+		}
+		out := g.OutEdges(n)
+		if len(out) != 1 {
+			return cfg.None, false
+		}
+		if _, isIncr := g.Node(n).Payload.(lower.OpDoIncr); isIncr {
+			return entry, true
+		}
+		n = out[0].To
+		if n == h || n == entry {
+			return cfg.None, false
+		}
+	}
+}

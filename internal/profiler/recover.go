@@ -1,0 +1,293 @@
+package profiler
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/freq"
+)
+
+// Readings are the raw values of a plan's counters after one or more
+// (simulated) instrumented runs, indexed like Plan.Counters.
+type Readings []float64
+
+// Add accumulates another run's readings (the program-database merge).
+func (r Readings) Add(other Readings) {
+	for i := range r {
+		r[i] += other[i]
+	}
+}
+
+// Recover reconstructs TOTAL_FREQ for every control condition of the
+// procedure from the counter readings, applying the plan's inference rules
+// to a fixpoint. The result feeds freq.Compute directly.
+func (p *Plan) Recover(readings Readings) (freq.Totals, error) {
+	if p.Naive {
+		return nil, fmt.Errorf("profiler: naive plans count blocks, not conditions; use ExactTotals for analysis")
+	}
+	if len(readings) != len(p.Counters) {
+		return nil, fmt.Errorf("profiler: %d readings for %d counters", len(readings), len(p.Counters))
+	}
+	st := newSolveState(p, readings)
+	if !st.run(p) {
+		missing := st.missingConds(p)
+		return nil, fmt.Errorf("profiler: recovery incomplete for %s: unresolved %v", p.A.P.G.Name, missing)
+	}
+	totals := make(freq.Totals, len(st.cond))
+	for c, v := range st.cond {
+		totals[c] = v
+	}
+	// Pseudo conditions are statically zero; add them so downstream passes
+	// can look any FCDG condition up.
+	for _, c := range p.A.FCDG.Conditions() {
+		if c.Label.IsPseudo() {
+			totals[c] = 0
+		}
+	}
+	return totals, nil
+}
+
+// solvable is the symbolic variant of Recover used during placement: can
+// every condition be reconstructed from the counters in `counted` plus the
+// rules? Values are irrelevant; only derivability matters.
+func (p *Plan) solvable(counted map[cdg.Condition]bool, rules []rule) bool {
+	st := &solveState{
+		cond: make(map[cdg.Condition]float64),
+		exec: make(map[cfg.NodeID]float64),
+	}
+	for c, on := range counted {
+		if on {
+			st.cond[c] = 0
+		}
+	}
+	for _, c := range p.A.FCDG.Conditions() {
+		if c.Label.IsPseudo() {
+			st.cond[c] = 0
+		}
+	}
+	st.tripReadings = map[cfg.NodeID]float64{}
+	for i := range rules {
+		if rules[i].kind == doAddTrip {
+			st.tripReadings[rules[i].node] = 0
+		}
+	}
+	saved := p.rules
+	p.rules = rules
+	ok := st.run(p)
+	p.rules = saved
+	return ok
+}
+
+// solveState carries the fixpoint's known values.
+type solveState struct {
+	cond map[cdg.Condition]float64
+	exec map[cfg.NodeID]float64
+	// tripReadings maps a DO test node to its TripAdd counter reading.
+	tripReadings map[cfg.NodeID]float64
+}
+
+func newSolveState(p *Plan, readings Readings) *solveState {
+	st := &solveState{
+		cond:         make(map[cdg.Condition]float64),
+		exec:         make(map[cfg.NodeID]float64),
+		tripReadings: make(map[cfg.NodeID]float64),
+	}
+	for i, c := range p.Counters {
+		switch c.Kind {
+		case CondCounter:
+			st.cond[c.Cond] = readings[i]
+		case TripAdd:
+			// Index by the test node the DoInit feeds.
+			for i2 := range p.rules {
+				if p.rules[i2].kind == doAddTrip && p.doInitNode(p.rules[i2].node) == c.Node {
+					st.tripReadings[p.rules[i2].node] = readings[i]
+				}
+			}
+		}
+	}
+	for _, c := range p.A.FCDG.Conditions() {
+		if c.Label.IsPseudo() {
+			st.cond[c] = 0
+		}
+	}
+	return st
+}
+
+// run iterates node-execution derivation and rule application to a
+// fixpoint; it reports whether every condition became known.
+func (st *solveState) run(p *Plan) bool {
+	f := p.A.FCDG
+	nodes := f.Nodes()
+	for changed := true; changed; {
+		changed = false
+		// exec(u) = Σ TOTAL over u's FCDG in-edges, once all are known.
+		for _, u := range nodes {
+			if _, ok := st.exec[u]; ok {
+				continue
+			}
+			if u == f.Root {
+				c := cdg.Condition{Node: f.Root, Label: cfg.Uncond}
+				if v, ok := st.cond[c]; ok {
+					st.exec[u] = v
+					changed = true
+				}
+				continue
+			}
+			in := f.InEdges(u)
+			if len(in) == 0 {
+				continue // STOP: never needed
+			}
+			sum := 0.0
+			known := true
+			for _, e := range in {
+				v, ok := st.cond[cdg.Condition{Node: e.From, Label: e.Label}]
+				if !ok {
+					known = false
+					break
+				}
+				sum += v
+			}
+			if known {
+				st.exec[u] = sum
+				changed = true
+			}
+		}
+		// Rules.
+		for i := range p.rules {
+			if st.applyRule(p, &p.rules[i]) {
+				changed = true
+			}
+		}
+	}
+	return st.missingConds(p) == nil
+}
+
+func (st *solveState) missingConds(p *Plan) []cdg.Condition {
+	var missing []cdg.Condition
+	for _, c := range p.conds {
+		if _, ok := st.cond[c]; !ok {
+			missing = append(missing, c)
+		}
+	}
+	return missing
+}
+
+// applyRule tries one inference rule; it reports whether new values were
+// derived.
+func (st *solveState) applyRule(p *Plan, r *rule) bool {
+	switch r.kind {
+	case branchBalance:
+		if _, done := st.cond[r.dropped]; done {
+			return false
+		}
+		ex, ok := st.exec[r.node]
+		if !ok {
+			return false
+		}
+		sum := 0.0
+		for _, o := range r.others {
+			v, ok := st.cond[o]
+			if !ok {
+				return false
+			}
+			sum += v
+		}
+		v := ex - sum
+		if v < 0 {
+			v = 0 // numerical guard; exact inputs never go negative
+		}
+		st.cond[r.dropped] = v
+		return true
+
+	case loopIdentity:
+		if _, done := st.cond[r.dropped]; done {
+			return false
+		}
+		ph := p.A.Ext.Preheader[r.node]
+		entries, ok := st.exec[ph]
+		if !ok {
+			return false
+		}
+		sum := entries
+		for _, be := range r.backEdges {
+			t, ok := st.taking(p, be)
+			if !ok {
+				return false
+			}
+			sum += t
+		}
+		st.cond[r.dropped] = sum
+		return true
+
+	case staticCond:
+		if _, done := st.cond[r.dropped]; done {
+			return false
+		}
+		ex, ok := st.exec[r.node]
+		if !ok {
+			return false
+		}
+		st.cond[r.dropped] = r.staticFreq * ex
+		return true
+
+	case doConstTrip, doAddTrip:
+		loopCond := r.dropped
+		if loopCond == (cdg.Condition{}) {
+			loopCond = cdg.Condition{Node: p.A.Ext.Preheader[r.node], Label: cfg.Uncond}
+		}
+		if _, done := st.cond[loopCond]; done {
+			return false
+		}
+		ph := p.A.Ext.Preheader[r.node]
+		entries, ok := st.exec[ph]
+		if !ok {
+			return false
+		}
+		var tripSum float64
+		if r.kind == doConstTrip {
+			tripSum = entries * float64(r.trip)
+		} else {
+			ts, ok := st.tripReadings[r.node]
+			if !ok {
+				return false
+			}
+			tripSum = ts
+		}
+		st.cond[loopCond] = tripSum + entries
+		bodyCond := cdg.Condition{Node: r.node, Label: cfg.True}
+		if hasCondition(p, bodyCond) {
+			st.cond[bodyCond] = tripSum
+		}
+		exitCond := cdg.Condition{Node: r.node, Label: cfg.False}
+		if hasCondition(p, exitCond) {
+			st.cond[exitCond] = entries
+		}
+		return true
+	}
+	return false
+}
+
+// taking computes how often the CFG edge be was taken: directly if its
+// (from,label) is a known condition, or via exec(from) when the source has
+// a single non-pseudo out-label.
+func (st *solveState) taking(p *Plan, be cfg.Edge) (float64, bool) {
+	c := cdg.Condition{Node: be.From, Label: be.Label}
+	if v, ok := st.cond[c]; ok {
+		return v, true
+	}
+	if len(nonPseudoLabels(p.A.Ext.G, be.From)) == 1 {
+		v, ok := st.exec[be.From]
+		return v, ok
+	}
+	return 0, false
+}
+
+func hasCondition(p *Plan, c cdg.Condition) bool {
+	for _, have := range p.conds {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interp"
+)
+
+// twoProcs spends ~90% of its time in HEAVY and ~10% in LIGHT, plus a tiny
+// TINY procedure that a coarse sampler will miss entirely.
+const twoProcs = `      PROGRAM MAINP
+      INTEGER I
+      DO 10 I = 1, 20
+         CALL HEAVY
+         CALL LIGHT
+         CALL TINY
+   10 CONTINUE
+      END
+
+      SUBROUTINE HEAVY
+      INTEGER J
+      REAL S
+      S = 0.0
+      DO 20 J = 1, 300
+         S = S + SIN(S)
+   20 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE LIGHT
+      INTEGER J
+      REAL S
+      S = 0.0
+      DO 30 J = 1, 30
+         S = S + 1.0
+   30 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE TINY
+      RETURN
+      END
+`
+
+func TestFineSamplingApproximatesShares(t *testing.T) {
+	p, err := core.Load(twoProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Optimized
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1, Model: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactShares(p.Res, m, run)
+	if exact["HEAVY"] < 0.5 {
+		t.Fatalf("test premise broken: HEAVY share = %g", exact["HEAVY"])
+	}
+	fine, err := Run(p.Res, m, 10, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, worst := fine.WorstError(exact); worst > 0.02 {
+		t.Errorf("fine sampling (interval 10) worst share error %g > 2%%", worst)
+	}
+}
+
+func TestCoarseSamplingMissesSmallProcedures(t *testing.T) {
+	p, err := core.Load(twoProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Optimized
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1, Model: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactShares(p.Res, m, run)
+
+	// Interval comparable to LIGHT's entire cost: per-procedure shares of
+	// the small procedures become unreliable or zero — the paper's "even
+	// small procedures" point.
+	coarse, err := Run(p.Res, m, run.Cost/15, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Total == 0 {
+		t.Fatal("no samples at all")
+	}
+	if coarse.ByProc["TINY"] != 0 {
+		t.Errorf("TINY caught by coarse sampler (%d samples): premise too weak", coarse.ByProc["TINY"])
+	}
+	if exact["TINY"] == 0 {
+		t.Error("TINY really does execute; its exact share must be positive")
+	}
+	// And the error is much worse than fine sampling's.
+	fine, err := Run(p.Res, m, 10, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coarseErr := coarse.WorstError(exact)
+	_, fineErr := fine.WorstError(exact)
+	if coarseErr <= fineErr {
+		t.Errorf("coarse error %g should exceed fine error %g", coarseErr, fineErr)
+	}
+	t.Logf("shares exact HEAVY=%.3f LIGHT=%.3f TINY=%.5f; coarse worst err %.3f, fine worst err %.4f",
+		exact["HEAVY"], exact["LIGHT"], exact["TINY"], coarseErr, fineErr)
+}
+
+func TestSamplingCannotSeeStatementFrequencies(t *testing.T) {
+	// The paper's core argument: counters give exact statement
+	// frequencies; sampling attributes whole ticks to whichever statement
+	// happened to be executing. For a cheap statement inside a hot loop
+	// the sampled "count" bears no relation to its execution frequency.
+	p, err := core.Load(twoProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Optimized
+	s, err := Run(p.Res, m, 500, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1, Model: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := p.Res.Procs["HEAVY"]
+	mismatch := false
+	for _, n := range heavy.G.Nodes() {
+		execs := run.NodeCount(heavy, n.ID)
+		samples := s.ByNode["HEAVY"][n.ID]
+		if execs > 100 && samples == 0 {
+			mismatch = true // a hot statement invisible to the sampler
+		}
+	}
+	if !mismatch {
+		t.Error("expected at least one hot statement with zero samples at interval 500")
+	}
+}
+
+func TestBadInterval(t *testing.T) {
+	p, err := core.Load(twoProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p.Res, cost.Unit, 0, interp.Options{}); err == nil {
+		t.Error("interval 0 must be rejected")
+	}
+	if _, err := Run(p.Res, cost.Unit, -5, interp.Options{}); err == nil {
+		t.Error("negative interval must be rejected")
+	}
+}

@@ -1,0 +1,188 @@
+// Package simplecfd provides the SIMPLE benchmark of Table 1: a
+// 2-D Lagrangian hydrodynamics + heat-flow code [CHR78]. The original
+// UCID-17715 Fortran is not redistributable, so this is a faithful
+// structural substitute (documented in DESIGN.md): the same computational
+// phases — velocity update from pressure/viscosity gradients, position
+// update, volume/density, artificial viscosity with a compression
+// conditional, equation of state, a heat-conduction sweep, and an energy
+// reduction with conditionals — organized, like the original, as
+// subroutines called from an NCYCLES time-step loop over an N×N mesh.
+// Table 1 measures profiling overhead, which depends on exactly this
+// loop-nest and branch structure, not on the physics constants.
+//
+// The paper ran SIMPLE at 100×100 with NCYCLES = 10; Source(100, 10)
+// reproduces that configuration.
+package simplecfd
+
+import "fmt"
+
+// Source renders the benchmark at mesh size n×n with the given number of
+// cycles.
+func Source(n, ncycles int) string {
+	if n < 4 {
+		n = 4
+	}
+	if n > 400 {
+		n = 400
+	}
+	if ncycles < 1 {
+		ncycles = 1
+	}
+	return fmt.Sprintf(`      PROGRAM SIMPLE
+      INTEGER N, NCYC
+      PARAMETER (N = %d, NCYC = %d)
+      REAL U(N,N), V(N,N), X(N,N), Y(N,N)
+      REAL P(N,N), Q(N,N), RHO(N,N), E(N,N), T(N,N)
+      REAL DT, ETOT
+      INTEGER IC
+      CALL INIT(U, V, X, Y, P, Q, RHO, E, T, N)
+      DT = 0.001
+      DO 100 IC = 1, NCYC
+         CALL VELO(U, V, P, Q, RHO, N, DT)
+         CALL POSN(U, V, X, Y, N, DT)
+         CALL DENS(X, Y, RHO, N)
+         CALL VISC(U, V, Q, RHO, N)
+         CALL EOS(P, E, RHO, Q, N, DT)
+         CALL HEAT(T, E, RHO, N, DT)
+         CALL ETOTL(E, U, V, RHO, N, ETOT)
+  100 CONTINUE
+      PRINT *, ETOT
+      END
+
+      SUBROUTINE INIT(U, V, X, Y, P, Q, RHO, E, T, N)
+      INTEGER N
+      REAL U(N,N), V(N,N), X(N,N), Y(N,N)
+      REAL P(N,N), Q(N,N), RHO(N,N), E(N,N), T(N,N)
+      INTEGER I, J
+      DO 10 I = 1, N
+         DO 20 J = 1, N
+            X(I,J) = 0.01*I
+            Y(I,J) = 0.01*J
+            U(I,J) = 0.0
+            V(I,J) = 0.0
+            P(I,J) = 1.0 + 0.001*(I+J)
+            Q(I,J) = 0.0
+            RHO(I,J) = 1.0 + 0.0001*I*J
+            E(I,J) = 2.5
+            T(I,J) = 1.0 + 0.002*J
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE VELO(U, V, P, Q, RHO, N, DT)
+      INTEGER N
+      REAL U(N,N), V(N,N), P(N,N), Q(N,N), RHO(N,N)
+      REAL DT, DPX, DPY
+      INTEGER I, J
+      DO 10 I = 2, N - 1
+         DO 20 J = 2, N - 1
+            DPX = P(I+1,J) + Q(I+1,J) - P(I-1,J) - Q(I-1,J)
+            DPY = P(I,J+1) + Q(I,J+1) - P(I,J-1) - Q(I,J-1)
+            U(I,J) = U(I,J) - DT*DPX/RHO(I,J)
+            V(I,J) = V(I,J) - DT*DPY/RHO(I,J)
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE POSN(U, V, X, Y, N, DT)
+      INTEGER N
+      REAL U(N,N), V(N,N), X(N,N), Y(N,N)
+      REAL DT
+      INTEGER I, J
+      DO 10 I = 1, N
+         DO 20 J = 1, N
+            X(I,J) = X(I,J) + DT*U(I,J)
+            Y(I,J) = Y(I,J) + DT*V(I,J)
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE DENS(X, Y, RHO, N)
+      INTEGER N
+      REAL X(N,N), Y(N,N), RHO(N,N)
+      REAL AREA
+      INTEGER I, J
+      DO 10 I = 2, N - 1
+         DO 20 J = 2, N - 1
+            AREA = (X(I+1,J) - X(I-1,J)) * (Y(I,J+1) - Y(I,J-1)) -
+     &             (X(I,J+1) - X(I,J-1)) * (Y(I+1,J) - Y(I-1,J))
+            IF (AREA .LT. 0.0001) AREA = 0.0001
+            RHO(I,J) = RHO(I,J) / (1.0 + 0.1*(AREA - 0.0004))
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE VISC(U, V, Q, RHO, N)
+      INTEGER N
+      REAL U(N,N), V(N,N), Q(N,N), RHO(N,N)
+      REAL DIV
+      INTEGER I, J
+      DO 10 I = 2, N - 1
+         DO 20 J = 2, N - 1
+            DIV = U(I+1,J) - U(I-1,J) + V(I,J+1) - V(I,J-1)
+            IF (DIV .LT. 0.0) THEN
+               Q(I,J) = 2.0*RHO(I,J)*DIV*DIV
+            ELSE
+               Q(I,J) = 0.0
+            ENDIF
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE EOS(P, E, RHO, Q, N, DT)
+      INTEGER N
+      REAL P(N,N), E(N,N), RHO(N,N), Q(N,N)
+      REAL DT, GAMMA
+      INTEGER I, J
+      GAMMA = 1.4
+      DO 10 I = 1, N
+         DO 20 J = 1, N
+            E(I,J) = E(I,J) - DT*(P(I,J) + Q(I,J))*0.01
+            IF (E(I,J) .LT. 0.1) E(I,J) = 0.1
+            P(I,J) = (GAMMA - 1.0)*RHO(I,J)*E(I,J)
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE HEAT(T, E, RHO, N, DT)
+      INTEGER N
+      REAL T(N,N), E(N,N), RHO(N,N)
+      REAL DT, FLUX
+      INTEGER I, J
+      DO 10 I = 2, N - 1
+         DO 20 J = 2, N - 1
+            FLUX = T(I+1,J) + T(I-1,J) + T(I,J+1) + T(I,J-1) -
+     &             4.0*T(I,J)
+            T(I,J) = T(I,J) + DT*FLUX/RHO(I,J)
+            E(I,J) = E(I,J) + 0.001*DT*FLUX
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+
+      SUBROUTINE ETOTL(E, U, V, RHO, N, ETOT)
+      INTEGER N
+      REAL E(N,N), U(N,N), V(N,N), RHO(N,N)
+      REAL ETOT, KE
+      INTEGER I, J
+      ETOT = 0.0
+      DO 10 I = 1, N
+         DO 20 J = 1, N
+            KE = 0.5*RHO(I,J)*(U(I,J)*U(I,J) + V(I,J)*V(I,J))
+            IF (KE .GT. 1.0E-12) THEN
+               ETOT = ETOT + E(I,J) + KE
+            ELSE
+               ETOT = ETOT + E(I,J)
+            ENDIF
+   20    CONTINUE
+   10 CONTINUE
+      RETURN
+      END
+`, n, ncycles)
+}

@@ -1,0 +1,96 @@
+package simplecfd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/profiler"
+)
+
+func TestRunsAndRecovers(t *testing.T) {
+	p, err := core.Load(Source(12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Steps == 0 {
+		t.Fatal("no steps executed")
+	}
+	for name, a := range p.An.Procs {
+		plan, err := profiler.PlanSmart(a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := plan.Recover(plan.SimulateReadings(run))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := profiler.ExactTotals(a, run)
+		for c, w := range want {
+			if got[c] != w {
+				t.Errorf("%s: TOTAL%v = %g, want %g", name, c, got[c], w)
+			}
+		}
+	}
+}
+
+func TestMeanExactness(t *testing.T) {
+	p, err := core.Load(Source(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Unoptimized
+	measured, err := p.MeasuredCost(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate(model, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Main.Time-measured) / measured; rel > 1e-9 {
+		t.Errorf("estimated %g vs measured %g", est.Main.Time, measured)
+	}
+}
+
+func TestPhaseSubroutinesPresent(t *testing.T) {
+	p, err := core.Load(Source(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"SIMPLE", "INIT", "VELO", "POSN", "DENS", "VISC", "EOS", "HEAT", "ETOTL"} {
+		if p.An.Procs[name] == nil {
+			t.Errorf("missing unit %s", name)
+		}
+	}
+	// The time-step loop dominates: every phase is called NCYC times.
+	run, err := interp.Run(p.Res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.ByProc["VELO"].Activations; got != 1 {
+		t.Errorf("VELO activations = %d, want 1 (NCYC=1)", got)
+	}
+	if got := run.ByProc["INIT"].Activations; got != 1 {
+		t.Errorf("INIT activations = %d, want 1", got)
+	}
+}
+
+func TestSizeClamping(t *testing.T) {
+	if Source(1, 0) == "" {
+		t.Fatal("empty source")
+	}
+	p, err := core.Load(Source(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(p.Res, interp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package staticfreq implements the compile-time frequency analysis of
+// Section 3: "These frequency values may be determined by program
+// analysis, or may be obtained from an execution profile ... We believe
+// that program analysis is feasible for only a few restricted cases (e.g.
+// a Fortran DO loop with constant bounds and no conditional loop exits, an
+// IF condition that can be computed at compile-time, etc.), and should be
+// complemented by execution profile information wherever compile-time
+// analysis is unsuccessful."
+//
+// Exactly those restricted cases are resolved here:
+//
+//   - exit-free counted DO loops whose bounds fold to constants: the loop
+//     condition's FREQ is trip+1 header executions per entry, and the
+//     test's T/F branch probabilities are trip/(trip+1) and 1/(trip+1);
+//   - IF conditions (block or logical) that fold to .TRUE. or .FALSE.;
+//   - arithmetic IFs and computed GOTOs over constant expressions.
+//
+// The result is a partial FREQ assignment over the procedure's control
+// conditions; freq.ComputeOpts accepts it alongside profile totals, and
+// the profiler can drop counters for statically known conditions.
+package staticfreq
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/ecfg"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// Analyze returns the compile-time-known FREQ values of a's control
+// conditions. Conditions absent from the map need profile data.
+func Analyze(a *analysis.Proc) map[cdg.Condition]float64 {
+	out := make(map[cdg.Condition]float64)
+	known := map[cdg.Condition]bool{}
+	for _, c := range a.FCDG.Conditions() {
+		known[c] = true
+		if c.Label.IsPseudo() {
+			out[c] = 0 // pseudo edges are never taken, statically
+		}
+	}
+	set := func(c cdg.Condition, v float64) {
+		if known[c] {
+			out[c] = v
+		}
+	}
+
+	for _, n := range a.P.G.Nodes() {
+		switch op := n.Payload.(type) {
+		case lower.OpDoTest:
+			trip, ok := constTrip(a, n.ID, op)
+			if !ok {
+				continue
+			}
+			// Header executes trip+1 times per entry; the T branch is
+			// taken trip of those, F once.
+			f := float64(trip)
+			set(cdg.Condition{Node: n.ID, Label: cfg.True}, f/(f+1))
+			set(cdg.Condition{Node: n.ID, Label: cfg.False}, 1/(f+1))
+			if ph, ok := a.Ext.Preheader[n.ID]; ok {
+				set(cdg.Condition{Node: ph, Label: ecfg.LoopBodyLabel}, f+1)
+			}
+		case lower.OpBranch:
+			v, ok := lang.FoldLogical(a.P.Unit, op.Cond)
+			if !ok {
+				continue
+			}
+			t, f := 0.0, 1.0
+			if v {
+				t, f = 1.0, 0.0
+			}
+			set(cdg.Condition{Node: n.ID, Label: cfg.True}, t)
+			set(cdg.Condition{Node: n.ID, Label: cfg.False}, f)
+		case lower.OpArithIf:
+			v, ok := lang.FoldInt(a.P.Unit, op.E)
+			if !ok {
+				continue
+			}
+			for lbl, hit := range map[cfg.Label]bool{
+				lower.LabelNeg:  v < 0,
+				lower.LabelZero: v == 0,
+				lower.LabelPos:  v > 0,
+			} {
+				p := 0.0
+				if hit {
+					p = 1.0
+				}
+				set(cdg.Condition{Node: n.ID, Label: lbl}, p)
+			}
+		case lower.OpComputedGoto:
+			v, ok := lang.FoldInt(a.P.Unit, op.E)
+			if !ok {
+				continue
+			}
+			for i := 1; i <= op.N; i++ {
+				p := 0.0
+				if int64(i) == v {
+					p = 1.0
+				}
+				set(cdg.Condition{Node: n.ID, Label: lower.GotoCase(i)}, p)
+			}
+			p := 0.0
+			if v < 1 || v > int64(op.N) {
+				p = 1.0
+			}
+			set(cdg.Condition{Node: n.ID, Label: lower.LabelDefault}, p)
+		}
+	}
+	return out
+}
+
+// constTrip reports whether the DO test at node id belongs to an exit-free
+// loop with compile-time-constant bounds, and the trip count if so.
+func constTrip(a *analysis.Proc, id cfg.NodeID, op lower.OpDoTest) (int64, bool) {
+	if !a.Intervals.IsHeader(id) {
+		return 0, false
+	}
+	// Exit-free: every postexit of this interval is fed only by the test
+	// itself ("no conditional loop exits").
+	for _, pe := range a.Ext.Postexits {
+		if a.Ext.ExitedInterval[pe] != id {
+			continue
+		}
+		for _, e := range a.Ext.G.InEdges(pe) {
+			if !e.Pseudo() && e.From != id {
+				return 0, false
+			}
+		}
+	}
+	l := op.L
+	lo, okLo := lang.FoldInt(a.P.Unit, l.Lo)
+	hi, okHi := lang.FoldInt(a.P.Unit, l.Hi)
+	step := int64(1)
+	okStep := true
+	if l.Step != nil {
+		step, okStep = lang.FoldInt(a.P.Unit, l.Step)
+	}
+	if !okLo || !okHi || !okStep || step == 0 {
+		return 0, false
+	}
+	trip := (hi - lo + step) / step
+	if trip < 0 {
+		trip = 0
+	}
+	return trip, true
+}
+
+// Program analyzes every procedure of an analyzed program.
+func Program(p *analysis.Program) map[string]map[cdg.Condition]float64 {
+	out := make(map[string]map[cdg.Condition]float64, len(p.Procs))
+	for name, a := range p.Procs {
+		out[name] = Analyze(a)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package stats provides the small statistical toolkit the experiments
+// use: streaming mean/variance (Welford), summaries, and simple
+// distribution helpers for ground-truth comparisons against the
+// estimator's TIME/VAR values.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in one pass, numerically stably.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add feeds one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// PopVar returns the population variance (divides by n).
+func (w *Welford) PopVar() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVar returns the sample variance (divides by n−1; 0 if n < 2).
+func (w *Welford) SampleVar() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.PopVar()) }
+
+// Summary describes a sample.
+type Summary struct {
+	N                int
+	Mean, Var, Std   float64
+	Min, Max, Median float64
+}
+
+// Summarize computes a Summary of xs (population variance).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	var w Welford
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		w.Add(x)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean, s.Var, s.Std = w.Mean(), w.PopVar(), w.StdDev()
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	if math.Abs(w.PopVar()-4) > 1e-12 {
+		t.Errorf("popvar = %g, want 4", w.PopVar())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Errorf("std = %g, want 2", w.StdDev())
+	}
+	if math.Abs(w.SampleVar()-32.0/7) > 1e-12 {
+		t.Errorf("samplevar = %g, want %g", w.SampleVar(), 32.0/7)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.PopVar() != 0 || w.SampleVar() != 0 {
+		t.Error("empty Welford must be all zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.PopVar() != 0 || w.SampleVar() != 0 {
+		t.Errorf("single observation: mean=%g pop=%g sample=%g", w.Mean(), w.PopVar(), w.SampleVar())
+	}
+}
+
+// TestWelfordMatchesNaive cross-checks the streaming computation against
+// the two-pass formula on random data.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%64)
+		rng := uint64(seed)
+		xs := make([]float64, n)
+		var w Welford
+		sum := 0.0
+		for i := range xs {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			xs[i] = float64(rng>>11)/float64(1<<53)*2000 - 1000
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		pop := m2 / float64(n)
+		scale := math.Max(1, math.Abs(pop))
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.PopVar()-pop) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3})
+	if s.N != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	// Even count: median is the midpoint.
+	s = Summarize([]float64{1, 2, 3, 10})
+	if s.Median != 2.5 {
+		t.Errorf("median = %g, want 2.5", s.Median)
+	}
+	// Empty.
+	s = Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if !strings.Contains(Summarize([]float64{1}).String(), "n=1") {
+		t.Error("String() missing n")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
