@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/livermore"
 	"repro/internal/paperex"
 	"repro/internal/profiler"
+	"repro/internal/progen"
 	"repro/internal/simplecfd"
 )
 
@@ -291,6 +293,52 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := analysis.AnalyzeProgram(p.Res); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScale measures the end-to-end pipeline (parse, lower, analyze,
+// profile over 8 seeds, estimate) on generated programs of increasing
+// size, once sequentially and once with the full worker pool. The
+// nodes/sec metric is CFG nodes analyzed per second; comparing Workers1
+// to WorkersMax at the same size shows the parallel speedup.
+func BenchmarkScale(b *testing.B) {
+	sizes := []struct {
+		name        string
+		size, depth int
+	}{
+		{"small", 20, 2},
+		{"medium", 80, 3},
+		{"large", 240, 4},
+	}
+	pools := []struct {
+		name    string
+		workers int
+	}{
+		{"Workers1", 1},
+		{"WorkersMax", runtime.GOMAXPROCS(0)},
+	}
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, sz := range sizes {
+		src := progen.Generate(7, sz.size, sz.depth)
+		for _, pool := range pools {
+			b.Run(sz.name+"/"+pool.name, func(b *testing.B) {
+				var nodes int
+				for i := 0; i < b.N; i++ {
+					p, err := core.LoadWorkers(src, pool.workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := p.Estimate(cost.Optimized, core.Options{}, seeds...); err != nil {
+						b.Fatal(err)
+					}
+					nodes = 0
+					for _, a := range p.An.Procs {
+						nodes += a.P.G.NumNodes()
+					}
+				}
+				b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/sec")
+			})
 		}
 	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	estimate -src prog.f -db profile.json [-model opt-on|opt-off|unit]
-//	         [-proc NAME] [-callvar]
+//	         [-proc NAME] [-callvar] [-workers N]
 //
 // The same database can be estimated under different cost models — the
 // cross-architecture property Section 3 highlights ("the frequency
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -31,6 +32,7 @@ func main() {
 	proc := flag.String("proc", "", "print only one procedure's table")
 	callvar := flag.Bool("callvar", false, "propagate callee variance into call sites")
 	flat := flag.Bool("flat", false, "print a gprof-style flat profile instead of per-node tables")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -55,7 +57,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := core.Load(string(text))
+	p, err := core.LoadWorkers(string(text), *workers)
 	if err != nil {
 		fail(err)
 	}

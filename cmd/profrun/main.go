@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-loopvar] [-print]
+//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N] [-loopvar] [-print]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -28,6 +29,7 @@ func main() {
 	seeds := flag.String("seeds", "1", "comma-separated interpreter seeds, one run each")
 	loopvar := flag.Bool("loopvar", false, "also collect loop-frequency variance (extra instrumented run per seed)")
 	show := flag.Bool("print", false, "print program output (PRINT statements)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -41,7 +43,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := core.Load(string(text))
+	p, err := core.LoadWorkers(string(text), *workers)
 	if err != nil {
 		fail(err)
 	}

@@ -7,13 +7,14 @@
 //
 // Usage:
 //
-//	ptranc -src prog.f [-proc NAME] [-dump cfg|ecfg|fcdg|intervals|plan|all] [-dot]
+//	ptranc -src prog.f [-proc NAME] [-dump cfg|ecfg|fcdg|intervals|plan|all] [-dot] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/profiler"
@@ -24,6 +25,7 @@ func main() {
 	proc := flag.String("proc", "", "restrict output to one procedure")
 	dump := flag.String("dump", "all", "what to dump: cfg, ecfg, fcdg, intervals, plan or all")
 	dot := flag.Bool("dot", false, "emit Graphviz dot for graph dumps")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -37,7 +39,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := core.Load(string(text))
+	p, err := core.LoadWorkers(string(text), *workers)
 	if err != nil {
 		fail(err)
 	}

@@ -4,11 +4,17 @@
 // order Section 4's rule 2 requires (callees are costed before callers;
 // recursive procedures surface as multi-member or self-looping strongly
 // connected components).
+//
+// Procedures are analyzed independently, so AnalyzeProgram fans them out
+// to a bounded worker pool; only the final call-graph SCC pass is global.
+// The result is identical for every worker count.
 package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cdg"
 	"repro/internal/ecfg"
@@ -69,21 +75,61 @@ func AnalyzeProc(p *lower.Proc) (*Proc, error) {
 	return a, nil
 }
 
-// AnalyzeProgram analyzes every procedure and computes the bottom-up call
-// order.
+// AnalyzeProgram analyzes every procedure with GOMAXPROCS workers and
+// computes the bottom-up call order.
 func AnalyzeProgram(res *lower.Result) (*Program, error) {
-	prog := &Program{Res: res, Procs: make(map[string]*Proc)}
+	return AnalyzeProgramWorkers(res, 0)
+}
+
+// AnalyzeProgramWorkers is AnalyzeProgram with an explicit worker bound
+// (≤ 0 means GOMAXPROCS). Each procedure's graphs are private, so workers
+// share nothing; the output is identical for every worker count, and on
+// error the failure of the alphabetically first failing procedure is
+// reported, as in a sequential run.
+func AnalyzeProgramWorkers(res *lower.Result, workers int) (*Program, error) {
+	prog := &Program{Res: res, Procs: make(map[string]*Proc, len(res.Procs))}
 	names := make([]string, 0, len(res.Procs))
 	for name := range res.Procs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		a, err := AnalyzeProc(res.Procs[name])
-		if err != nil {
-			return nil, err
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	procs := make([]*Proc, len(names))
+	errs := make([]error, len(names))
+	analyzeAt := func(i int) { procs[i], errs[i] = AnalyzeProc(res.Procs[names[i]]) }
+	if workers <= 1 {
+		for i := range names {
+			analyzeAt(i)
 		}
-		prog.Procs[name] = a
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					analyzeAt(i)
+				}
+			}()
+		}
+		for i := range names {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, name := range names {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		prog.Procs[name] = procs[i]
 	}
 	prog.BottomUp = bottomUpSCCs(names, res.CallGraph)
 	return prog, nil
@@ -115,6 +161,9 @@ func (p *Program) IsRecursive(name string) bool {
 
 // bottomUpSCCs runs Tarjan's SCC algorithm on the call graph and returns
 // the components in reverse topological order (callees before callers).
+// The DFS carries an explicit stack so call chains of arbitrary depth
+// (generated programs, deep library layering) cannot overflow the
+// goroutine stack.
 func bottomUpSCCs(names []string, calls map[string][]string) [][]string {
 	index := make(map[string]int)
 	lowlink := make(map[string]int)
@@ -123,41 +172,60 @@ func bottomUpSCCs(names []string, calls map[string][]string) [][]string {
 	var comps [][]string
 	counter := 0
 
-	var strongconnect func(v string)
-	strongconnect = func(v string) {
+	type frame struct {
+		v    string
+		next int // index into calls[v]
+	}
+	var frames []frame
+	push := func(v string) {
 		counter++
 		index[v] = counter
 		lowlink[v] = counter
 		stack = append(stack, v)
 		onStack[v] = true
-		for _, w := range calls[v] {
-			if _, seen := index[w]; !seen {
-				strongconnect(w)
-				if lowlink[w] < lowlink[v] {
-					lowlink[v] = lowlink[w]
-				}
-			} else if onStack[w] && index[w] < lowlink[v] {
-				lowlink[v] = index[w]
-			}
-		}
-		if lowlink[v] == index[v] {
-			var comp []string
-			for {
-				w := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[w] = false
-				comp = append(comp, w)
-				if w == v {
-					break
-				}
-			}
-			sort.Strings(comp)
-			comps = append(comps, comp)
-		}
+		frames = append(frames, frame{v: v})
 	}
-	for _, v := range names {
-		if _, seen := index[v]; !seen {
-			strongconnect(v)
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(calls[f.v]) {
+				w := calls[f.v][f.next]
+				f.next++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// f.v's subtree is complete: emit its component if it is a
+			// root, then propagate its lowlink to the DFS parent.
+			if lowlink[f.v] == index[f.v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				sort.Strings(comp)
+				comps = append(comps, comp)
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[v]
+				}
+			}
 		}
 	}
 	// Tarjan emits components in reverse topological order of the

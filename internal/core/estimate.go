@@ -39,6 +39,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cdg"
 	"repro/internal/cfg"
+	"repro/internal/cost"
 	"repro/internal/ecfg"
 	"repro/internal/freq"
 	"repro/internal/lower"
@@ -58,7 +59,9 @@ type NodeEstimate struct {
 type ProcEstimate struct {
 	A    *analysis.Proc
 	Freq *freq.Table
-	Node map[cfg.NodeID]NodeEstimate
+	// Node is indexed directly by NodeID (dense over the extended CFG;
+	// index 0 and nodes outside the FCDG hold zero tuples).
+	Node []NodeEstimate
 	// Time and Var are TIME(START) and VAR(START): the average execution
 	// time and variance of one invocation.
 	Time, Var float64
@@ -95,7 +98,7 @@ type Options struct {
 // local COST(u) table per procedure (call nodes: linkage overhead only —
 // the callee's time is added here per rule 2).
 func EstimateProgram(prog *analysis.Program, profile map[string]freq.Totals,
-	costs map[string]map[cfg.NodeID]float64, opt Options) (*ProgramEstimate, error) {
+	costs map[string]cost.Table, opt Options) (*ProgramEstimate, error) {
 
 	out := &ProgramEstimate{Prog: prog, Procs: make(map[string]*ProcEstimate)}
 
@@ -147,16 +150,16 @@ func EstimateProgram(prog *analysis.Program, profile map[string]freq.Totals,
 
 // estimateProc runs the bottom-up FCDG pass of Sections 4 and 5 for one
 // procedure, with callee times/variances taken from the given maps.
-func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts map[cfg.NodeID]float64,
+func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts cost.Table,
 	calleeTime, calleeVar map[string]float64, opt Options) *ProcEstimate {
 
-	pe := &ProcEstimate{A: a, Freq: tab, Node: make(map[cfg.NodeID]NodeEstimate)}
+	pe := &ProcEstimate{A: a, Freq: tab, Node: make([]NodeEstimate, a.Ext.G.MaxID()+1)}
 	f := a.FCDG
 	topo := f.Topo()
 
 	for i := len(topo) - 1; i >= 0; i-- {
 		u := topo[i]
-		baseCost := procCosts[u]
+		baseCost := procCosts.At(u)
 		costVar := 0.0
 		if op, ok := callOp(a, u); ok {
 			baseCost += calleeTime[op.S.Name]
@@ -170,30 +173,33 @@ func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts map[cfg.NodeID]fl
 		if node.Type == cfg.Preheader {
 			// Case 1: the only label of interest is the loop-body label;
 			// pseudo labels have zero frequency and contribute nothing.
-			c := cdg.Condition{Node: u, Label: ecfg.LoopBodyLabel}
-			F := tab.Freq[c]
+			var F, sumT, sumV float64
+			for _, ci := range f.NodeConds(u) {
+				if ci.Cond.Label != ecfg.LoopBodyLabel {
+					continue
+				}
+				F = tab.Freq.AtIndex(ci.Index)
+				for _, v := range ci.Children {
+					sumT += pe.Node[v].Time
+					sumV += pe.Node[v].Var
+				}
+			}
 			varF := 0.0
 			if opt.FreqVar != nil {
-				varF = opt.FreqVar[a.P.G.Name][c]
-			}
-			var sumT, sumV float64
-			for _, v := range f.Children(u, ecfg.LoopBodyLabel) {
-				sumT += pe.Node[v].Time
-				sumV += pe.Node[v].Var
+				varF = opt.FreqVar[a.P.G.Name][cdg.Condition{Node: u, Label: ecfg.LoopBodyLabel}]
 			}
 			est.Time = F * sumT
 			est.Var = F*F*sumV + varF*sumT*sumT + varF*sumV
 		} else {
 			// Case 2.
 			var timeC, eTC2 float64
-			for _, l := range f.Labels(u) {
-				c := cdg.Condition{Node: u, Label: l}
-				F := tab.Freq[c]
+			for _, ci := range f.NodeConds(u) {
+				F := tab.Freq.AtIndex(ci.Index)
 				if F == 0 {
 					continue
 				}
 				var sumT, sumV float64
-				for _, v := range f.Children(u, l) {
+				for _, v := range ci.Children {
 					sumT += pe.Node[v].Time
 					sumV += pe.Node[v].Var
 				}
@@ -230,7 +236,7 @@ func callOp(a *analysis.Proc, u cfg.NodeID) (lower.OpCall, bool) {
 // re-runs the node-level estimate with the solved values so per-node
 // tuples are consistent.
 func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*freq.Table,
-	costs map[string]map[cfg.NodeID]float64, calleeTime, calleeVar map[string]float64,
+	costs map[string]cost.Table, calleeTime, calleeVar map[string]float64,
 	opt Options, out *ProgramEstimate) error {
 
 	n := len(comp)

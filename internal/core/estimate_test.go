@@ -51,7 +51,7 @@ func TestFigure3HandBuilt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pe := estimateProc(a, tab, paperex.Costs(), nil, nil, Options{})
+	pe := estimateProc(a, tab, cost.FromMap(paperex.Costs()), nil, nil, Options{})
 
 	if math.Abs(pe.Time-paperex.PaperTime) > 1e-9 {
 		t.Errorf("TIME(START) = %g, want %g", pe.Time, paperex.PaperTime)
@@ -100,16 +100,17 @@ func TestFigure3FullPipeline(t *testing.T) {
 	}
 	// The paper's COST table: 1 per IF, 100 for the CALL, 0 elsewhere —
 	// and FOO is free so rule 2 contributes nothing extra.
-	costs := map[string]map[cfg.NodeID]float64{"EXMPL": {}, "FOO": {}}
 	a := p.An.Procs["EXMPL"]
+	exCosts := cost.NewTable(a.P.G.MaxID())
 	for id, s := range a.P.Stmt {
 		switch s.Text()[0:2] {
 		case "IF":
-			costs["EXMPL"][id] = 1
+			exCosts[id] = 1
 		case "CA":
-			costs["EXMPL"][id] = 100
+			exCosts[id] = 100
 		}
 	}
+	costs := map[string]cost.Table{"EXMPL": exCosts, "FOO": nil}
 	est, err := EstimateProgram(p.An, map[string]freq.Totals(profile), costs, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -495,7 +496,7 @@ func TestLoopFrequencyVariance(t *testing.T) {
 	if varF != 2 {
 		t.Errorf("VAR(FREQ(inner)) = %g, want 2 (header executions 2..6)", varF)
 	}
-	F := pe.Freq.Freq[cond]
+	F := pe.Freq.Freq.At(cond)
 	var sumT, sumV float64
 	for _, v := range a.FCDG.Children(ph, ecfg.LoopBodyLabel) {
 		sumT += pe.Node[v].Time

@@ -138,5 +138,5 @@ func (pe *ProgramEstimate) ConditionFreq(proc string, u cfg.NodeID, l cfg.Label)
 	if !ok {
 		return 0
 	}
-	return p.Freq.Freq[cdg.Condition{Node: u, Label: l}]
+	return p.Freq.Freq.At(cdg.Condition{Node: u, Label: l})
 }

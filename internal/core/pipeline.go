@@ -2,9 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/analysis"
-	"repro/internal/cfg"
 	"repro/internal/cost"
 	"repro/internal/freq"
 	"repro/internal/interp"
@@ -19,10 +20,27 @@ type Pipeline struct {
 	Prog *lang.Program
 	Res  *lower.Result
 	An   *analysis.Program
+
+	// Workers bounds the concurrency of the per-procedure analysis and
+	// the per-seed profiling runs; ≤ 0 means GOMAXPROCS. Results are
+	// bit-identical for every worker count.
+	Workers int
+
+	// plans caches one optimized counter placement per procedure; plans
+	// depend only on the analysis, so they are computed once and shared by
+	// every profiling run.
+	plansOnce sync.Once
+	plans     profiler.Plans
+	plansErr  error
 }
 
-// Load parses and analyzes a source program.
-func Load(src string) (*Pipeline, error) {
+// Load parses and analyzes a source program with GOMAXPROCS workers.
+func Load(src string) (*Pipeline, error) { return LoadWorkers(src, 0) }
+
+// LoadWorkers parses and analyzes a source program, fanning the
+// per-procedure analysis out to the given number of workers (≤ 0 means
+// GOMAXPROCS). The worker count is retained for later Profile calls.
+func LoadWorkers(src string, workers int) (*Pipeline, error) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
@@ -31,35 +49,96 @@ func Load(src string) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	an, err := analysis.AnalyzeProgram(res)
+	an, err := analysis.AnalyzeProgramWorkers(res, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{Prog: prog, Res: res, An: an}, nil
+	return &Pipeline{Prog: prog, Res: res, An: an, Workers: workers}, nil
+}
+
+// profilePlans returns the per-procedure counter plans, computing them on
+// first use.
+func (p *Pipeline) profilePlans() (profiler.Plans, error) {
+	p.plansOnce.Do(func() {
+		p.plans, p.plansErr = profiler.BuildPlans(p.An)
+	})
+	return p.plans, p.plansErr
 }
 
 // Profile executes the program once per seed with optimized counter-based
 // profiling and returns the accumulated per-procedure TOTAL_FREQ profile
 // (the program-database content) together with the last run's result.
+//
+// Seeds run concurrently on up to Workers goroutines, each accumulating
+// into a private profile; the merge happens after the barrier, in seed
+// order, so the result is bit-identical to a sequential run (merging only
+// sums counters). Runs fall back to sequential execution when the options
+// carry an output writer or per-node hooks, which must observe runs one at
+// a time.
 func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.ProgramProfile, *interp.Result, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	acc := make(profiler.ProgramProfile)
-	var last *interp.Result
-	for _, seed := range seeds {
+	plans, err := p.profilePlans()
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if opts.Out != nil || opts.OnNode != nil || opts.OnNodeCost != nil {
+		workers = 1
+	}
+
+	profs := make([]profiler.ProgramProfile, len(seeds))
+	runs := make([]*interp.Result, len(seeds))
+	errs := make([]error, len(seeds))
+	oneSeed := func(i int) {
 		o := opts
-		o.Seed = seed
+		o.Seed = seeds[i]
 		run, err := interp.Run(p.Res, o)
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
-		last = run
-		prof, err := profiler.ProfileProgram(p.An, run)
-		if err != nil {
-			return nil, nil, err
+		runs[i] = run
+		profs[i], errs[i] = plans.Profile(run)
+	}
+	if workers <= 1 {
+		for i := range seeds {
+			oneSeed(i)
 		}
-		for name, totals := range prof {
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					oneSeed(i)
+				}
+			}()
+		}
+		for i := range seeds {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	acc := make(profiler.ProgramProfile)
+	var last *interp.Result
+	for i := range seeds {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		last = runs[i]
+		for name, totals := range profs[i] {
 			if acc[name] == nil {
 				acc[name] = make(freq.Totals)
 			}
@@ -70,8 +149,8 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 }
 
 // CostTables computes COST(u) for every procedure under a cost model.
-func (p *Pipeline) CostTables(m cost.Model) map[string]map[cfg.NodeID]float64 {
-	out := make(map[string]map[cfg.NodeID]float64, len(p.Res.Procs))
+func (p *Pipeline) CostTables(m cost.Model) map[string]cost.Table {
+	out := make(map[string]cost.Table, len(p.Res.Procs))
 	for name, proc := range p.Res.Procs {
 		out[name] = m.Table(proc)
 	}

@@ -212,9 +212,41 @@ func (m Model) exprCost(e lang.Expr) float64 {
 	return 0
 }
 
+// Table is a dense COST(u) table indexed directly by NodeID (index 0 is
+// the None sentinel and unused). A nil or short table reads as zero cost
+// via At, so sparse hand-built tables need only cover the priced nodes.
+type Table []float64
+
+// NewTable returns a zeroed table able to hold nodes 1..maxID.
+func NewTable(maxID cfg.NodeID) Table { return make(Table, maxID+1) }
+
+// At returns COST(u), treating out-of-range nodes as free.
+func (t Table) At(u cfg.NodeID) float64 {
+	if u <= cfg.None || int(u) >= len(t) {
+		return 0
+	}
+	return t[u]
+}
+
+// FromMap converts a sparse map into a dense table sized to its largest
+// key.
+func FromMap(m map[cfg.NodeID]float64) Table {
+	max := cfg.None
+	for u := range m {
+		if u > max {
+			max = u
+		}
+	}
+	t := NewTable(max)
+	for u, v := range m {
+		t[u] = v
+	}
+	return t
+}
+
 // Table computes the full COST(u) table for one lowered procedure.
-func (m Model) Table(p *lower.Proc) map[cfg.NodeID]float64 {
-	out := make(map[cfg.NodeID]float64, p.G.NumNodes())
+func (m Model) Table(p *lower.Proc) Table {
+	out := NewTable(p.G.MaxID())
 	for _, n := range p.G.Nodes() {
 		if op, ok := n.Payload.(lower.Op); ok {
 			out[n.ID] = m.NodeCost(op)

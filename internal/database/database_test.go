@@ -9,6 +9,7 @@ import (
 	"repro/internal/cdg"
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/interp"
 	"repro/internal/paperex"
 )
@@ -81,7 +82,7 @@ func TestMergeAccumulatesAndSurvivesRoundTrip(t *testing.T) {
 	// Estimating from the merged database equals estimating from the
 	// in-memory accumulated profile (the deterministic program runs
 	// identically under every seed, so totals are 3x the single run).
-	est, err := core.EstimateProgram(p.An, a, map[string]map[cfg.NodeID]float64{"EXMPL": exCosts(p), "FOO": {}}, core.Options{})
+	est, err := core.EstimateProgram(p.An, a, map[string]cost.Table{"EXMPL": exCosts(p), "FOO": nil}, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +91,8 @@ func TestMergeAccumulatesAndSurvivesRoundTrip(t *testing.T) {
 	}
 }
 
-func exCosts(p *core.Pipeline) map[cfg.NodeID]float64 {
-	costs := map[cfg.NodeID]float64{}
+func exCosts(p *core.Pipeline) cost.Table {
+	costs := cost.NewTable(p.An.Procs["EXMPL"].P.G.MaxID())
 	for id, s := range p.An.Procs["EXMPL"].P.Stmt {
 		switch s.Text()[0:2] {
 		case "IF":

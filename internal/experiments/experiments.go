@@ -71,16 +71,17 @@ func Figure3() (*Figure3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	costs := map[string]map[cfg.NodeID]float64{"EXMPL": {}, "FOO": {}}
 	a := p.An.Procs["EXMPL"]
+	exCosts := cost.NewTable(a.P.G.MaxID())
 	for id, s := range a.P.Stmt {
 		switch {
 		case strings.HasPrefix(s.Text(), "IF"):
-			costs["EXMPL"][id] = 1
+			exCosts[id] = 1
 		case strings.HasPrefix(s.Text(), "CALL"):
-			costs["EXMPL"][id] = 100
+			exCosts[id] = 100
 		}
 	}
+	costs := map[string]cost.Table{"EXMPL": exCosts, "FOO": nil}
 	est, err := core.EstimateProgram(p.An, map[string]freq.Totals(profile), costs, core.Options{})
 	if err != nil {
 		return nil, err
@@ -104,7 +105,7 @@ func (r *Figure3Result) Format() string {
 		for _, edge := range r.A.FCDG.OutEdges(u) {
 			c := cdg.Condition{Node: u, Label: edge.Label}
 			fmt.Fprintf(&b, "      -%s-> %-3d  <%g, %g>\n",
-				edge.Label, edge.To, r.Freq.Freq[c], r.Totals[c])
+				edge.Label, edge.To, r.Freq.Freq.At(c), r.Totals[c])
 		}
 	}
 	fmt.Fprintf(&b, "\nTIME(START)    = %g   (paper: %g)\n", r.Est.Time, paperex.PaperTime)

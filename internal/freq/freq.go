@@ -13,6 +13,11 @@
 // FREQ(u,l) is a branch probability in [0,1] for ordinary nodes and the
 // average iteration count (≥ 0) of the interval for preheader loop
 // conditions.
+//
+// The recurrence tables are dense: NODE_FREQ is a slice indexed directly
+// by cfg.NodeID (IDs are small and contiguous) and FREQ is a CondVec
+// indexed by the FCDG's condition index, so the inner loops never hash a
+// map key.
 package freq
 
 import (
@@ -24,7 +29,9 @@ import (
 
 // Totals maps control conditions to their accumulated TOTAL_FREQ. The
 // special condition (START, U) holds the number of procedure invocations
-// the profile covers.
+// the profile covers. This stays a map because it is the interchange
+// format of the program database; the per-node recurrence tables below are
+// the dense hot-path representation.
 type Totals map[cdg.Condition]float64
 
 // Add accumulates another profile into t (the program-database merge
@@ -36,14 +43,53 @@ func (t Totals) Add(other Totals) {
 	}
 }
 
+// CondVec is a dense FREQ table over an FCDG's condition index: one slot
+// per control condition, addressable either by dense index (hot paths) or
+// by Condition (convenience lookups).
+type CondVec struct {
+	f *cdg.Graph
+	v []float64
+}
+
+// NewCondVec returns a zeroed table sized to f's conditions.
+func NewCondVec(f *cdg.Graph) CondVec {
+	return CondVec{f: f, v: make([]float64, f.NumConditions())}
+}
+
+// At returns FREQ(c), or 0 when c is not a condition of the FCDG —
+// matching the zero-default of the map representation it replaces.
+func (cv CondVec) At(c cdg.Condition) float64 {
+	if i, ok := cv.f.CondIndex(c); ok {
+		return cv.v[i]
+	}
+	return 0
+}
+
+// AtIndex returns the value at dense condition index i.
+func (cv CondVec) AtIndex(i int) float64 { return cv.v[i] }
+
+// SetIndex stores the value at dense condition index i.
+func (cv CondVec) SetIndex(i int, x float64) { cv.v[i] = x }
+
+// Len returns the number of conditions.
+func (cv CondVec) Len() int { return len(cv.v) }
+
+// Graph returns the FCDG the table is indexed against.
+func (cv CondVec) Graph() *cdg.Graph { return cv.f }
+
+// NodeVec is a dense per-node table indexed directly by cfg.NodeID
+// (index 0 is the None sentinel and unused). Indexing reads exactly like
+// the map it replaces: v[u].
+type NodeVec []float64
+
 // Table holds the recovered relative frequencies of one procedure.
 type Table struct {
 	F *cdg.Graph
 	// Freq is FREQ(u,l) per Definition 3.
-	Freq map[cdg.Condition]float64
+	Freq CondVec
 	// NodeFreq is the average number of executions of each node per
-	// invocation of the procedure.
-	NodeFreq map[cfg.NodeID]float64
+	// invocation of the procedure, indexed by NodeID.
+	NodeFreq NodeVec
 	// Runs is TOTAL_FREQ(START, U): the number of invocations profiled.
 	Runs float64
 	// FreqVar optionally holds VAR(FREQ(u,l)) for loop conditions, when
@@ -71,8 +117,8 @@ func Compute(f *cdg.Graph, totals Totals) (*Table, error) {
 func ComputeOpts(f *cdg.Graph, totals Totals, opts Opts) (*Table, error) {
 	t := &Table{
 		F:        f,
-		Freq:     make(map[cdg.Condition]float64),
-		NodeFreq: make(map[cfg.NodeID]float64),
+		Freq:     NewCondVec(f),
+		NodeFreq: make(NodeVec, f.Ext.G.MaxID()+1),
 	}
 	startCond := cdg.Condition{Node: f.Root, Label: cfg.Uncond}
 	t.Runs = totals[startCond]
@@ -87,35 +133,37 @@ func ComputeOpts(f *cdg.Graph, totals Totals, opts Opts) (*Table, error) {
 	t.NodeFreq[f.Root] = 1
 	for _, u := range topo {
 		nf := t.NodeFreq[u]
-		// FREQ for each of u's conditions (footnote 2: guard the division).
-		for _, l := range f.Labels(u) {
-			c := cdg.Condition{Node: u, Label: l}
+		// FREQ for each of u's conditions (footnote 2: guard the division),
+		// then propagate NODE_FREQ to the condition's children.
+		for _, ci := range f.NodeConds(u) {
+			c := ci.Cond
+			fr := 0.0
 			if sv, ok := opts.Static[c]; ok {
-				t.Freq[c] = sv
-				continue
-			}
-			den := t.Runs * nf
-			num := totals[c]
-			if den == 0 {
-				if num != 0 {
-					return nil, fmt.Errorf("freq: inconsistent profile: TOTAL%v = %g but node %d never executes", c, num, u)
+				fr = sv
+			} else {
+				den := t.Runs * nf
+				num := totals[c]
+				if den == 0 {
+					if num != 0 {
+						return nil, fmt.Errorf("freq: inconsistent profile: TOTAL%v = %g but node %d never executes", c, num, u)
+					}
+				} else {
+					fr = num / den
 				}
-				t.Freq[c] = 0
-				continue
 			}
-			t.Freq[c] = num / den
-		}
-		// Propagate NODE_FREQ to children.
-		for _, e := range f.OutEdges(u) {
-			c := cdg.Condition{Node: u, Label: e.Label}
-			t.NodeFreq[e.To] += nf * t.Freq[c]
+			t.Freq.SetIndex(ci.Index, fr)
+			for _, v := range ci.Children {
+				t.NodeFreq[v] += nf * fr
+			}
 		}
 	}
 
 	// Sanity: branch probabilities must lie in [0,1] (loop conditions may
 	// exceed 1). A violation means the totals did not come from a
 	// consistent profile.
-	for c, v := range t.Freq {
+	for i := 0; i < t.Freq.Len(); i++ {
+		v := t.Freq.AtIndex(i)
+		c := f.CondAt(i)
 		if v < 0 {
 			return nil, fmt.Errorf("freq: FREQ%v = %g < 0", c, v)
 		}

@@ -58,7 +58,7 @@ func TestComputePaperValues(t *testing.T) {
 		{cdg.Condition{Node: paperex.IfNLt, Label: cfg.False}, 0.9},
 	}
 	for _, c := range checks {
-		if got := tab.Freq[c.c]; math.Abs(got-c.want) > 1e-12 {
+		if got := tab.Freq.At(c.c); math.Abs(got-c.want) > 1e-12 {
 			t.Errorf("FREQ%v = %g, want %g", c.c, got, c.want)
 		}
 	}
@@ -90,8 +90,8 @@ func TestFootnote2ZeroGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := cdg.Condition{Node: paperex.IfNGe, Label: cfg.True}
-	if tab.Freq[c] != 0 {
-		t.Errorf("FREQ of dead branch = %g", tab.Freq[c])
+	if tab.Freq.At(c) != 0 {
+		t.Errorf("FREQ of dead branch = %g", tab.Freq.At(c))
 	}
 }
 
@@ -145,7 +145,7 @@ func TestStaticOverridesTotals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tab.Freq[cdg.Condition{Node: paperex.IfM, Label: cfg.True}]; got != 0.5 {
+	if got := tab.Freq.At(cdg.Condition{Node: paperex.IfM, Label: cfg.True}); got != 0.5 {
 		t.Errorf("static override ignored: %g", got)
 	}
 	// NODE_FREQ downstream reflects the static value.

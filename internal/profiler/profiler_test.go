@@ -130,7 +130,7 @@ func TestPaperExampleFrequencies(t *testing.T) {
 		{cdg.Condition{Node: a.Ext.Start, Label: cfg.Uncond}, 1}, // one invocation
 	}
 	for _, c := range cases {
-		if got := tab.Freq[c.c]; math.Abs(got-c.want) > 1e-12 {
+		if got := tab.Freq.At(c.c); math.Abs(got-c.want) > 1e-12 {
 			t.Errorf("FREQ%v = %g, want %g", c.c, got, c.want)
 		}
 	}

@@ -132,16 +132,31 @@ func (p *Plan) counterEvents(c Counter, run *interp.Result) float64 {
 // unit name.
 type ProgramProfile map[string]freq.Totals
 
-// ProfileProgram runs smart plans over every procedure of an analyzed
-// program and recovers full totals from the simulated counter readings.
-// The run must come from the same lowered program.
-func ProfileProgram(prog *analysis.Program, run *interp.Result) (ProgramProfile, error) {
-	out := make(ProgramProfile, len(prog.Procs))
+// Plans holds one smart counter placement per procedure. A placement
+// depends only on the analysis, so one Plans value serves every run of
+// the same program; profiling with it is read-only and safe to share
+// across concurrent runs.
+type Plans map[string]*Plan
+
+// BuildPlans computes the smart placement of every procedure once.
+func BuildPlans(prog *analysis.Program) (Plans, error) {
+	out := make(Plans, len(prog.Procs))
 	for name, a := range prog.Procs {
 		plan, err := PlanSmart(a)
 		if err != nil {
 			return nil, err
 		}
+		out[name] = plan
+	}
+	return out, nil
+}
+
+// Profile recovers full per-procedure totals from the simulated counter
+// readings of one run. The run must come from the same lowered program
+// the plans were built for.
+func (pl Plans) Profile(run *interp.Result) (ProgramProfile, error) {
+	out := make(ProgramProfile, len(pl))
+	for name, plan := range pl {
 		totals, err := plan.Recover(plan.SimulateReadings(run))
 		if err != nil {
 			return nil, err
@@ -149,6 +164,18 @@ func ProfileProgram(prog *analysis.Program, run *interp.Result) (ProgramProfile,
 		out[name] = totals
 	}
 	return out, nil
+}
+
+// ProfileProgram runs smart plans over every procedure of an analyzed
+// program and recovers full totals from the simulated counter readings.
+// The run must come from the same lowered program. Callers profiling the
+// same program repeatedly should BuildPlans once and use Plans.Profile.
+func ProfileProgram(prog *analysis.Program, run *interp.Result) (ProgramProfile, error) {
+	plans, err := BuildPlans(prog)
+	if err != nil {
+		return nil, err
+	}
+	return plans.Profile(run)
 }
 
 // LoopVariance extracts, for every loop condition of a procedure, the

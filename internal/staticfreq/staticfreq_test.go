@@ -87,7 +87,7 @@ func TestStaticAgreesWithProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	for c, sv := range static["STATP"] {
-		if pv := tab.Freq[c]; math.Abs(pv-sv) > 1e-12 {
+		if pv := tab.Freq.At(c); math.Abs(pv-sv) > 1e-12 {
 			t.Errorf("condition %v: static FREQ %g != profiled FREQ %g", c, sv, pv)
 		}
 	}

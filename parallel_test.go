@@ -1,0 +1,94 @@
+// Parallel determinism: the analysis fan-out and the per-seed profiling
+// pool must produce bit-identical results for every worker count. The
+// merge step sums private per-seed profiles in seed order and every
+// per-procedure table is computed independently, so not a single float64
+// may differ — the comparisons below use ==, not a tolerance. Run with
+// -race to also exercise the memory-safety half of the claim.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/progen"
+)
+
+func TestParallelDeterminism(t *testing.T) {
+	src := progen.Generate(7, 60, 3)
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+
+	type snapshot struct {
+		profile map[string]map[string]float64 // proc -> condition key -> TOTAL_FREQ
+		time    map[string]float64            // proc -> TIME(START)
+		vari    map[string]float64            // proc -> VAR(START)
+		nodes   map[string][]float64          // proc -> per-node TIME
+	}
+	take := func(workers int) snapshot {
+		p, err := core.LoadWorkers(src, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		profile, _, err := p.Profile(interp.Options{}, seeds...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		est, err := p.EstimateWithProfile(profile, cost.Optimized, core.Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		s := snapshot{
+			profile: map[string]map[string]float64{},
+			time:    map[string]float64{},
+			vari:    map[string]float64{},
+			nodes:   map[string][]float64{},
+		}
+		for name, totals := range profile {
+			m := map[string]float64{}
+			for c, v := range totals {
+				m[c.String()] = v
+			}
+			s.profile[name] = m
+		}
+		for name, pe := range est.Procs {
+			s.time[name] = pe.Time
+			s.vari[name] = pe.Var
+			times := make([]float64, len(pe.Node))
+			for i, e := range pe.Node {
+				times[i] = e.Time
+			}
+			s.nodes[name] = times
+		}
+		return s
+	}
+
+	base := take(1)
+	for _, w := range []int{4, 8} {
+		got := take(w)
+		for name, totals := range base.profile {
+			other := got.profile[name]
+			if len(other) != len(totals) {
+				t.Fatalf("workers=%d proc %s: %d conditions, want %d", w, name, len(other), len(totals))
+			}
+			for key, v := range totals {
+				if other[key] != v {
+					t.Errorf("workers=%d proc %s TOTAL_FREQ(%s) = %v, want %v", w, name, key, other[key], v)
+				}
+			}
+		}
+		for name, v := range base.time {
+			if got.time[name] != v {
+				t.Errorf("workers=%d proc %s TIME = %v, want %v", w, name, got.time[name], v)
+			}
+			if got.vari[name] != base.vari[name] {
+				t.Errorf("workers=%d proc %s VAR = %v, want %v", w, name, got.vari[name], base.vari[name])
+			}
+			for i, tv := range base.nodes[name] {
+				if got.nodes[name][i] != tv {
+					t.Errorf("workers=%d proc %s node %d TIME = %v, want %v", w, name, i, got.nodes[name][i], tv)
+				}
+			}
+		}
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
-	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/freq"
@@ -96,8 +95,8 @@ func checkInvariants(t *testing.T, src string, seed uint64) {
 	}
 }
 
-func costTables(res *lower.Result, m cost.Model) map[string]map[cfg.NodeID]float64 {
-	out := make(map[string]map[cfg.NodeID]float64, len(res.Procs))
+func costTables(res *lower.Result, m cost.Model) map[string]cost.Table {
+	out := make(map[string]cost.Table, len(res.Procs))
 	for name, p := range res.Procs {
 		out[name] = m.Table(p)
 	}
