@@ -1,9 +1,11 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench oracle fuzz-smoke
 
-# check is the tier-1 gate: formatting, vet, build, race-enabled tests.
-check: fmt vet build test
+# check is the tier-1 gate: formatting, vet, build, race-enabled tests,
+# plus the oracle sweep and a fuzzing smoke pass.
+check: fmt vet build test oracle fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,3 +22,14 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# oracle sweeps 200 generated programs through every registry invariant and
+# fails on the first violation (JSON report on stdout).
+oracle:
+	$(GO) run ./cmd/oracle -seeds 200 -quiet
+
+# fuzz-smoke gives each native fuzz target a short budget; any panic or
+# invariant violation found becomes a crasher in testdata/fuzz.
+fuzz-smoke:
+	$(GO) test ./internal/oracle/ -run '^$$' -fuzz FuzzParsePipeline -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle/ -run '^$$' -fuzz FuzzProgenOracle -fuzztime $(FUZZTIME)

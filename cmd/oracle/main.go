@@ -1,0 +1,78 @@
+// Command oracle runs the differential/metamorphic verification harness
+// over a corpus of generated programs and reports per-invariant pass/fail
+// tallies as JSON, with failing cases minimized to the smallest generator
+// knobs that still reproduce them.
+//
+// Usage:
+//
+//	oracle -seeds 200 [-start 1] [-size 8] [-depth 3] [-runs 3]
+//	       [-workers N] [-invariants name,name,...] [-branchfree-every 4]
+//	       [-no-minimize] [-quiet]
+//
+// The exit status is 0 when every invariant passes and 1 otherwise, so the
+// command doubles as a CI gate (`make oracle`). To reproduce a failure, re-run
+// with `-start <seed> -seeds 1 -size <min_size> -depth <min_depth>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/oracle"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 200, "number of generated programs")
+	start := flag.Uint64("start", 1, "first program seed")
+	size := flag.Int("size", 8, "generator size ceiling (per-seed spread 1..size)")
+	depth := flag.Int("depth", 3, "generator loop/IF nesting depth")
+	runs := flag.Int("runs", 3, "profiled interpreter runs per program")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent case evaluations")
+	invariants := flag.String("invariants", "", "comma-separated invariant names (default: all)")
+	branchFreeEvery := flag.Int("branchfree-every", 4, "every k-th case uses the branch-free program family (0 = never)")
+	noMinimize := flag.Bool("no-minimize", false, "skip shrinking failing cases")
+	quiet := flag.Bool("quiet", false, "suppress the human-readable summary on stderr")
+	list := flag.Bool("list", false, "list registry invariants and exit")
+	flag.Parse()
+
+	if *list {
+		for _, inv := range oracle.Registry() {
+			fmt.Printf("%-18s %s\n", inv.Name, inv.Desc)
+		}
+		return
+	}
+
+	cfg := oracle.Config{
+		SeedStart:       *start,
+		Seeds:           *seeds,
+		Size:            *size,
+		Depth:           *depth,
+		ProfileRuns:     *runs,
+		BranchFreeEvery: *branchFreeEvery,
+		Workers:         *workers,
+		Minimize:        !*noMinimize,
+	}
+	if *invariants != "" {
+		cfg.Invariants = strings.Split(*invariants, ",")
+	}
+	rep, err := oracle.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(2)
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(out))
+	if !*quiet {
+		fmt.Fprint(os.Stderr, rep.Summary())
+	}
+	if !rep.AllPass {
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,8 @@
 package cost
 
 import (
+	"fmt"
+
 	"repro/internal/cfg"
 	"repro/internal/lang"
 	"repro/internal/lower"
@@ -84,6 +86,33 @@ var Unit = Model{
 	Name:          "unit",
 	CounterUpdate: 1, CounterAdd: 1,
 	Floor: 1,
+}
+
+// Scaled returns the model with every primitive cost multiplied by k — a
+// uniformly k-times-slower (or faster) target architecture. Because every
+// COST(u) scales linearly, TIME scales by k, VAR by k², and STD_DEV by k;
+// the oracle's cost-scaling invariant checks exactly that.
+func (m Model) Scaled(k float64) Model {
+	s := m
+	s.Name = fmt.Sprintf("%s×%g", m.Name, k)
+	s.AddSub *= k
+	s.Mul *= k
+	s.Div *= k
+	s.Pow *= k
+	s.Rel *= k
+	s.Intrin *= k
+	s.Load *= k
+	s.Store *= k
+	s.IndexCalc *= k
+	s.Branch *= k
+	s.Jump *= k
+	s.LoopOvhd *= k
+	s.CallOvhd *= k
+	s.PrintOp *= k
+	s.CounterUpdate *= k
+	s.CounterAdd *= k
+	s.Floor *= k
+	return s
 }
 
 // NodeCost returns COST(u) for a lowered node payload under the model.

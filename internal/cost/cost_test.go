@@ -1,6 +1,9 @@
 package cost
 
 import (
+	"math"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/lang"
@@ -137,5 +140,51 @@ func TestCallCostExcludesCallee(t *testing.T) {
 	// accounted by rule 2 in the estimator, not here.
 	if callCost > m.CallOvhd+1 {
 		t.Errorf("call node cost %g should be near linkage cost %g", callCost, m.CallOvhd)
+	}
+}
+
+// TestScaledMultipliesEveryField uses reflection so that a cost field added
+// later without updating Scaled fails here instead of silently breaking the
+// oracle's cost-scaling invariant.
+func TestScaledMultipliesEveryField(t *testing.T) {
+	const k = 2.5
+	m := Unoptimized
+	m.Floor = 0.5 // exercise the floor too
+	s := m.Scaled(k)
+	mv, sv := reflect.ValueOf(m), reflect.ValueOf(s)
+	for i := 0; i < mv.NumField(); i++ {
+		f := mv.Type().Field(i)
+		if f.Type.Kind() != reflect.Float64 {
+			continue
+		}
+		orig, scaled := mv.Field(i).Float(), sv.Field(i).Float()
+		if math.Abs(scaled-k*orig) > 1e-12*math.Max(1, math.Abs(k*orig)) {
+			t.Errorf("field %s: %g scaled to %g, want %g", f.Name, orig, scaled, k*orig)
+		}
+	}
+	if s.Name == m.Name || !strings.Contains(s.Name, m.Name) {
+		t.Errorf("scaled model name %q should derive from %q", s.Name, m.Name)
+	}
+}
+
+// TestScaledScalesNodeCosts checks the end-to-end property on a lowered
+// procedure: every node's table cost scales by exactly k.
+func TestScaledScalesNodeCosts(t *testing.T) {
+	const k = 3.0
+	p := lowerOne(t, `      INTEGER I
+      REAL X
+      X = 0.0
+      DO 10 I = 1, 4
+         X = X + SIN(X)*2.0
+   10 CONTINUE
+      PRINT *, X
+`)
+	base := Optimized.Table(p)
+	scaled := Optimized.Scaled(k).Table(p)
+	for _, n := range p.G.Nodes() {
+		want := k * base[n.ID]
+		if math.Abs(scaled[n.ID]-want) > 1e-12*math.Max(1, want) {
+			t.Errorf("node %d (%s): cost %g, want %g", n.ID, n.Name, scaled[n.ID], want)
+		}
 	}
 }

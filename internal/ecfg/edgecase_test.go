@@ -1,0 +1,151 @@
+package ecfg
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/interval"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// buildFromSource lowers a program and builds the ECFG of its main unit.
+func buildFromSource(t *testing.T, src string) *Ext {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	in, err := interval.Analyze(res.Main.G)
+	if err != nil {
+		t.Fatalf("interval: %v", err)
+	}
+	ext, err := Build(res.Main.G, in)
+	if err != nil {
+		t.Fatalf("ecfg: %v", err)
+	}
+	return ext
+}
+
+// TestLoweredEdgeCases checks the ECFG shape on the same boundary programs
+// the interval package tests: a zero-trip DO, a single-node self-loop, and a
+// loop whose several exit edges share one target. The key structural
+// property is that every exit edge gets its own POSTEXIT — an exit target
+// with multiple predecessors never produces a postexit with more than one
+// real in-edge.
+func TestLoweredEdgeCases(t *testing.T) {
+	cases := []struct {
+		name          string
+		src           string
+		wantPostexits int
+	}{
+		{
+			name: "zero-trip DO",
+			src: `      PROGRAM ZTRIP
+      INTEGER I, K
+      K = 0
+      DO 10 I = 5, 1
+         K = K + 1
+   10 CONTINUE
+      PRINT *, K
+      END
+`,
+			wantPostexits: 1,
+		},
+		{
+			name: "single-node self-loop",
+			src: `      PROGRAM SELFL
+   10 IF (RAND() .LT. 0.5) GOTO 10
+      PRINT *, 1
+      END
+`,
+			wantPostexits: 1,
+		},
+		{
+			name: "three exit edges to one join",
+			src: `      PROGRAM TWOEX
+      INTEGER K
+      K = 0
+   10 K = K + 1
+      IF (RAND() .LT. 0.2) GOTO 30
+      IF (RAND() .LT. 0.3) GOTO 30
+      IF (K .LT. 8) GOTO 10
+   30 CONTINUE
+      PRINT *, K
+      END
+`,
+			wantPostexits: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ext := buildFromSource(t, tc.src)
+			eg := ext.G
+
+			if len(ext.Preheader) != 1 {
+				t.Fatalf("preheaders = %v, want exactly one", ext.Preheader)
+			}
+			var h, ph cfg.NodeID
+			for hh, pp := range ext.Preheader {
+				h, ph = hh, pp
+			}
+			if ext.HeaderOf[ph] != h {
+				t.Errorf("HeaderOf(%d) = %d, want %d", ph, ext.HeaderOf[ph], h)
+			}
+
+			if len(ext.Postexits) != tc.wantPostexits {
+				t.Fatalf("postexits = %v, want %d:\n%s", ext.Postexits, tc.wantPostexits, eg)
+			}
+			join := cfg.None
+			for _, pe := range ext.Postexits {
+				if ext.ExitedInterval[pe] != h {
+					t.Errorf("postexit %d exits %d, want %d", pe, ext.ExitedInterval[pe], h)
+				}
+				// Exactly one real in-edge per postexit, however many exit
+				// edges converge on the same original target.
+				real, pseudoFromPh := 0, false
+				for _, e := range eg.InEdges(pe) {
+					if e.Pseudo() {
+						pseudoFromPh = pseudoFromPh || e.From == ph
+						continue
+					}
+					real++
+				}
+				if real != 1 {
+					t.Errorf("postexit %d has %d real in-edges, want 1:\n%s", pe, real, eg)
+				}
+				if !pseudoFromPh {
+					t.Errorf("postexit %d missing pseudo edge from preheader %d", pe, ph)
+				}
+				outs := eg.OutEdges(pe)
+				if len(outs) != 1 {
+					t.Fatalf("postexit %d out-edges = %v, want 1", pe, outs)
+				}
+				if join == cfg.None {
+					join = outs[0].To
+				} else if outs[0].To != join {
+					t.Errorf("postexit %d rejoins at %d, others at %d", pe, outs[0].To, join)
+				}
+			}
+
+			// The recomputed interval structure keeps the synthetic nodes in
+			// the parent (here: outermost) interval.
+			iv := ext.Intervals
+			if iv.HDR(ph) != cfg.None {
+				t.Errorf("HDR(preheader) = %d, want None", iv.HDR(ph))
+			}
+			for _, pe := range ext.Postexits {
+				if iv.HDR(pe) != cfg.None {
+					t.Errorf("HDR(postexit %d) = %d, want None", pe, iv.HDR(pe))
+				}
+			}
+			if got := iv.Headers(); len(got) != 1 || got[0] != h {
+				t.Errorf("extended headers = %v, want [%d]", got, h)
+			}
+		})
+	}
+}

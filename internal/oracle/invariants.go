@@ -1,0 +1,338 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/freq"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+)
+
+// Invariant is one named correctness property checked per case. Check
+// returns nil on pass, errSkip when the case is outside the invariant's
+// scope (e.g. a metamorphic transform found no applicable site), and a
+// descriptive error on violation.
+type Invariant struct {
+	Name  string
+	Desc  string
+	Check func(*evalCtx) error
+}
+
+// errSkip marks an invariant that does not apply to a case.
+var errSkip = errors.New("not applicable")
+
+// Registry returns every invariant in deterministic order.
+func Registry() []Invariant {
+	return []Invariant{
+		{
+			Name:  "recovery-exact",
+			Desc:  "optimized counter placement recovers the exact TOTAL_FREQ of every control condition",
+			Check: checkRecoveryExact,
+		},
+		{
+			Name:  "counter-economy",
+			Desc:  "the optimized plan never places more counters than naive per-block counting, and agrees with it on block counts",
+			Check: checkCounterEconomy,
+		},
+		{
+			Name:  "node-freq",
+			Desc:  "NODE_FREQ × activations equals the interpreter's exact node execution counts",
+			Check: checkNodeFreq,
+		},
+		{
+			Name:  "time-mean",
+			Desc:  "TIME(START) of the main program equals the measured mean trace cost over the profiled runs",
+			Check: checkTimeMean,
+		},
+		{
+			Name:  "var-sane",
+			Desc:  "VAR is non-negative everywhere, STD_DEV = √VAR, and E[T²] = VAR + TIME²",
+			Check: checkVarSane,
+		},
+		{
+			Name:  "var-branch-free",
+			Desc:  "on branch-free programs VAR(START) equals the sample variance of the measured costs (both zero)",
+			Check: checkVarBranchFree,
+		},
+		{
+			Name:  "cost-scaling",
+			Desc:  "scaling the cost model by k scales TIME by k and VAR by k²",
+			Check: checkCostScaling,
+		},
+		{
+			Name:  "meta-swap-if",
+			Desc:  "swapping IF arms under a complemented condition leaves TIME and VAR unchanged",
+			Check: checkMetaSwapIf,
+		},
+		{
+			Name:  "meta-wrap-do",
+			Desc:  "wrapping a statement in a one-trip DO leaves TIME unchanged and never decreases VAR (structural cost model)",
+			Check: checkMetaWrapDo,
+		},
+		{
+			Name:  "meta-split-block",
+			Desc:  "splitting a straight-line block with a forward GOTO leaves TIME and VAR unchanged",
+			Check: checkMetaSplitBlock,
+		},
+	}
+}
+
+// selectInvariants resolves a list of names against the registry (empty =
+// all).
+func selectInvariants(names []string) ([]Invariant, error) {
+	all := Registry()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Invariant, len(all))
+	for _, inv := range all {
+		byName[inv.Name] = inv
+	}
+	var out []Invariant
+	for _, n := range names {
+		inv, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("oracle: unknown invariant %q", n)
+		}
+		out = append(out, inv)
+	}
+	return out, nil
+}
+
+// near reports near-equality with a combined absolute/relative tolerance.
+func near(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// ---------------------------------------------------------------------------
+// Exactness invariants.
+
+func checkRecoveryExact(ctx *evalCtx) error {
+	for name := range ctx.an.Procs {
+		got, want := ctx.profile[name], ctx.exact[name]
+		for c, w := range want {
+			if g := got[c]; !near(g, w) {
+				return fmt.Errorf("proc %s: recovered TOTAL%v = %g, exact %g", name, c, g, w)
+			}
+		}
+		for c := range got {
+			if _, ok := want[c]; !ok {
+				return fmt.Errorf("proc %s: recovered unknown condition %v", name, c)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCounterEconomy(ctx *evalCtx) error {
+	for name, a := range ctx.an.Procs {
+		smart := ctx.plans[name]
+		naive := profiler.PlanNaive(a)
+		if smart.NumCounters() > naive.NumCounters() {
+			return fmt.Errorf("proc %s: optimized plan uses %d counters, naive uses %d",
+				name, smart.NumCounters(), naive.NumCounters())
+		}
+		// Differential block-count agreement: the naive counters, summed
+		// over the profiled runs, must match what the smart profile
+		// implies (NODE_FREQ × activations) for every counted block.
+		tab, err := freq.Compute(a.FCDG, ctx.profile[name])
+		if err != nil {
+			return fmt.Errorf("proc %s: freq from recovered profile: %w", name, err)
+		}
+		readings := make(profiler.Readings, naive.NumCounters())
+		for _, run := range ctx.runs {
+			readings.Add(naive.SimulateReadings(run))
+		}
+		for i, ctr := range naive.Counters {
+			if ctr.Kind != profiler.BlockCounter {
+				continue
+			}
+			implied := tab.NodeFreq[ctr.Node] * tab.Runs
+			if !near(implied, readings[i]) {
+				return fmt.Errorf("proc %s: block %d: smart profile implies %g executions, naive counter read %g",
+					name, ctr.Node, implied, readings[i])
+			}
+		}
+	}
+	return nil
+}
+
+func checkNodeFreq(ctx *evalCtx) error {
+	for name, a := range ctx.an.Procs {
+		tab, err := freq.Compute(a.FCDG, ctx.profile[name])
+		if err != nil {
+			return fmt.Errorf("proc %s: freq: %w", name, err)
+		}
+		var acts float64
+		for _, run := range ctx.runs {
+			acts += float64(run.ByProc[name].Activations)
+		}
+		for _, n := range a.P.G.Nodes() {
+			var want float64
+			for _, run := range ctx.runs {
+				want += float64(run.NodeCount(a.P, n.ID))
+			}
+			got := tab.NodeFreq[n.ID] * acts
+			if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+				return fmt.Errorf("proc %s node %d (%s): NODE_FREQ×acts = %g, exact %g",
+					name, n.ID, n.Name, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func checkTimeMean(ctx *evalCtx) error {
+	var w stats.Welford
+	for _, c := range ctx.measured {
+		w.Add(c)
+	}
+	mean := w.Mean()
+	if ctx.est.Main == nil {
+		return fmt.Errorf("no main estimate")
+	}
+	if !near(ctx.est.Main.Time, mean) {
+		return fmt.Errorf("TIME(START) = %.12g, measured mean = %.12g over %d runs",
+			ctx.est.Main.Time, mean, len(ctx.measured))
+	}
+	return nil
+}
+
+func checkVarSane(ctx *evalCtx) error {
+	for name, pe := range ctx.est.Procs {
+		if pe.Var < 0 {
+			return fmt.Errorf("proc %s: VAR(START) = %g < 0", name, pe.Var)
+		}
+		for u, e := range pe.Node {
+			if e.Var < 0 {
+				return fmt.Errorf("proc %s node %d: VAR = %g < 0", name, u, e.Var)
+			}
+			if !near(e.StdDev, math.Sqrt(e.Var)) {
+				return fmt.Errorf("proc %s node %d: STD_DEV = %g, √VAR = %g", name, u, e.StdDev, math.Sqrt(e.Var))
+			}
+			if !near(e.SecondMoment, e.Var+e.Time*e.Time) {
+				return fmt.Errorf("proc %s node %d: E[T²] = %g, VAR+TIME² = %g",
+					name, u, e.SecondMoment, e.Var+e.Time*e.Time)
+			}
+		}
+	}
+	return nil
+}
+
+func checkVarBranchFree(ctx *evalCtx) error {
+	if ctx.c.Kind != KindBranchFree {
+		return errSkip
+	}
+	var w stats.Welford
+	for _, c := range ctx.measured {
+		w.Add(c)
+	}
+	if sv := w.PopVar(); !near(sv, 0) {
+		return fmt.Errorf("branch-free program measured costs vary: sample variance %g (costs %v)", sv, ctx.measured)
+	}
+	if v := ctx.est.Main.Var; !near(v, w.PopVar()) {
+		return fmt.Errorf("VAR(START) = %g, sample variance = %g (both must be 0 on branch-free programs)",
+			v, w.PopVar())
+	}
+	return nil
+}
+
+func checkCostScaling(ctx *evalCtx) error {
+	const k = 2.5
+	scaled := ctx.model.Scaled(k)
+	costs := make(map[string]cost.Table, len(ctx.res.Procs))
+	for name, proc := range ctx.res.Procs {
+		costs[name] = scaled.Table(proc)
+	}
+	est2, err := core.EstimateProgram(ctx.an, ctx.profile, costs, core.Options{})
+	if err != nil {
+		return fmt.Errorf("estimate under scaled model: %w", err)
+	}
+	for name, pe := range ctx.est.Procs {
+		pe2 := est2.Procs[name]
+		if !near(pe2.Time, k*pe.Time) {
+			return fmt.Errorf("proc %s: TIME scaled by %g → %.12g, want %.12g", name, k, pe2.Time, k*pe.Time)
+		}
+		if !near(pe2.Var, k*k*pe.Var) {
+			return fmt.Errorf("proc %s: VAR scaled by %g → %.12g, want %.12g", name, k, pe2.Var, k*k*pe.Var)
+		}
+		if !near(pe2.StdDev(), k*pe.StdDev()) {
+			return fmt.Errorf("proc %s: STD_DEV scaled by %g → %.12g, want %.12g", name, k, pe2.StdDev(), k*pe.StdDev())
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic invariants.
+
+// evalMeta applies a transform and evaluates both the original and the
+// transformed program under model m, re-evaluating the original only when m
+// differs from the case's base model.
+func evalMeta(ctx *evalCtx, transform func(string) (string, bool), m cost.Model) (ref, tctx *evalCtx, src string, err error) {
+	tsrc, ok := transform(ctx.c.Src)
+	if !ok {
+		return nil, nil, "", errSkip
+	}
+	ref = ctx
+	if m.Name != ctx.model.Name {
+		ref, err = ctx.c.eval(ctx.c.Src, m)
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("re-evaluating original under %s model: %w", m.Name, err)
+		}
+	}
+	tctx, err = ctx.c.eval(tsrc, m)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("transformed program failed the pipeline: %w\n%s", err, tsrc)
+	}
+	return ref, tctx, tsrc, nil
+}
+
+// checkMeta evaluates a transformed source under model m and requires the
+// main program's TIME and VAR both unchanged.
+func checkMeta(ctx *evalCtx, transform func(string) (string, bool), m cost.Model) error {
+	ref, tctx, tsrc, err := evalMeta(ctx, transform, m)
+	if err != nil {
+		return err
+	}
+	if !near(tctx.est.Main.Time, ref.est.Main.Time) {
+		return fmt.Errorf("TIME changed: %.12g → %.12g\n%s", ref.est.Main.Time, tctx.est.Main.Time, tsrc)
+	}
+	if !near(tctx.est.Main.Var, ref.est.Main.Var) {
+		return fmt.Errorf("VAR changed: %.12g → %.12g\n%s", ref.est.Main.Var, tctx.est.Main.Var, tsrc)
+	}
+	return nil
+}
+
+func checkMetaSwapIf(ctx *evalCtx) error {
+	return checkMeta(ctx, SwapIfArms, ctx.model)
+}
+
+// checkMetaWrapDo wraps a statement in a one-trip DO under the structural
+// cost model, so the wrapper's bookkeeping nodes are free and TIME must not
+// move. VAR, however, is only required to be monotone: the paper's estimator
+// models every DO test as an independent Bernoulli branch (a one-trip loop's
+// test has F_T = 1/2), so even a deterministic wrapper adds its own modeled
+// variance on top of whatever the body already had.
+func checkMetaWrapDo(ctx *evalCtx) error {
+	ref, tctx, tsrc, err := evalMeta(ctx, WrapInDo, structuralModel)
+	if err != nil {
+		return err
+	}
+	if !near(tctx.est.Main.Time, ref.est.Main.Time) {
+		return fmt.Errorf("TIME changed: %.12g → %.12g\n%s", ref.est.Main.Time, tctx.est.Main.Time, tsrc)
+	}
+	if tctx.est.Main.Var < ref.est.Main.Var-1e-9*math.Max(1, ref.est.Main.Var) {
+		return fmt.Errorf("VAR decreased: %.12g → %.12g (wrapping can only add modeled variance)\n%s",
+			ref.est.Main.Var, tctx.est.Main.Var, tsrc)
+	}
+	return nil
+}
+
+func checkMetaSplitBlock(ctx *evalCtx) error {
+	return checkMeta(ctx, SplitBlock, ctx.model)
+}

@@ -1,0 +1,227 @@
+package oracle
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestOracleCorpus is the tier-1 sweep: 200 generated programs (40 under
+// -short), every registry invariant, minimization on. It is the test-suite
+// twin of `cmd/oracle -seeds 200`.
+func TestOracleCorpus(t *testing.T) {
+	cfg := Config{
+		SeedStart:       1,
+		Seeds:           200,
+		Size:            8,
+		Depth:           3,
+		ProfileRuns:     2,
+		BranchFreeEvery: 4,
+		Minimize:        true,
+	}
+	if testing.Short() {
+		cfg.Seeds = 40
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant %s failed: seed=%d kind=%s size=%d depth=%d (min %d/%d)\n%s\nminimized program:\n%s",
+			f.Invariant, f.Seed, f.Kind, f.Size, f.Depth, f.MinSize, f.MinDepth, f.Error, f.Source)
+	}
+	if !rep.AllPass {
+		t.Fatal("oracle corpus sweep failed")
+	}
+	if rep.Programs != cfg.Seeds {
+		t.Errorf("Programs = %d, want %d", rep.Programs, cfg.Seeds)
+	}
+	for _, ir := range rep.Invariants {
+		if ir.Checked == 0 {
+			t.Errorf("invariant %s never ran (%d skipped)", ir.Name, ir.Skipped)
+		}
+	}
+}
+
+// TestEdgeCaseProgramsSatisfyInvariants runs the full registry on the
+// hand-written boundary programs the interval/ecfg edge-case tests use.
+func TestEdgeCaseProgramsSatisfyInvariants(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"zero-trip DO", `      PROGRAM ZTRIP
+      INTEGER I, K
+      K = 0
+      DO 10 I = 5, 1
+         K = K + 1
+   10 CONTINUE
+      PRINT *, K
+      END
+`},
+		{"single-node self-loop", `      PROGRAM SELFL
+   10 IF (RAND() .LT. 0.5) GOTO 10
+      PRINT *, 1
+      END
+`},
+		{"three exit edges to one join", `      PROGRAM TWOEX
+      INTEGER K
+      K = 0
+   10 K = K + 1
+      IF (RAND() .LT. 0.2) GOTO 30
+      IF (RAND() .LT. 0.3) GOTO 30
+      IF (K .LT. 8) GOTO 10
+   30 CONTINUE
+      PRINT *, K
+      END
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Case{
+				Seed:         1,
+				Size:         1,
+				Depth:        1,
+				Kind:         KindRandom,
+				ProfileSeeds: []uint64{1, 2, 3},
+				MaxSteps:     1_000_000,
+				Src:          tc.src,
+			}
+			if err := c.Check(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCheckBranchFreeCase(t *testing.T) {
+	c := NewCase(11, 6, 3, KindBranchFree, 3)
+	if strings.Contains(c.Src, "RAND()") || strings.Contains(c.Src, "DO ") ||
+		strings.Contains(c.Src, "GOTO") || strings.Contains(c.Src, "IF ") {
+		t.Fatalf("branch-free program contains control flow:\n%s", c.Src)
+	}
+	if err := c.Check(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run with Seeds = 0 must fail")
+	}
+	if _, err := Run(Config{Seeds: 1, Invariants: []string{"no-such-invariant"}}); err == nil {
+		t.Error("Run with an unknown invariant must fail")
+	}
+}
+
+func TestCheckUnknownInvariant(t *testing.T) {
+	c := NewCase(1, 1, 1, KindRandom, 1)
+	if err := c.Check([]string{"no-such-invariant"}); err == nil {
+		t.Error("Check with an unknown invariant must fail")
+	}
+}
+
+func TestSelectInvariants(t *testing.T) {
+	all, err := selectInvariants(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Registry()) {
+		t.Errorf("nil selection = %d invariants, want the full registry (%d)", len(all), len(Registry()))
+	}
+	sel, err := selectInvariants([]string{"time-mean", "var-sane"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "time-mean" || sel[1].Name != "var-sane" {
+		t.Errorf("selection = %v", sel)
+	}
+}
+
+func TestMinimizeOnPassingCase(t *testing.T) {
+	c := NewCase(3, 4, 2, KindRandom, 2)
+	mc, err := Minimize(c, "time-mean")
+	if mc != nil || err != nil {
+		t.Errorf("Minimize on a passing case = (%v, %v), want (nil, nil)", mc, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRandom.String() != "random" || KindBranchFree.String() != "branch-free" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestCaseForSpreadsSizesAndKinds(t *testing.T) {
+	cfg := Config{SeedStart: 1, Seeds: 16, Size: 8, Depth: 3, ProfileRuns: 2, BranchFreeEvery: 4}
+	branchFree, sizes := 0, map[int]bool{}
+	for i := 0; i < cfg.Seeds; i++ {
+		c := cfg.caseFor(i)
+		if c.Kind == KindBranchFree {
+			branchFree++
+		}
+		sizes[c.Size] = true
+		if c.Size < 1 || c.Size > cfg.Size {
+			t.Errorf("case %d: size %d out of range", i, c.Size)
+		}
+	}
+	if branchFree != 4 {
+		t.Errorf("branch-free cases = %d, want 4 of 16", branchFree)
+	}
+	if len(sizes) < 4 {
+		t.Errorf("size spread too narrow: %v", sizes)
+	}
+}
+
+func TestReportJSONAndSummary(t *testing.T) {
+	rep := &Report{
+		Programs:    2,
+		ProfileRuns: 3,
+		Invariants: []InvariantResult{
+			{Name: "time-mean", Desc: "d", Checked: 2},
+			{Name: "var-sane", Desc: "d", Checked: 1, Skipped: 1, Failed: 1},
+		},
+		Failures: []Failure{{
+			Invariant: "var-sane", Seed: 7, Kind: "random",
+			Size: 4, Depth: 2, MinSize: 1, MinDepth: 1,
+			Error: "VAR = -1\nsecond line",
+		}},
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Failures[0].Seed != 7 || len(back.Invariants) != 2 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+	sum := rep.Summary()
+	for _, want := range []string{"2 programs", "time-mean", "FAIL ×1", "seed=7", "min 1/1", "VAR = -1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary missing %q:\n%s", want, sum)
+		}
+	}
+	if strings.Contains(sum, "second line") {
+		t.Error("Summary must truncate multi-line errors")
+	}
+	if strings.Contains(sum, "all invariants pass") {
+		t.Error("failing report must not claim all invariants pass")
+	}
+}
+
+// TestPipelineErrorWraps checks the error classification eval gives callers.
+func TestPipelineErrorWraps(t *testing.T) {
+	c := &Case{Seed: 1, Size: 1, Depth: 1, ProfileSeeds: []uint64{1}, Src: "      THIS IS NOT A PROGRAM\n"}
+	_, err := c.eval(c.Src, baseModel)
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("eval on garbage = %v, want *PipelineError", err)
+	}
+	if pe.Stage != "parse" {
+		t.Errorf("Stage = %q, want parse", pe.Stage)
+	}
+	if pe.Unwrap() == nil || pe.Error() == "" {
+		t.Error("PipelineError must wrap and describe the cause")
+	}
+}

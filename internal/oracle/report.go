@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Report summarizes one corpus sweep: per-invariant tallies plus the
+// (minimized) failures. It marshals to the JSON the cmd/oracle CLI emits.
+type Report struct {
+	// Programs is the number of generated programs evaluated.
+	Programs int `json:"programs"`
+	// ProfileRuns is the number of interpreter seeds profiled per program.
+	ProfileRuns int `json:"profile_runs_per_program"`
+	// Invariants tallies every registry entry that ran.
+	Invariants []InvariantResult `json:"invariants"`
+	// Failures lists each violation, minimized when minimization is on.
+	Failures []Failure `json:"failures,omitempty"`
+	// AllPass is true when no case violated any invariant.
+	AllPass bool `json:"all_pass"`
+}
+
+// InvariantResult tallies one invariant over the sweep.
+type InvariantResult struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+	// Checked counts cases the invariant ran on (including failures);
+	// Skipped counts cases outside its scope.
+	Checked int `json:"checked"`
+	Skipped int `json:"skipped,omitempty"`
+	Failed  int `json:"failed"`
+}
+
+// Failure describes one violated invariant and how to reproduce it:
+// regenerate with progen at (seed, min_size, min_depth) for the given kind.
+type Failure struct {
+	Invariant string `json:"invariant"`
+	Seed      uint64 `json:"seed"`
+	Kind      string `json:"kind"`
+	// Size and Depth are the knobs the failure was found at; MinSize and
+	// MinDepth the smallest knobs that still reproduce it.
+	Size     int    `json:"size"`
+	Depth    int    `json:"depth"`
+	MinSize  int    `json:"min_size"`
+	MinDepth int    `json:"min_depth"`
+	Error    string `json:"error"`
+	// Source is the (minimized) failing program text.
+	Source string `json:"source,omitempty"`
+}
+
+// JSON renders the report with indentation.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary renders a short human-readable table.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle: %d programs × %d profiled runs\n", r.Programs, r.ProfileRuns)
+	for _, ir := range r.Invariants {
+		status := "ok"
+		if ir.Failed > 0 {
+			status = fmt.Sprintf("FAIL ×%d", ir.Failed)
+		}
+		fmt.Fprintf(&b, "  %-18s %4d checked %4d skipped  %s\n", ir.Name, ir.Checked, ir.Skipped, status)
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  failure: %s seed=%d kind=%s size=%d depth=%d (min %d/%d): %s\n",
+			f.Invariant, f.Seed, f.Kind, f.Size, f.Depth, f.MinSize, f.MinDepth, firstLine(f.Error))
+	}
+	if r.AllPass {
+		b.WriteString("  all invariants pass\n")
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

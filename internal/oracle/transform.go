@@ -1,0 +1,154 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The metamorphic transforms rewrite progen-generated source text into a
+// semantically equivalent program: same trace per interpreter seed, same
+// RAND consumption, and (under the model the invariant evaluates with) the
+// same trace cost. They are deliberately syntactic — they recognize the
+// generator's shapes rather than parsing — because the point is to perturb
+// the program *upstream* of the pipeline under test.
+//
+// Fresh labels start at 9900 and fresh DO variables at IW1; progen never
+// emits either.
+
+// SwapIfArms rewrites the first `IF (RAND() .LT. p) THEN … ELSE … ENDIF`
+// block into `IF (RAND() .GE. p) THEN <else-arm> ELSE <then-arm> ENDIF`.
+// The condition is complemented and the arms swap, so every RAND draw
+// executes exactly the statements it did before. Returns ok=false when the
+// program has no RAND block IF with an ELSE arm.
+func SwapIfArms(src string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		trim := strings.TrimSpace(line)
+		if !strings.HasPrefix(trim, "IF (RAND() .LT. ") || !strings.HasSuffix(trim, ") THEN") {
+			continue
+		}
+		elseIdx, endIdx := matchIfBlock(lines, i)
+		if elseIdx < 0 || endIdx < 0 {
+			continue // no ELSE arm (or malformed): try the next IF
+		}
+		out := make([]string, 0, len(lines))
+		out = append(out, lines[:i]...)
+		out = append(out, strings.Replace(line, " .LT. ", " .GE. ", 1))
+		out = append(out, lines[elseIdx+1:endIdx]...) // else-arm first
+		out = append(out, lines[elseIdx])             // the ELSE line itself
+		out = append(out, lines[i+1:elseIdx]...)      // then-arm second
+		out = append(out, lines[endIdx:]...)
+		return strings.Join(out, "\n"), true
+	}
+	return "", false
+}
+
+// matchIfBlock finds the ELSE (−1 if absent) and ENDIF lines matching the
+// block IF at index i, tracking nested block IFs.
+func matchIfBlock(lines []string, i int) (elseIdx, endIdx int) {
+	elseIdx, endIdx = -1, -1
+	depth := 0
+	for j := i + 1; j < len(lines); j++ {
+		trim := strings.TrimSpace(lines[j])
+		switch {
+		case strings.HasPrefix(trim, "IF (") && strings.HasSuffix(trim, ") THEN"):
+			depth++
+		case trim == "ENDIF":
+			if depth == 0 {
+				endIdx = j
+				return elseIdx, endIdx
+			}
+			depth--
+		case trim == "ELSE" && depth == 0:
+			elseIdx = j
+		}
+	}
+	return -1, -1
+}
+
+// WrapInDo wraps the first unlabelled simple assignment in a one-trip
+// counted DO loop with a fresh variable:
+//
+//	X1 = …        →    DO 9900 IW1 = 1, 1
+//	                      X1 = …
+//	              9900 CONTINUE
+//
+// A constant one-trip loop executes its body exactly once per entry, so the
+// trace (modulo the loop bookkeeping nodes) is unchanged. Returns ok=false
+// when no wrappable assignment exists.
+func WrapInDo(src string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	i := findAssignment(lines)
+	if i < 0 {
+		return "", false
+	}
+	ws := line0Indent(lines[i])
+	out := make([]string, 0, len(lines)+2)
+	out = append(out, lines[:i]...)
+	out = append(out, ws+"DO 9900 IW1 = 1, 1")
+	out = append(out, "   "+lines[i])
+	out = append(out, fmt.Sprintf("%s9900 CONTINUE", trimPad(ws, 5)))
+	out = append(out, lines[i+1:]...)
+	return strings.Join(out, "\n"), true
+}
+
+// SplitBlock splits the straight-line block around the first unlabelled
+// simple assignment by inserting an explicit forward jump to a fresh label
+// immediately before it:
+//
+//	X1 = …        →       GOTO 9901
+//	              9901 CONTINUE
+//	                      X1 = …
+//
+// The jump and its landing pad execute exactly as often as the assignment
+// and cost nothing, so TIME and VAR are unchanged. Returns ok=false when no
+// splittable assignment exists.
+func SplitBlock(src string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	i := findAssignment(lines)
+	if i < 0 {
+		return "", false
+	}
+	ws := line0Indent(lines[i])
+	out := make([]string, 0, len(lines)+2)
+	out = append(out, lines[:i]...)
+	out = append(out, ws+"GOTO 9901")
+	out = append(out, fmt.Sprintf("%s9901 CONTINUE", trimPad(ws, 5)))
+	out = append(out, lines[i:]...)
+	return strings.Join(out, "\n"), true
+}
+
+// findAssignment locates the last line that is an unlabelled scalar
+// assignment to one of the generator's main-program variables (the last
+// match usually sits inside generated control flow rather than in the
+// preamble). Labelled statements are excluded (they are GOTO targets or DO
+// terminators).
+func findAssignment(lines []string) int {
+	found := -1
+	for i, line := range lines {
+		trim := strings.TrimSpace(line)
+		if line0Indent(line)+trim != line {
+			continue // carries a statement label before the text
+		}
+		for _, v := range []string{"X1 = ", "X2 = ", "X3 = ", "K = "} {
+			if strings.HasPrefix(trim, v) {
+				found = i
+			}
+		}
+	}
+	return found
+}
+
+// line0Indent returns the leading whitespace of a line.
+func line0Indent(line string) string {
+	return line[:len(line)-len(strings.TrimLeft(line, " \t"))]
+}
+
+// trimPad shortens a whitespace prefix by up to n characters so a
+// following label keeps roughly the generator's column layout.
+func trimPad(ws string, n int) string {
+	if len(ws) <= n {
+		return ""
+	}
+	return ws[:len(ws)-n]
+}

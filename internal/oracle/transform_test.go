@@ -1,0 +1,158 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/progen"
+)
+
+const ifElseSrc = `      PROGRAM T
+      REAL X1, X2
+      X1 = 1.0
+      X2 = 2.0
+      IF (RAND() .LT. 0.300) THEN
+         X1 = X1 + 1.0
+      ELSE
+         X2 = X2 + 1.0
+      ENDIF
+      PRINT *, X1, X2
+      END
+`
+
+func TestSwapIfArms(t *testing.T) {
+	out, ok := SwapIfArms(ifElseSrc)
+	if !ok {
+		t.Fatal("SwapIfArms found no site")
+	}
+	if !strings.Contains(out, "IF (RAND() .GE. 0.300) THEN") {
+		t.Errorf("condition not complemented:\n%s", out)
+	}
+	if strings.Contains(out, ".LT. 0.300") {
+		t.Errorf("original condition survives:\n%s", out)
+	}
+	// The else-arm must now precede the then-arm.
+	x2 := strings.Index(out, "X2 = X2 + 1.0")
+	x1 := strings.Index(out, "X1 = X1 + 1.0")
+	if x2 < 0 || x1 < 0 || x2 > x1 {
+		t.Errorf("arms not swapped:\n%s", out)
+	}
+	// Still one IF / ELSE / ENDIF triple.
+	for _, kw := range []string{"THEN", "ELSE", "ENDIF"} {
+		if strings.Count(out, kw) != strings.Count(ifElseSrc, kw) {
+			t.Errorf("keyword %s count changed:\n%s", kw, out)
+		}
+	}
+}
+
+func TestSwapIfArmsNested(t *testing.T) {
+	src := `      PROGRAM T
+      REAL X1
+      X1 = 1.0
+      IF (RAND() .LT. 0.500) THEN
+         IF (X1 .GT. 0.0) THEN
+            X1 = X1 + 1.0
+         ENDIF
+      ELSE
+         X1 = X1 - 1.0
+      ENDIF
+      PRINT *, X1
+      END
+`
+	out, ok := SwapIfArms(src)
+	if !ok {
+		t.Fatal("SwapIfArms found no site")
+	}
+	// The outer ELSE arm (X1 - 1.0) must move before the nested IF.
+	minus := strings.Index(out, "X1 = X1 - 1.0")
+	inner := strings.Index(out, "IF (X1 .GT. 0.0) THEN")
+	if minus < 0 || inner < 0 || minus > inner {
+		t.Errorf("nested block not handled:\n%s", out)
+	}
+}
+
+func TestSwapIfArmsNoSite(t *testing.T) {
+	srcs := []string{
+		"      PROGRAM T\n      X1 = 1.0\n      END\n",
+		// Block IF without an ELSE arm is not swappable.
+		"      PROGRAM T\n      IF (RAND() .LT. 0.5) THEN\n      X1 = 1.0\n      ENDIF\n      END\n",
+	}
+	for _, src := range srcs {
+		if _, ok := SwapIfArms(src); ok {
+			t.Errorf("SwapIfArms claimed a site in:\n%s", src)
+		}
+	}
+}
+
+func TestWrapInDo(t *testing.T) {
+	src := "      PROGRAM T\n      X1 = 1.0\n      PRINT *, X1\n      END\n"
+	out, ok := WrapInDo(src)
+	if !ok {
+		t.Fatal("WrapInDo found no site")
+	}
+	for _, want := range []string{"DO 9900 IW1 = 1, 1", "X1 = 1.0", "9900 CONTINUE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "DO 9900") > strings.Index(out, "X1 = 1.0") ||
+		strings.Index(out, "X1 = 1.0") > strings.Index(out, "9900 CONTINUE") {
+		t.Errorf("wrap order wrong:\n%s", out)
+	}
+}
+
+func TestSplitBlock(t *testing.T) {
+	src := "      PROGRAM T\n      X1 = 1.0\n      PRINT *, X1\n      END\n"
+	out, ok := SplitBlock(src)
+	if !ok {
+		t.Fatal("SplitBlock found no site")
+	}
+	g := strings.Index(out, "GOTO 9901")
+	c := strings.Index(out, "9901 CONTINUE")
+	a := strings.Index(out, "X1 = 1.0")
+	if g < 0 || c < 0 || g > c || c > a {
+		t.Errorf("split order wrong (GOTO, CONTINUE, assignment):\n%s", out)
+	}
+}
+
+func TestFindAssignmentSkipsLabelled(t *testing.T) {
+	lines := []string{
+		"      PROGRAM T",
+		"      X1 = 1.0",
+		"   10 X2 = 2.0", // labelled: a GOTO target, must not be picked
+		"      END",
+	}
+	if i := findAssignment(lines); i != 1 {
+		t.Errorf("findAssignment = %d, want 1 (the unlabelled X1)", i)
+	}
+}
+
+func TestNoApplicableSiteReturnsFalse(t *testing.T) {
+	src := "      PROGRAM T\n      PRINT *, 1\n      END\n"
+	if _, ok := WrapInDo(src); ok {
+		t.Error("WrapInDo claimed a site with no assignment")
+	}
+	if _, ok := SplitBlock(src); ok {
+		t.Error("SplitBlock claimed a site with no assignment")
+	}
+}
+
+// TestTransformedProgramsStillRun pushes every transform's output through the
+// whole pipeline on a real generated program — the transforms must emit
+// parseable, lowerable, terminating source.
+func TestTransformedProgramsStillRun(t *testing.T) {
+	src := progen.Generate(5, 6, 3)
+	for name, tr := range map[string]func(string) (string, bool){
+		"swap-if": SwapIfArms, "wrap-do": WrapInDo, "split-block": SplitBlock,
+	} {
+		tsrc, ok := tr(src)
+		if !ok {
+			t.Errorf("%s: no site in generated program", name)
+			continue
+		}
+		c := &Case{Seed: 5, Size: 6, Depth: 3, ProfileSeeds: []uint64{1, 2}, MaxSteps: 2_000_000, Src: tsrc}
+		if _, err := c.eval(tsrc, baseModel); err != nil {
+			t.Errorf("%s: transformed program fails the pipeline: %v\n%s", name, err, tsrc)
+		}
+	}
+}

@@ -25,9 +25,27 @@ func (r *rng) intn(n int) int        { return int((r.next() >> 11) % uint64(n)) 
 func (r *rng) prob() float64         { return float64(r.next()>>11) / float64(1<<53) }
 func (r *rng) chance(p float64) bool { return r.prob() < p }
 
+// Opts select program-family restrictions for GenerateOpts.
+type Opts struct {
+	// BranchFree restricts generation to straight-line code: assignments
+	// and calls to straight-line subroutines, with no control flow at all.
+	// Every run executes the identical trace, so the estimated TIME is
+	// exact and VAR(START) is exactly zero — the ground truth the oracle's
+	// variance invariant compares against. (Deterministic loops are
+	// deliberately excluded: the paper's estimator models each DO test as
+	// an independent Bernoulli branch, which assigns a counted loop
+	// nonzero variance even when its trip count never varies.)
+	BranchFree bool
+}
+
 // Generate returns a random program. Larger size yields more statements;
 // maxDepth bounds loop/IF nesting.
 func Generate(seed uint64, size, maxDepth int) string {
+	return GenerateOpts(seed, size, maxDepth, Opts{})
+}
+
+// GenerateOpts is Generate with family restrictions.
+func GenerateOpts(seed uint64, size, maxDepth int, o Opts) string {
 	r := &rng{s: seed*2862933555777941757 + 3037000493}
 	if size < 1 {
 		size = 1
@@ -35,7 +53,7 @@ func Generate(seed uint64, size, maxDepth int) string {
 	if maxDepth < 1 {
 		maxDepth = 1
 	}
-	g := &gen{r: r, maxDepth: maxDepth}
+	g := &gen{r: r, maxDepth: maxDepth, branchFree: o.BranchFree}
 	nsubs := r.intn(3)
 	var b strings.Builder
 	b.WriteString("      PROGRAM RANDP\n")
@@ -47,6 +65,17 @@ func Generate(seed uint64, size, maxDepth int) string {
 	b.WriteString("      PRINT *, X1, X2, K\n")
 	b.WriteString("      END\n")
 	for s := 1; s <= nsubs; s++ {
+		if o.BranchFree {
+			fmt.Fprintf(&b, `
+      SUBROUTINE SUB%d(A, B)
+      REAL A, B
+      A = A + B*0.%d25
+      A = A*0.9375
+      RETURN
+      END
+`, s, 1+g.r.intn(8))
+			continue
+		}
 		fmt.Fprintf(&b, `
       SUBROUTINE SUB%d(A, B)
       REAL A, B
@@ -63,11 +92,12 @@ func Generate(seed uint64, size, maxDepth int) string {
 }
 
 type gen struct {
-	r        *rng
-	maxDepth int
-	subs     int
-	label    int
-	gotoVars int
+	r          *rng
+	maxDepth   int
+	subs       int
+	label      int
+	gotoVars   int
+	branchFree bool
 }
 
 func (g *gen) newLabel() int {
@@ -80,6 +110,10 @@ func (g *gen) newLabel() int {
 func (g *gen) block(b *strings.Builder, n, depth, indent int) {
 	pad := strings.Repeat(" ", indent*3)
 	for i := 0; i < n; i++ {
+		if g.branchFree {
+			g.branchFreeStmt(b, pad, depth, indent)
+			continue
+		}
 		switch pick := g.r.intn(10); {
 		case pick < 3: // assignment
 			g.assign(b, pad)
@@ -108,6 +142,19 @@ func (g *gen) block(b *strings.Builder, n, depth, indent int) {
 			fmt.Fprintf(b, "%s   IF (X1 .GT. %d.0) X1 = X1*0.75\n", pad, 1+g.r.intn(50))
 		}
 	}
+}
+
+// branchFreeStmt emits one statement of the straight-line family:
+// assignments and calls to the straight-line leaf subroutines. No control
+// flow at all, so the trace is seed-invariant and VAR(START) is exactly 0.
+func (g *gen) branchFreeStmt(b *strings.Builder, pad string, depth, indent int) {
+	_ = depth
+	_ = indent
+	if g.r.intn(6) < 2 && g.subs > 0 {
+		fmt.Fprintf(b, "%s   CALL SUB%d(X1, X%d)\n", pad, 1+g.r.intn(g.subs), 2+g.r.intn(2))
+		return
+	}
+	g.assign(b, pad)
 }
 
 // unstructured emits GOTO-based control flow at the top level: either a

@@ -44,3 +44,28 @@ func TestSizeClamps(t *testing.T) {
 		t.Fatalf("degenerate sizes: %v", err)
 	}
 }
+
+// TestBranchFreeFamilyIsStraightLine checks the contract the oracle's
+// variance invariant depends on: the branch-free family contains no control
+// flow of any kind, so every interpreter run executes the identical trace.
+func TestBranchFreeFamilyIsStraightLine(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		src := GenerateOpts(seed, 2+int(seed%8), 1+int(seed%3), Opts{BranchFree: true})
+		for _, token := range []string{"RAND()", "IRAND", "GOTO", "DO ", "IF ", "ELSE"} {
+			if strings.Contains(src, token) {
+				t.Fatalf("seed %d: branch-free program contains %q:\n%s", seed, token, src)
+			}
+		}
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestGenerateOptsDefaultMatchesGenerate pins GenerateOpts with zero Opts to
+// the Generate output, so the two entry points cannot drift apart.
+func TestGenerateOptsDefaultMatchesGenerate(t *testing.T) {
+	if Generate(9, 6, 2) != GenerateOpts(9, 6, 2, Opts{}) {
+		t.Error("GenerateOpts with zero Opts must equal Generate")
+	}
+}

@@ -67,6 +67,44 @@ func TestFineSamplingApproximatesShares(t *testing.T) {
 	}
 }
 
+// TestSamplingConvergesToExactShares shrinks the sampling interval by
+// successive factors of 10 and requires the worst per-procedure share error
+// to converge toward the exact shares: every refinement may not help, but
+// across two decades the error must drop, and the finest grid must land
+// within a tight bound.
+func TestSamplingConvergesToExactShares(t *testing.T) {
+	p, err := core.Load(twoProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Optimized
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1, Model: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExactShares(p.Res, m, run)
+
+	intervals := []float64{run.Cost / 10, run.Cost / 100, run.Cost / 1000, run.Cost / 10000}
+	errs := make([]float64, len(intervals))
+	for i, iv := range intervals {
+		s, err := Run(p.Res, m, iv, interp.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, errs[i] = s.WorstError(exact)
+		t.Logf("interval %.4g: %d samples, worst share error %.5f", iv, s.Total, errs[i])
+	}
+	for i := 2; i < len(errs); i++ {
+		if errs[i] >= errs[i-2] && errs[i] > 0.01 {
+			t.Errorf("error did not shrink over two decades: err[%d]=%g ≥ err[%d]=%g",
+				i, errs[i], i-2, errs[i-2])
+		}
+	}
+	if final := errs[len(errs)-1]; final > 0.005 {
+		t.Errorf("finest sampling still off by %g (> 0.5%%)", final)
+	}
+}
+
 func TestCoarseSamplingMissesSmallProcedures(t *testing.T) {
 	p, err := core.Load(twoProcs)
 	if err != nil {

@@ -25,6 +25,23 @@ func (w *Welford) Add(x float64) {
 	w.m2 += d * (x - w.mean)
 }
 
+// Merge folds another accumulator into w, as if every observation fed to o
+// had also been fed to w (the pairwise combination of Chan, Golub & LeVeque).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int64 { return w.n }
 

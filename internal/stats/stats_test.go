@@ -69,6 +69,81 @@ func TestWelfordMatchesNaive(t *testing.T) {
 	}
 }
 
+func TestWelfordMergeKnownValues(t *testing.T) {
+	var a, b, all Welford
+	left := []float64{2, 4, 4, 4}
+	right := []float64{5, 5, 7, 9}
+	for _, x := range left {
+		a.Add(x)
+		all.Add(x)
+	}
+	for _, x := range right {
+		b.Add(x)
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Errorf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Errorf("merged mean = %g, want %g", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.PopVar()-all.PopVar()) > 1e-12 {
+		t.Errorf("merged popvar = %g, want %g", a.PopVar(), all.PopVar())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging an empty accumulator is a no-op
+	if a != before {
+		t.Errorf("merge of empty changed the accumulator: %+v", a)
+	}
+	b.Merge(a) // merging into an empty accumulator copies
+	if b.N() != 2 || math.Abs(b.Mean()-2) > 1e-12 || math.Abs(b.PopVar()-1) > 1e-12 {
+		t.Errorf("merge into empty: n=%d mean=%g var=%g", b.N(), b.Mean(), b.PopVar())
+	}
+	var c, d Welford
+	c.Merge(d)
+	if c.N() != 0 {
+		t.Error("empty merged with empty must stay empty")
+	}
+}
+
+// TestWelfordMergeMatchesSequential is the merge/variance identity: splitting
+// a stream at any point, accumulating the halves separately, and merging must
+// agree with one sequential pass.
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64, nRaw, splitRaw uint8) bool {
+		n := 2 + int(nRaw%64)
+		split := 1 + int(splitRaw)%(n-1)
+		rng := uint64(seed)
+		var left, right, seq Welford
+		for i := 0; i < n; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			x := float64(rng>>11)/float64(1<<53)*2000 - 1000
+			if i < split {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+			seq.Add(x)
+		}
+		left.Merge(right)
+		scale := math.Max(1, math.Abs(seq.PopVar()))
+		return left.N() == seq.N() &&
+			math.Abs(left.Mean()-seq.Mean()) < 1e-9 &&
+			math.Abs(left.PopVar()-seq.PopVar()) < 1e-6*scale &&
+			math.Abs(left.SampleVar()-seq.SampleVar()) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{5, 1, 3})
 	if s.N != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
