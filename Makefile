@@ -1,11 +1,11 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet build test bench oracle fuzz-smoke
+.PHONY: check fmt vet lint build test bench oracle selfcheck fuzz-smoke
 
-# check is the tier-1 gate: formatting, vet, build, race-enabled tests,
-# plus the oracle sweep and a fuzzing smoke pass.
-check: fmt vet build test oracle fuzz-smoke
+# check is the tier-1 gate: formatting, vet, lint, build, race-enabled
+# tests, plus the self-lint, oracle sweep and a fuzzing smoke pass.
+check: fmt vet lint build test selfcheck oracle fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -13,6 +13,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is installed; CI installs it, local runs
+# without it just skip (no network access assumed).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -22,6 +31,12 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# selfcheck runs the in-tree static verifier over the shipped examples;
+# any error-severity finding fails the build.
+selfcheck:
+	$(GO) run ./cmd/ptranlint examples/figure1.f
+	$(GO) run ./cmd/ptranlint examples/loops.f
 
 # oracle sweeps 200 generated programs through every registry invariant and
 # fails on the first violation (JSON report on stdout).

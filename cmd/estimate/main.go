@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/database"
@@ -32,6 +33,7 @@ func main() {
 	proc := flag.String("proc", "", "print only one procedure's table")
 	callvar := flag.Bool("callvar", false, "propagate callee variance into call sites")
 	flat := flag.Bool("flat", false, "print a gprof-style flat profile instead of per-node tables")
+	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
 	flag.Parse()
 
@@ -57,9 +59,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := core.LoadWorkers(string(text), *workers)
+	loadOpts := core.LoadOptions{Workers: *workers}
+	var collector *check.Collector
+	if *runCheck {
+		collector = &check.Collector{}
+		loadOpts.CheckProc = collector.CheckProc
+	}
+	p, err := core.LoadOpts(string(text), loadOpts)
 	if err != nil {
 		fail(err)
+	}
+	if collector != nil {
+		if err := check.Gate(os.Stderr, *src, collector); err != nil {
+			fail(err)
+		}
 	}
 	db, err := database.Load(*dbPath)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/oracle"
+	"repro/internal/report"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	branchFreeEvery := flag.Int("branchfree-every", 4, "every k-th case uses the branch-free program family (0 = never)")
 	noMinimize := flag.Bool("no-minimize", false, "skip shrinking failing cases")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary on stderr")
+	diag := flag.Bool("diag", false, "emit the diagnostic document shared with ptranlint instead of the sweep report")
 	list := flag.Bool("list", false, "list registry invariants and exit")
 	flag.Parse()
 
@@ -63,12 +65,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oracle:", err)
 		os.Exit(2)
 	}
-	out, err := rep.JSON()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "oracle:", err)
-		os.Exit(2)
+	if *diag {
+		if err := report.NewDocument("oracle", rep.Diagnostics()).Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "oracle:", err)
+			os.Exit(2)
+		}
+	} else {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oracle:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
 	}
-	fmt.Println(string(out))
 	if !*quiet {
 		fmt.Fprint(os.Stderr, rep.Summary())
 	}

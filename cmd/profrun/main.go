@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N] [-loopvar] [-print]
+//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N] [-loopvar] [-check] [-print]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/database"
 	"repro/internal/interp"
@@ -29,6 +30,7 @@ func main() {
 	seeds := flag.String("seeds", "1", "comma-separated interpreter seeds, one run each")
 	loopvar := flag.Bool("loopvar", false, "also collect loop-frequency variance (extra instrumented run per seed)")
 	show := flag.Bool("print", false, "print program output (PRINT statements)")
+	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
 	flag.Parse()
 
@@ -43,9 +45,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := core.LoadWorkers(string(text), *workers)
+	loadOpts := core.LoadOptions{Workers: *workers}
+	var collector *check.Collector
+	if *runCheck {
+		collector = &check.Collector{}
+		loadOpts.CheckProc = collector.CheckProc
+	}
+	p, err := core.LoadOpts(string(text), loadOpts)
 	if err != nil {
 		fail(err)
+	}
+	if collector != nil {
+		if err := check.Gate(os.Stderr, *src, collector); err != nil {
+			fail(err)
+		}
 	}
 	var seedList []uint64
 	for _, s := range strings.Split(*seeds, ",") {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ptranc -src prog.f [-proc NAME] [-dump cfg|ecfg|fcdg|intervals|plan|all] [-dot] [-workers N]
+//	ptranc -src prog.f [-proc NAME] [-dump cfg|ecfg|fcdg|intervals|plan|all] [-dot] [-check] [-workers N]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/profiler"
 )
@@ -25,6 +26,7 @@ func main() {
 	proc := flag.String("proc", "", "restrict output to one procedure")
 	dump := flag.String("dump", "all", "what to dump: cfg, ecfg, fcdg, intervals, plan or all")
 	dot := flag.Bool("dot", false, "emit Graphviz dot for graph dumps")
+	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
 	flag.Parse()
 
@@ -39,9 +41,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := core.LoadWorkers(string(text), *workers)
+	loadOpts := core.LoadOptions{Workers: *workers}
+	var collector *check.Collector
+	if *runCheck {
+		collector = &check.Collector{}
+		loadOpts.CheckProc = collector.CheckProc
+	}
+	p, err := core.LoadOpts(string(text), loadOpts)
 	if err != nil {
 		fail(err)
+	}
+	if collector != nil {
+		if err := check.Gate(os.Stderr, *src, collector); err != nil {
+			fail(err)
+		}
 	}
 
 	names := make([]string, 0, len(p.An.Procs))

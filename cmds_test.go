@@ -14,7 +14,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate"} {
+	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -95,6 +95,42 @@ func TestCommandLineTools(t *testing.T) {
 		flat := runCmd(t, filepath.Join(dir, "estimate"), "-src", src, "-db", db, "-model", "opt-off", "-flat")
 		if !strings.Contains(flat, "%time") || !strings.Contains(flat, "FOO") {
 			t.Errorf("flat output:\n%s", flat)
+		}
+	})
+
+	t.Run("ptranlint", func(t *testing.T) {
+		bin := filepath.Join(dir, "ptranlint")
+		// The paper's Figure 1 example is checker-clean: exit 0.
+		out := runCmd(t, bin, src)
+		if !strings.Contains(out, "clean") {
+			t.Errorf("figure-1 lint output:\n%s", out)
+		}
+		// The bad fixture carries warnings: exit 0 plain, 1 under -Werror.
+		bad := "internal/check/testdata/bad.f"
+		out = runCmd(t, bin, "-json", bad)
+		for _, want := range []string{`"tool": "ptranlint"`, `"pass": "reducible"`, "DO loop never executes", "constant .FALSE."} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q in -json output:\n%s", want, out)
+			}
+		}
+		if msg, err := exec.Command(bin, "-Werror", bad).CombinedOutput(); err == nil {
+			t.Errorf("-Werror on bad.f must exit non-zero:\n%s", msg)
+		}
+		// Syntax errors come back as parse diagnostics, not bare failures.
+		broken := filepath.Join(dir, "broken.f")
+		if err := os.WriteFile(broken, []byte("      PROGRAM P\n      X = \n      END\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := exec.Command(bin, "-json", broken).CombinedOutput()
+		if err == nil || !strings.Contains(string(msg), `"pass": "parse"`) {
+			t.Errorf("broken source: err=%v output:\n%s", err, msg)
+		}
+	})
+
+	t.Run("check-flag", func(t *testing.T) {
+		out := runCmd(t, filepath.Join(dir, "ptranc"), "-src", src, "-check", "-dump", "plan", "-proc", "EXMPL")
+		if !strings.Contains(out, "smart counters") {
+			t.Errorf("ptranc -check output:\n%s", out)
 		}
 	})
 

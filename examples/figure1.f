@@ -1,0 +1,19 @@
+      PROGRAM EXMPL
+      INTEGER M, N
+      M = 5
+      N = 8
+   10 IF (M .GE. 0) THEN
+         IF (N .LT. 0) GOTO 20
+      ELSE
+         IF (N .GE. 0) GOTO 20
+      ENDIF
+      CALL FOO(M, N)
+      GOTO 10
+   20 CONTINUE
+      END
+
+      SUBROUTINE FOO(M, N)
+      INTEGER M, N
+      N = N - 1
+      RETURN
+      END

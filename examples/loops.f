@@ -1,0 +1,17 @@
+      PROGRAM DOTPRD
+      INTEGER I, N
+      REAL A(10), B(10), S
+      N = 10
+      DO 10 I = 1, N
+         A(I) = I
+         B(I) = 2 * I
+   10 CONTINUE
+      S = 0.0
+      DO 20 I = 1, N
+         IF (A(I) .GT. 5.0) THEN
+            S = S + A(I) * B(I)
+         ELSE
+            S = S + B(I)
+         ENDIF
+   20 CONTINUE
+      END

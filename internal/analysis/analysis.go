@@ -75,18 +75,35 @@ func AnalyzeProc(p *lower.Proc) (*Proc, error) {
 	return a, nil
 }
 
+// Options configures AnalyzeProgramOpts beyond the defaults.
+type Options struct {
+	// Workers bounds the per-procedure concurrency; ≤ 0 means GOMAXPROCS.
+	Workers int
+
+	// CheckProc, when non-nil, is invoked with every successfully analyzed
+	// procedure from the same worker that analyzed it, so static checkers
+	// ride the analysis pool for free. It must be safe for concurrent use;
+	// a non-nil return aborts the whole analysis with that error.
+	CheckProc func(*Proc) error
+}
+
 // AnalyzeProgram analyzes every procedure with GOMAXPROCS workers and
 // computes the bottom-up call order.
 func AnalyzeProgram(res *lower.Result) (*Program, error) {
-	return AnalyzeProgramWorkers(res, 0)
+	return AnalyzeProgramOpts(res, Options{})
 }
 
 // AnalyzeProgramWorkers is AnalyzeProgram with an explicit worker bound
-// (≤ 0 means GOMAXPROCS). Each procedure's graphs are private, so workers
-// share nothing; the output is identical for every worker count, and on
-// error the failure of the alphabetically first failing procedure is
-// reported, as in a sequential run.
+// (≤ 0 means GOMAXPROCS).
 func AnalyzeProgramWorkers(res *lower.Result, workers int) (*Program, error) {
+	return AnalyzeProgramOpts(res, Options{Workers: workers})
+}
+
+// AnalyzeProgramOpts is the general entry point. Each procedure's graphs
+// are private, so workers share nothing; the output is identical for every
+// worker count, and on error the failure of the alphabetically first
+// failing procedure is reported, as in a sequential run.
+func AnalyzeProgramOpts(res *lower.Result, opts Options) (*Program, error) {
 	prog := &Program{Res: res, Procs: make(map[string]*Proc, len(res.Procs))}
 	names := make([]string, 0, len(res.Procs))
 	for name := range res.Procs {
@@ -94,6 +111,7 @@ func AnalyzeProgramWorkers(res *lower.Result, workers int) (*Program, error) {
 	}
 	sort.Strings(names)
 
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -102,7 +120,12 @@ func AnalyzeProgramWorkers(res *lower.Result, workers int) (*Program, error) {
 	}
 	procs := make([]*Proc, len(names))
 	errs := make([]error, len(names))
-	analyzeAt := func(i int) { procs[i], errs[i] = AnalyzeProc(res.Procs[names[i]]) }
+	analyzeAt := func(i int) {
+		procs[i], errs[i] = AnalyzeProc(res.Procs[names[i]])
+		if errs[i] == nil && opts.CheckProc != nil {
+			errs[i] = opts.CheckProc(procs[i])
+		}
+	}
 	if workers <= 1 {
 		for i := range names {
 			analyzeAt(i)

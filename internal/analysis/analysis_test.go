@@ -1,11 +1,13 @@
 package analysis
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cfg"
 	"repro/internal/dfst"
+	"repro/internal/interval"
 	"repro/internal/lang"
 	"repro/internal/lower"
 	"repro/internal/paperex"
@@ -225,5 +227,31 @@ func TestRandomGraphPipelineProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAnalyzeProcIrreducibleTypedError hands the pipeline a hand-built
+// procedure whose CFG is irreducible — possible only by bypassing lower,
+// which node-splits such graphs. The analysis must surface the typed
+// interval error through its %w chain rather than panicking downstream.
+func TestAnalyzeProcIrreducibleTypedError(t *testing.T) {
+	g := cfg.New("IRR")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.True)
+	g.MustAddEdge(1, 3, cfg.False)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 2, cfg.True)
+	g.MustAddEdge(3, 4, cfg.False)
+	g.Entry, g.Exit = 1, 4
+
+	a, err := AnalyzeProc(&lower.Proc{G: g})
+	if err == nil {
+		t.Fatalf("AnalyzeProc accepted an irreducible CFG: %+v", a)
+	}
+	var irr *interval.ErrIrreducible
+	if !errors.As(err, &irr) {
+		t.Fatalf("AnalyzeProc = %v, want wrapped *interval.ErrIrreducible", err)
 	}
 }

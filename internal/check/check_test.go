@@ -1,0 +1,138 @@
+package check_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loadFile parses and analyzes a source file through the full front end.
+func loadFile(t *testing.T, path string) *core.Pipeline {
+	t.Helper()
+	text, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Load(string(text))
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return p
+}
+
+// TestExamplesClean is the checker's own oracle: the shipped example
+// programs (including the paper's Figure 1) must carry zero findings of
+// any severity under every pass.
+func TestExamplesClean(t *testing.T) {
+	files, err := filepath.Glob("../../examples/*.f")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example sources found: %v", err)
+	}
+	for _, f := range files {
+		p := loadFile(t, f)
+		diags, err := check.Program(p.An, check.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding: %s", f, d)
+		}
+	}
+}
+
+// TestBadProgramGolden pins the checker's findings on a deliberately bad
+// program — irreducible GOTO spaghetti, a zero-trip constant DO loop, and
+// a constant IF condition — as the exact JSON document ptranlint -json
+// emits. Regenerate with `go test ./internal/check -run Golden -update`.
+func TestBadProgramGolden(t *testing.T) {
+	p := loadFile(t, "testdata/bad.f")
+	diags, err := check.Program(p.An, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := report.NewDocument("ptranlint", diags).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bad.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("golden mismatch\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The named findings the fixture was built to trigger.
+	found := map[string]bool{}
+	for _, d := range diags {
+		found[d.Pass] = true
+	}
+	for _, pass := range []string{"reducible", "lints"} {
+		if !found[pass] {
+			t.Errorf("no finding from pass %q", pass)
+		}
+	}
+}
+
+// TestPassSelection exercises the -passes filter and its error path.
+func TestPassSelection(t *testing.T) {
+	p := loadFile(t, "testdata/bad.f")
+	diags, err := check.Program(p.An, check.Options{Passes: []string{"lints"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("lints alone found nothing on bad.f")
+	}
+	for _, d := range diags {
+		if d.Pass != "lints" {
+			t.Errorf("pass filter leaked %q finding: %s", d.Pass, d)
+		}
+	}
+	if _, err := check.Program(p.An, check.Options{Passes: []string{"nosuch"}}); err == nil {
+		t.Error("unknown pass name must error")
+	}
+}
+
+// TestCollector routes the checker through the analysis worker-pool hook.
+func TestCollector(t *testing.T) {
+	text, err := os.ReadFile("testdata/bad.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &check.Collector{}
+	if _, err := core.LoadOpts(string(text), core.LoadOptions{Workers: 4, CheckProc: c.CheckProc}); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := c.Diagnostics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("collector gathered no findings on bad.f")
+	}
+	// Same findings as the direct path.
+	p := loadFile(t, "testdata/bad.f")
+	direct, err := check.Program(p.An, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(diags) {
+		t.Errorf("collector found %d findings, direct run %d", len(diags), len(direct))
+	}
+}

@@ -1,0 +1,45 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dfst"
+	"repro/internal/dom"
+	"repro/internal/report"
+)
+
+// checkReducible re-derives the reducibility certificate on the lowered
+// (post-split) CFG: every retreating edge of a depth-first spanning tree
+// must have a target that dominates its source — exactly the property the
+// interval analysis assumes. Lowering is supposed to have node-split any
+// irreducible input, so a violation here is an error; the split count
+// itself is surfaced as a warning because duplicated code changes the
+// source-to-node mapping the profiler reports against.
+func checkReducible(a *analysis.Proc, r *reporter) {
+	g := a.P.G
+	res := dfst.New(g)
+	doms := dom.Dominators(g)
+	var offending int
+	for _, e := range res.RetreatingEdges() {
+		if !doms.Dominates(e.To, e.From) {
+			offending++
+			r.errorf(int(e.From), "retreating edge %v: target does not dominate source (irreducible region survived lowering)", e)
+		}
+	}
+	if offending == 0 && !dfst.Reducible(g) {
+		// Belt and braces: the T1/T2 limit-graph test disagrees with the
+		// dominator certificate. One of the two analyses is wrong.
+		r.errorf(0, "dominator certificate holds but T1/T2 reduction does not reach a single node")
+	}
+	if a.P.Splits > 0 {
+		noun := "nodes"
+		if a.P.Splits == 1 {
+			noun = "node"
+		}
+		r.add(report.Warning, report.Diagnostic{
+			Message: fmt.Sprintf("irreducible control flow: lowering duplicated %d %s to restore reducibility", a.P.Splits, noun),
+			Hint:    "restructure the GOTOs so every loop has a single entry point",
+		})
+	}
+}

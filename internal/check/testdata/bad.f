@@ -1,0 +1,15 @@
+      PROGRAM BAD
+      INTEGER I, K
+      K = 0
+      IF (K .GT. 0) GOTO 20
+   10 K = K + 1
+   20 K = K - 1
+      IF (K .GT. 5) GOTO 10
+      IF (K .LT. -5) GOTO 20
+      DO 30 I = 10, 1
+         K = K + 1
+   30 CONTINUE
+      IF (.FALSE.) THEN
+         K = 99
+      ENDIF
+      END

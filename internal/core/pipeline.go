@@ -34,6 +34,17 @@ type Pipeline struct {
 	plansErr  error
 }
 
+// LoadOptions configures LoadOpts beyond the defaults.
+type LoadOptions struct {
+	// Workers bounds the per-procedure analysis concurrency; ≤ 0 means
+	// GOMAXPROCS. The count is retained for later Profile calls.
+	Workers int
+
+	// CheckProc, when non-nil, runs inside the analysis worker pool on
+	// every successfully analyzed procedure (see analysis.Options).
+	CheckProc func(*analysis.Proc) error
+}
+
 // Load parses and analyzes a source program with GOMAXPROCS workers.
 func Load(src string) (*Pipeline, error) { return LoadWorkers(src, 0) }
 
@@ -41,6 +52,12 @@ func Load(src string) (*Pipeline, error) { return LoadWorkers(src, 0) }
 // per-procedure analysis out to the given number of workers (≤ 0 means
 // GOMAXPROCS). The worker count is retained for later Profile calls.
 func LoadWorkers(src string, workers int) (*Pipeline, error) {
+	return LoadOpts(src, LoadOptions{Workers: workers})
+}
+
+// LoadOpts is the general entry point: parse, lower, and analyze with the
+// given options.
+func LoadOpts(src string, opts LoadOptions) (*Pipeline, error) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
@@ -49,11 +66,14 @@ func LoadWorkers(src string, workers int) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	an, err := analysis.AnalyzeProgramWorkers(res, workers)
+	an, err := analysis.AnalyzeProgramOpts(res, analysis.Options{
+		Workers:   opts.Workers,
+		CheckProc: opts.CheckProc,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{Prog: prog, Res: res, An: an, Workers: workers}, nil
+	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers}, nil
 }
 
 // profilePlans returns the per-procedure counter plans, computing them on

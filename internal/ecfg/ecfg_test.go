@@ -1,9 +1,11 @@
 package ecfg
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/cfg"
+	"repro/internal/dfst"
 	"repro/internal/interval"
 	"repro/internal/paperex"
 )
@@ -285,5 +287,57 @@ func TestPreheadersInOrderAndSynthetic(t *testing.T) {
 	}
 	if !ext.IsSynthetic(phs[0]) || ext.IsSynthetic(paperex.Call) {
 		t.Error("IsSynthetic misclassifies")
+	}
+}
+
+// irreducibleDoubleEntry builds a loop {2,3} that is entered both at 2 and
+// at 3 — the canonical irreducible shape lower's node splitting exists for.
+func irreducibleDoubleEntry() *cfg.Graph {
+	g := cfg.New("irr")
+	for i := 0; i < 4; i++ {
+		g.AddNode(cfg.Other, "n")
+	}
+	g.MustAddEdge(1, 2, cfg.True)
+	g.MustAddEdge(1, 3, cfg.False)
+	g.MustAddEdge(2, 3, cfg.Uncond)
+	g.MustAddEdge(3, 2, cfg.True)
+	g.MustAddEdge(3, 4, cfg.False)
+	g.Entry, g.Exit = 1, 4
+	return g
+}
+
+// TestIrreducibleTypedErrorThenSplit feeds a double-entry loop to the
+// interval/ECFG layers directly, bypassing lower's node splitting: the
+// interval layer must return the typed *interval.ErrIrreducible (not
+// panic), and after dfst.MakeReducible the same graph must flow through
+// Build cleanly.
+func TestIrreducibleTypedErrorThenSplit(t *testing.T) {
+	g := irreducibleDoubleEntry()
+	_, err := interval.Analyze(g)
+	var irr *interval.ErrIrreducible
+	if !errors.As(err, &irr) {
+		t.Fatalf("interval.Analyze = %v, want *interval.ErrIrreducible", err)
+	}
+	if irr.Edge.To == 0 {
+		t.Errorf("typed error carries no offending edge: %+v", irr)
+	}
+
+	split, sr := dfst.MakeReducible(g)
+	if sr.Splits == 0 {
+		t.Fatal("MakeReducible performed no splits on a double-entry loop")
+	}
+	iv, err := interval.Analyze(split)
+	if err != nil {
+		t.Fatalf("interval.Analyze after splitting: %v", err)
+	}
+	ext, err := Build(split, iv)
+	if err != nil {
+		t.Fatalf("Build after splitting: %v", err)
+	}
+	if len(iv.Headers()) == 0 {
+		t.Error("split graph lost its loop")
+	}
+	if ext.Start == 0 || ext.Stop == 0 {
+		t.Errorf("ECFG missing START/STOP: start=%d stop=%d", ext.Start, ext.Stop)
 	}
 }

@@ -71,6 +71,7 @@ type Decl struct {
 	Type  Type
 	Items []DeclItem
 	Line  int
+	Col   int
 }
 
 // DeclItem is one declared name; Dims is nil for scalars. Each dimension is
@@ -86,6 +87,7 @@ type Const struct {
 	Name  string
 	Value Expr
 	Line  int
+	Col   int
 }
 
 // SymbolKind distinguishes what a name denotes.
@@ -117,6 +119,9 @@ type Stmt interface {
 	stmtNode()
 	// Pos returns the physical source line.
 	Pos() int
+	// Column returns the 1-based column of the statement's first token
+	// (0 when unknown, e.g. for synthesized statements).
+	Column() int
 	// Lab returns the numeric statement label (0 if none).
 	Lab() int
 	// Text renders the statement head the way Figure 1 labels CFG nodes,
@@ -127,11 +132,13 @@ type Stmt interface {
 // StmtBase carries position and label for all statements.
 type StmtBase struct {
 	Line  int
+	Col   int
 	Label int
 }
 
-func (s StmtBase) Pos() int { return s.Line }
-func (s StmtBase) Lab() int { return s.Label }
+func (s StmtBase) Pos() int    { return s.Line }
+func (s StmtBase) Column() int { return s.Col }
+func (s StmtBase) Lab() int    { return s.Label }
 
 // Assign is "lhs = rhs"; LHS is a Var or Index expression.
 type Assign struct {

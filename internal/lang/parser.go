@@ -130,7 +130,7 @@ func (p *parser) parseUnit() (*Unit, error) {
 		switch {
 		case ts.acceptKW("INTEGER"), ts.acceptKW("REAL"), ts.acceptKW("LOGICAL"):
 			ty := map[string]Type{"INTEGER": TInt, "REAL": TReal, "LOGICAL": TLogical}[line.Tokens[0].Text]
-			d := &Decl{Type: ty, Line: line.Num}
+			d := &Decl{Type: ty, Line: line.Num, Col: line.Tokens[0].Col}
 			for {
 				name, err := ts.expectIdent()
 				if err != nil {
@@ -165,7 +165,7 @@ func (p *parser) parseUnit() (*Unit, error) {
 			continue
 		case ts.acceptKW("DIMENSION"):
 			// DIMENSION A(10), B(5,5): array shape with implicit typing.
-			d := &Decl{Type: TNone, Line: line.Num}
+			d := &Decl{Type: TNone, Line: line.Num, Col: line.Tokens[0].Col}
 			for {
 				name, err := ts.expectIdent()
 				if err != nil {
@@ -216,7 +216,7 @@ func (p *parser) parseUnit() (*Unit, error) {
 				if err != nil {
 					return nil, err
 				}
-				u.Consts = append(u.Consts, &Const{Name: name, Value: val, Line: line.Num})
+				u.Consts = append(u.Consts, &Const{Name: name, Value: val, Line: line.Num, Col: line.Tokens[0].Col})
 				if ts.accept(RPAREN) {
 					break
 				}
@@ -274,6 +274,9 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return nil, errf(line.Num, 1, "unexpected %s", p.head().Text)
 	}
 	base := StmtBase{Line: line.Num, Label: line.Label}
+	if len(line.Tokens) > 0 {
+		base.Col = line.Tokens[0].Col
+	}
 	ts := newTokens(line)
 	switch {
 	case ts.acceptKW("IF"):
@@ -360,7 +363,7 @@ func (p *parser) parseIf(base StmtBase, ts *tokens) (Stmt, error) {
 		return &ArithIf{StmtBase: base, Expr: cond, OnNeg: labs[0], OnZero: labs[1], OnPos: labs[2]}, nil
 	default:
 		// Logical IF: a single simple statement on the same line.
-		inner, err := p.parseSimpleTail(StmtBase{Line: base.Line}, ts)
+		inner, err := p.parseSimpleTail(StmtBase{Line: base.Line, Col: ts.peek().Col}, ts)
 		if err != nil {
 			return nil, err
 		}

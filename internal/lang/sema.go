@@ -53,6 +53,7 @@ type gotoRef struct {
 	target int
 	path   string
 	line   int
+	col    int
 }
 
 func (a *analyzer) run() error {
@@ -62,11 +63,11 @@ func (a *analyzer) run() error {
 	// PARAMETER constants first (they may appear in array bounds).
 	for _, c := range u.Consts {
 		if _, dup := u.Symbols[c.Name]; dup {
-			return fmt.Errorf("line %d: duplicate name %s", c.Line, c.Name)
+			return errf(c.Line, c.Col, "duplicate name %s", c.Name)
 		}
 		val, ty, err := a.foldConst(c.Value)
 		if err != nil {
-			return fmt.Errorf("line %d: PARAMETER %s: %v", c.Line, c.Name, err)
+			return errf(c.Line, c.Col, "PARAMETER %s: %v", c.Name, err)
 		}
 		u.Symbols[c.Name] = &Symbol{Name: c.Name, Kind: SymConst, Type: ty, ConstValue: val}
 	}
@@ -101,7 +102,7 @@ func (a *analyzer) run() error {
 					prev.Type = d.Type
 					continue
 				}
-				return fmt.Errorf("line %d: duplicate declaration of %s", d.Line, item.Name)
+				return errf(d.Line, d.Col, "duplicate declaration of %s", item.Name)
 			}
 			sym := &Symbol{Name: item.Name, Type: ty}
 			if len(item.Dims) > 0 {
@@ -109,7 +110,7 @@ func (a *analyzer) run() error {
 				sym.Dims = item.Dims
 			}
 			if _, isIntr := Intrinsics[item.Name]; isIntr && sym.Kind == SymArray {
-				return fmt.Errorf("line %d: cannot declare array %s: name is an intrinsic function", d.Line, item.Name)
+				return errf(d.Line, d.Col, "cannot declare array %s: name is an intrinsic function", item.Name)
 			}
 			u.Symbols[item.Name] = sym
 		}
@@ -149,12 +150,12 @@ func (a *analyzer) run() error {
 	for _, g := range a.gotos {
 		defPath, ok := a.labels[g.target]
 		if !ok {
-			return fmt.Errorf("line %d: GOTO %d: no such label in unit %s", g.line, g.target, u.Name)
+			return errf(g.line, g.col, "GOTO %d: no such label in unit %s", g.target, u.Name)
 		}
 		// Legal iff the label's block is the GOTO's block or an ancestor:
 		// jumping out of blocks is fine, jumping in is not.
 		if !strings.HasPrefix(g.path+".", defPath+".") {
-			return fmt.Errorf("line %d: GOTO %d jumps into a nested block", g.line, g.target)
+			return errf(g.line, g.col, "GOTO %d jumps into a nested block", g.target)
 		}
 	}
 	return nil
@@ -185,7 +186,7 @@ func (a *analyzer) checkBlock(body []Stmt, path string) error {
 	for _, s := range body {
 		if l := s.Lab(); l != 0 {
 			if _, dup := a.labels[l]; dup {
-				return fmt.Errorf("line %d: duplicate statement label %d", s.Pos(), l)
+				return errf(s.Pos(), s.Column(), "duplicate statement label %d", l)
 			}
 			a.labels[l] = path
 		}
@@ -206,14 +207,14 @@ func (a *analyzer) checkStmt(s Stmt, path string) error {
 	case *Assign:
 		return a.checkAssign(st)
 	case *IfBlock:
-		if err := a.checkCond(st.Cond, st.Line); err != nil {
+		if err := a.checkCond(st.Cond, st.Line, st.Col); err != nil {
 			return err
 		}
 		if err := a.checkBlock(st.Then, path+"."+a.subBlock()); err != nil {
 			return err
 		}
 		for _, arm := range st.Elifs {
-			if err := a.checkCond(arm.Cond, arm.Line); err != nil {
+			if err := a.checkCond(arm.Cond, arm.Line, 0); err != nil {
 				return err
 			}
 			if err := a.checkBlock(arm.Body, path+"."+a.subBlock()); err != nil {
@@ -222,29 +223,29 @@ func (a *analyzer) checkStmt(s Stmt, path string) error {
 		}
 		return a.checkBlock(st.Else, path+"."+a.subBlock())
 	case *LogicalIf:
-		if err := a.checkCond(st.Cond, st.Line); err != nil {
+		if err := a.checkCond(st.Cond, st.Line, st.Col); err != nil {
 			return err
 		}
 		if _, nested := st.Then.(*LogicalIf); nested {
-			return fmt.Errorf("line %d: logical IF body cannot be another IF", st.Line)
+			return errf(st.Line, st.Col, "logical IF body cannot be another IF")
 		}
 		return a.checkStmt(st.Then, path)
 	case *ArithIf:
 		ty, err := a.typeOf(st.Expr)
 		if err != nil {
-			return fmt.Errorf("line %d: %v", st.Line, err)
+			return errf(st.Line, st.Col, "%v", err)
 		}
 		if ty != TInt && ty != TReal {
-			return fmt.Errorf("line %d: arithmetic IF needs a numeric expression", st.Line)
+			return errf(st.Line, st.Col, "arithmetic IF needs a numeric expression")
 		}
 		for _, t := range []int{st.OnNeg, st.OnZero, st.OnPos} {
-			a.gotos = append(a.gotos, gotoRef{target: t, path: path, line: st.Line})
+			a.gotos = append(a.gotos, gotoRef{target: t, path: path, line: st.Line, col: st.Col})
 		}
 		return nil
 	case *DoLoop:
 		sym := a.lookup(st.Var)
 		if sym.Kind != SymScalar || sym.Type != TInt {
-			return fmt.Errorf("line %d: DO variable %s must be an INTEGER scalar", st.Line, st.Var)
+			return errf(st.Line, st.Col, "DO variable %s must be an INTEGER scalar", st.Var)
 		}
 		for _, e := range []Expr{st.Lo, st.Hi, st.Step} {
 			if e == nil {
@@ -252,46 +253,46 @@ func (a *analyzer) checkStmt(s Stmt, path string) error {
 			}
 			ty, err := a.typeOf(e)
 			if err != nil {
-				return fmt.Errorf("line %d: %v", st.Line, err)
+				return errf(st.Line, st.Col, "%v", err)
 			}
 			if ty != TInt {
-				return fmt.Errorf("line %d: DO bounds must be INTEGER", st.Line)
+				return errf(st.Line, st.Col, "DO bounds must be INTEGER")
 			}
 		}
 		return a.checkBlock(st.Body, path+"."+a.subBlock())
 	case *Goto:
-		a.gotos = append(a.gotos, gotoRef{target: st.Target, path: path, line: st.Line})
+		a.gotos = append(a.gotos, gotoRef{target: st.Target, path: path, line: st.Line, col: st.Col})
 		return nil
 	case *ComputedGoto:
 		ty, err := a.typeOf(st.Expr)
 		if err != nil {
-			return fmt.Errorf("line %d: %v", st.Line, err)
+			return errf(st.Line, st.Col, "%v", err)
 		}
 		if ty != TInt {
-			return fmt.Errorf("line %d: computed GOTO index must be INTEGER", st.Line)
+			return errf(st.Line, st.Col, "computed GOTO index must be INTEGER")
 		}
 		for _, t := range st.Targets {
-			a.gotos = append(a.gotos, gotoRef{target: t, path: path, line: st.Line})
+			a.gotos = append(a.gotos, gotoRef{target: t, path: path, line: st.Line, col: st.Col})
 		}
 		return nil
 	case *CallStmt:
 		callee := a.prog.Unit(st.Name)
 		if callee == nil || callee.IsMain {
-			return fmt.Errorf("line %d: CALL %s: no such subroutine", st.Line, st.Name)
+			return errf(st.Line, st.Col, "CALL %s: no such subroutine", st.Name)
 		}
 		if len(st.Args) != len(callee.Params) {
-			return fmt.Errorf("line %d: CALL %s: %d arguments, subroutine takes %d",
-				st.Line, st.Name, len(st.Args), len(callee.Params))
+			return errf(st.Line, st.Col, "CALL %s: %d arguments, subroutine takes %d",
+				st.Name, len(st.Args), len(callee.Params))
 		}
 		for _, arg := range st.Args {
 			if _, err := a.typeOf(arg); err != nil {
-				return fmt.Errorf("line %d: %v", st.Line, err)
+				return errf(st.Line, st.Col, "%v", err)
 			}
 		}
 		return nil
 	case *Return:
 		if a.unit.IsMain {
-			return fmt.Errorf("line %d: RETURN in main program (use STOP or END)", st.Line)
+			return errf(st.Line, st.Col, "RETURN in main program (use STOP or END)")
 		}
 		return nil
 	case *StopStmt, *Continue:
@@ -299,21 +300,21 @@ func (a *analyzer) checkStmt(s Stmt, path string) error {
 	case *Print:
 		for _, e := range st.Items {
 			if _, err := a.typeOf(e); err != nil {
-				return fmt.Errorf("line %d: %v", st.Line, err)
+				return errf(st.Line, st.Col, "%v", err)
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("line %d: unhandled statement %T", s.Pos(), s)
+	return errf(s.Pos(), s.Column(), "unhandled statement %T", s)
 }
 
-func (a *analyzer) checkCond(e Expr, line int) error {
+func (a *analyzer) checkCond(e Expr, line, col int) error {
 	ty, err := a.typeOf(e)
 	if err != nil {
-		return fmt.Errorf("line %d: %v", line, err)
+		return errf(line, col, "%v", err)
 	}
 	if ty != TLogical {
-		return fmt.Errorf("line %d: IF condition must be LOGICAL, got %s", line, ty)
+		return errf(line, col, "IF condition must be LOGICAL, got %s", ty)
 	}
 	return nil
 }
@@ -324,39 +325,39 @@ func (a *analyzer) checkAssign(st *Assign) error {
 	case *Var:
 		sym = a.lookup(lhs.Name)
 		if sym.Kind == SymArray {
-			return fmt.Errorf("line %d: cannot assign to whole array %s", st.Line, lhs.Name)
+			return errf(st.Line, st.Col, "cannot assign to whole array %s", lhs.Name)
 		}
 	case *Index:
 		sym = a.lookup(lhs.Name)
 		if sym.Kind != SymArray {
-			return fmt.Errorf("line %d: %s is not an array", st.Line, lhs.Name)
+			return errf(st.Line, st.Col, "%s is not an array", lhs.Name)
 		}
 		if len(lhs.Subs) != len(sym.Dims) {
-			return fmt.Errorf("line %d: %s has %d dimensions, indexed with %d",
-				st.Line, lhs.Name, len(sym.Dims), len(lhs.Subs))
+			return errf(st.Line, st.Col, "%s has %d dimensions, indexed with %d",
+				lhs.Name, len(sym.Dims), len(lhs.Subs))
 		}
 		for _, sub := range lhs.Subs {
 			ty, err := a.typeOf(sub)
 			if err != nil {
-				return fmt.Errorf("line %d: %v", st.Line, err)
+				return errf(st.Line, st.Col, "%v", err)
 			}
 			if ty != TInt {
-				return fmt.Errorf("line %d: array subscript must be INTEGER", st.Line)
+				return errf(st.Line, st.Col, "array subscript must be INTEGER")
 			}
 		}
 	default:
-		return fmt.Errorf("line %d: bad assignment target", st.Line)
+		return errf(st.Line, st.Col, "bad assignment target")
 	}
 	if sym.Kind == SymConst {
-		return fmt.Errorf("line %d: cannot assign to PARAMETER %s", st.Line, sym.Name)
+		return errf(st.Line, st.Col, "cannot assign to PARAMETER %s", sym.Name)
 	}
 	rty, err := a.typeOf(st.RHS)
 	if err != nil {
-		return fmt.Errorf("line %d: %v", st.Line, err)
+		return errf(st.Line, st.Col, "%v", err)
 	}
 	lty := sym.Type
 	if lty == TLogical != (rty == TLogical) {
-		return fmt.Errorf("line %d: cannot assign %s to %s variable", st.Line, rty, lty)
+		return errf(st.Line, st.Col, "cannot assign %s to %s variable", rty, lty)
 	}
 	return nil
 }

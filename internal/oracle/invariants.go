@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/freq"
 	"repro/internal/profiler"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
@@ -77,6 +79,11 @@ func Registry() []Invariant {
 			Name:  "meta-split-block",
 			Desc:  "splitting a straight-line block with a forward GOTO leaves TIME and VAR unchanged",
 			Check: checkMetaSplitBlock,
+		},
+		{
+			Name:  "checker-clean",
+			Desc:  "every generated program passes the internal/check static passes with no error-severity findings, and the rank proof certifies its counter plans",
+			Check: checkCheckerClean,
 		},
 	}
 }
@@ -335,4 +342,30 @@ func checkMetaWrapDo(ctx *evalCtx) error {
 
 func checkMetaSplitBlock(ctx *evalCtx) error {
 	return checkMeta(ctx, SplitBlock, ctx.model)
+}
+
+// checkCheckerClean asserts the generated program is clean under the
+// static verification passes — progen emits structured control flow, so an
+// error-severity finding means either the generator or a checker pass is
+// wrong. It also re-proves every counter plan with the rank check, tying
+// the static soundness certificate to the same cases recovery-exact
+// validates at run time.
+func checkCheckerClean(ctx *evalCtx) error {
+	for name, a := range ctx.an.Procs {
+		diags, err := check.Proc(a, check.Options{})
+		if err != nil {
+			return fmt.Errorf("check %s: %v", name, err)
+		}
+		for _, d := range diags {
+			if d.Severity == report.Error {
+				return fmt.Errorf("check %s: %s", name, d)
+			}
+		}
+		if plan := ctx.plans[name]; plan != nil {
+			if bad := check.VerifyPlan(plan); len(bad) > 0 {
+				return fmt.Errorf("plan %s not certified: %s", name, bad[0])
+			}
+		}
+	}
+	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"repro/internal/report"
 )
 
 // Report summarizes one corpus sweep: per-invariant tallies plus the
@@ -52,6 +54,34 @@ type Failure struct {
 // JSON renders the report with indentation.
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// Diagnostics converts the sweep result into the diagnostic schema shared
+// with ptranlint (see internal/report): one error per failure plus one info
+// line per invariant tally, so `oracle -diag` and `ptranlint -json` emit
+// the same JSON dialect.
+func (r *Report) Diagnostics() []report.Diagnostic {
+	var diags []report.Diagnostic
+	for _, ir := range r.Invariants {
+		sev := report.Info
+		msg := fmt.Sprintf("invariant %s: %d checked, %d skipped, %d failed",
+			ir.Name, ir.Checked, ir.Skipped, ir.Failed)
+		if ir.Failed > 0 {
+			sev = report.Warning
+		}
+		diags = append(diags, report.Diagnostic{Severity: sev, Pass: ir.Name, Message: msg})
+	}
+	for _, f := range r.Failures {
+		diags = append(diags, report.Diagnostic{
+			Severity: report.Error,
+			Pass:     f.Invariant,
+			Message: fmt.Sprintf("seed %d kind %s size %d depth %d: %s",
+				f.Seed, f.Kind, f.Size, f.Depth, firstLine(f.Error)),
+			Hint: fmt.Sprintf("reproduce with -start %d -seeds 1 -size %d -depth %d",
+				f.Seed, f.MinSize, f.MinDepth),
+		})
+	}
+	return diags
 }
 
 // Summary renders a short human-readable table.

@@ -1,0 +1,81 @@
+package profiler
+
+import (
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+)
+
+// RuleKind is the exported mirror of the plan's internal rule kinds, in the
+// same order, for static verification of a placement (package check builds
+// a linear system out of the rules and proves it has full rank).
+type RuleKind int
+
+// Exported rule kinds.
+const (
+	RuleBranchBalance RuleKind = iota // dropped = exec(node) − Σ others
+	RuleLoopIdentity                  // (ph,U) = exec(ph) + Σ back-edge takings
+	RuleDoConstTrip                   // (ph,U), (test,T) from exec(ph) × const trip
+	RuleDoAddTrip                     // (ph,U), (test,T) from a TripAdd reading
+	RuleStaticCond                    // dropped = staticFreq × exec(node)
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case RuleBranchBalance:
+		return "branch-balance"
+	case RuleLoopIdentity:
+		return "loop-identity"
+	case RuleDoConstTrip:
+		return "do-const-trip"
+	case RuleDoAddTrip:
+		return "do-add-trip"
+	case RuleStaticCond:
+		return "static-cond"
+	}
+	return "unknown"
+}
+
+// RuleView is a read-only view of one inference rule of a smart plan.
+// Slices are copies; mutating them does not affect the plan.
+type RuleView struct {
+	Kind RuleKind
+	// Node is the branch node (RuleBranchBalance, RuleStaticCond) or the
+	// loop header / DO test node (loop rules).
+	Node cfg.NodeID
+	// Dropped is the condition the rule recovers. For the DO rules it is
+	// the zero Condition: they recover the loop condition (preheader, U)
+	// and, when present, the test's T and F conditions implicitly.
+	Dropped cdg.Condition
+	// Others are the sibling conditions summed by RuleBranchBalance.
+	Others []cdg.Condition
+	// BackEdges are the CFG back edges of a RuleLoopIdentity.
+	BackEdges []cfg.Edge
+	// Trip is the constant trip count of a RuleDoConstTrip.
+	Trip int64
+	// StaticFreq is the compile-time FREQ of a RuleStaticCond.
+	StaticFreq float64
+}
+
+// Rules exposes the plan's inference rules for independent verification.
+func (p *Plan) Rules() []RuleView {
+	out := make([]RuleView, 0, len(p.rules))
+	for i := range p.rules {
+		r := &p.rules[i]
+		out = append(out, RuleView{
+			Kind:       RuleKind(r.kind),
+			Node:       r.node,
+			Dropped:    r.dropped,
+			Others:     append([]cdg.Condition(nil), r.others...),
+			BackEdges:  append([]cfg.Edge(nil), r.backEdges...),
+			Trip:       r.trip,
+			StaticFreq: r.staticFreq,
+		})
+	}
+	return out
+}
+
+// Conds returns the non-pseudo FCDG conditions the plan must determine —
+// the unknowns of the recovery system. The slice is a copy.
+func (p *Plan) Conds() []cdg.Condition {
+	return append([]cdg.Condition(nil), p.conds...)
+}

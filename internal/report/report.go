@@ -1,0 +1,131 @@
+// Package report defines the diagnostic schema shared by the command-line
+// tools: ptranlint emits it natively and oracle converts invariant failures
+// into it, so both speak one JSON dialect and neither duplicates an encoder.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. Error-severity findings fail the run.
+type Severity string
+
+// Severity levels.
+const (
+	Info    Severity = "info"
+	Warning Severity = "warning"
+	Error   Severity = "error"
+)
+
+// Diagnostic is one finding with enough position information to be
+// clickable: tool is the producer ("ptranlint", "oracle"), pass the named
+// analysis that fired, proc the procedure (program unit) it concerns, and
+// line/col the source position when one is known (node is the CFG/ECFG node
+// otherwise).
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	Pass     string   `json:"pass"`
+	Proc     string   `json:"proc,omitempty"`
+	Node     int      `json:"node,omitempty"`
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Message  string   `json:"message"`
+	Hint     string   `json:"hint,omitempty"`
+}
+
+// String renders the diagnostic in the classic compiler one-liner format:
+// file-less "line:col: severity: [pass] message".
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "%d:", d.Line)
+		if d.Col > 0 {
+			fmt.Fprintf(&b, "%d:", d.Col)
+		}
+		b.WriteByte(' ')
+	}
+	fmt.Fprintf(&b, "%s: [%s]", d.Severity, d.Pass)
+	if d.Proc != "" {
+		fmt.Fprintf(&b, " %s:", d.Proc)
+	}
+	if d.Node > 0 {
+		fmt.Fprintf(&b, " node %d:", d.Node)
+	}
+	fmt.Fprintf(&b, " %s", d.Message)
+	if d.Hint != "" {
+		fmt.Fprintf(&b, " (%s)", d.Hint)
+	}
+	return b.String()
+}
+
+// Document is the top-level JSON shape both tools emit: the producing tool,
+// its findings, and the severity tally.
+type Document struct {
+	Tool        string       `json:"tool"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+}
+
+// NewDocument bundles diagnostics under a tool name, counting severities.
+func NewDocument(tool string, diags []Diagnostic) *Document {
+	doc := &Document{Tool: tool, Diagnostics: diags}
+	if doc.Diagnostics == nil {
+		doc.Diagnostics = []Diagnostic{} // encode as [], not null
+	}
+	for _, d := range diags {
+		switch d.Severity {
+		case Error:
+			doc.Errors++
+		case Warning:
+			doc.Warnings++
+		}
+	}
+	return doc
+}
+
+// Encode writes the document as indented JSON.
+func (doc *Document) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Count returns how many diagnostics have the given severity.
+func Count(diags []Diagnostic, sev Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Sort orders diagnostics for stable output: by procedure, then source
+// position, then node, then pass, then message.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
