@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test bench oracle selfcheck fuzz-smoke
+.PHONY: check fmt vet lint build test bench bench-json oracle selfcheck fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, lint, build, race-enabled
 # tests, plus the self-lint, oracle sweep and a fuzzing smoke pass.
@@ -31,6 +31,12 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# bench-json sweeps the perf-regression harness (cmd/bench) and writes a
+# date-stamped snapshot with per-phase spans, diffing throughput against the
+# newest committed BENCH_*.json; a >25% nodes/sec drop fails the target.
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_$$(date +%Y-%m-%d).json -diff auto
 
 # selfcheck runs the in-tree static verifier over the shipped examples;
 # any error-severity finding fails the build.

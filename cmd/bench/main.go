@@ -1,0 +1,226 @@
+// Command bench is the performance-regression harness: it sweeps the
+// end-to-end pipeline (parse, lower, analyze, profile over 8 seeds,
+// estimate) over generated programs of increasing size plus a small oracle
+// corpus, records throughput (nodes/sec, cases/sec), counter economy
+// (counters per basic block), peak RSS, and the per-phase trace of the best
+// repetition into a BENCH_<date>.json snapshot, and diffs the rates against
+// a previous snapshot.
+//
+// Usage:
+//
+//	bench [-out BENCH_2026-08-06.json] [-diff auto|FILE] [-threshold 0.25]
+//	      [-reps 3] [-sizes small,medium,large] [-oracle-seeds 32] [-workers N]
+//
+// -diff auto picks the lexically newest BENCH_*.json in the output
+// directory other than the output file itself (the date-stamped names sort
+// chronologically); when none exists the diff is skipped. The exit status
+// is 1 when any "_per_sec" rate dropped by more than -threshold, so the
+// command doubles as a CI gate (`make bench-json`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/progen"
+	"repro/internal/report"
+)
+
+// sweepSizes mirrors BenchmarkScale in bench_test.go so `go test -bench`
+// and this harness measure the same programs.
+var sweepSizes = []struct {
+	name        string
+	size, depth int
+}{
+	{"small", 20, 2},
+	{"medium", 80, 3},
+	{"large", 240, 4},
+}
+
+var sweepSeeds = []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+
+func main() {
+	date := time.Now().Format("2006-01-02")
+	out := flag.String("out", "BENCH_"+date+".json", "snapshot output file")
+	diff := flag.String("diff", "", "previous snapshot to diff against (auto = newest BENCH_*.json next to -out)")
+	threshold := flag.Float64("threshold", 0.25, "fail when a throughput rate drops by more than this fraction")
+	reps := flag.Int("reps", 3, "repetitions per scenario; the best one is recorded")
+	oracleSeeds := flag.Int("oracle-seeds", 32, "oracle corpus size (0 = skip the corpus entry)")
+	sizes := flag.String("sizes", "small,medium,large", "comma-separated sweep sizes to run")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and profiling")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+
+	snap := &report.BenchSnapshot{
+		Schema:    report.BenchSchema,
+		Tool:      "bench",
+		Date:      date,
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	wanted := make(map[string]bool)
+	for _, name := range strings.Split(*sizes, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	for _, sz := range sweepSizes {
+		if !wanted[sz.name] {
+			continue
+		}
+		entry, err := runPipelineScenario(sz.name, sz.size, sz.depth, *workers, *reps)
+		if err != nil {
+			fail(err)
+		}
+		snap.Entries = append(snap.Entries, *entry)
+		fmt.Fprintf(os.Stderr, "bench: %-8s %8.1f ms  %10.0f nodes/sec  %.3f counters/block\n",
+			entry.Name, entry.WallMs, entry.Metrics["nodes_per_sec"], entry.Metrics["counters_per_block"])
+	}
+	if *oracleSeeds > 0 {
+		entry, err := runOracleScenario(*oracleSeeds, *workers)
+		if err != nil {
+			fail(err)
+		}
+		snap.Entries = append(snap.Entries, *entry)
+		fmt.Fprintf(os.Stderr, "bench: %-8s %8.1f ms  %10.2f cases/sec\n",
+			entry.Name, entry.WallMs, entry.Metrics["cases_per_sec"])
+	}
+	snap.Metrics = map[string]float64{"process.peak_rss_bytes": float64(obs.PeakRSSBytes())}
+
+	if err := snap.Save(*out); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: snapshot written to %s\n", *out)
+
+	if *diff == "" {
+		return
+	}
+	prevPath := *diff
+	if prevPath == "auto" {
+		prevPath = newestSnapshot(*out)
+		if prevPath == "" {
+			fmt.Fprintln(os.Stderr, "bench: no previous BENCH_*.json snapshot, diff skipped")
+			return
+		}
+	}
+	prev, err := report.LoadBench(prevPath)
+	if err != nil {
+		fail(err)
+	}
+	regs := report.DiffBench(prev, snap, *threshold)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no regression beyond %.0f%% vs %s\n", 100**threshold, prevPath)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "bench: REGRESSION %s (vs %s)\n", r, prevPath)
+	}
+	os.Exit(1)
+}
+
+// runPipelineScenario measures the full pipeline on one generated program,
+// keeping the fastest of reps repetitions (minimum-of-N rejects scheduler
+// noise; a regression must slow down every repetition to show).
+func runPipelineScenario(name string, size, depth, workers, reps int) (*report.BenchEntry, error) {
+	src := progen.Generate(7, size, depth)
+	best := &report.BenchEntry{Name: name}
+	for rep := 0; rep < reps || rep == 0; rep++ {
+		obs.Default.Reset()
+		tr := obs.NewTrace()
+		t0 := time.Now()
+		p, err := core.LoadOpts(src, core.LoadOptions{Workers: workers, Trace: tr})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		est, err := p.Estimate(cost.Optimized, core.Options{}, sweepSeeds...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		wall := time.Since(t0)
+
+		var nodes int
+		for _, a := range p.An.Procs {
+			nodes += a.P.G.NumNodes()
+		}
+		counters := obs.Default.Snapshot()
+		wallMs := float64(wall) / float64(time.Millisecond)
+		if best.Metrics != nil && wallMs >= best.WallMs {
+			continue
+		}
+		best.WallMs = wallMs
+		best.Spans = tr.Spans()
+		best.Metrics = map[string]float64{
+			"nodes":         float64(nodes),
+			"nodes_per_sec": float64(nodes) / wall.Seconds(),
+			"seeds":         float64(len(sweepSeeds)),
+			"time_estimate": est.Main.Time,
+			"stddev":        est.Main.StdDev(),
+		}
+		if blocks := counters["pipeline.blocks"]; blocks > 0 {
+			best.Metrics["counters_per_block"] = counters["pipeline.counters"] / blocks
+		}
+	}
+	return best, nil
+}
+
+// runOracleScenario sweeps a small oracle corpus once; corpus evaluation is
+// already a multi-case aggregate, so a single repetition is stable enough.
+func runOracleScenario(seeds, workers int) (*report.BenchEntry, error) {
+	t0 := time.Now()
+	rep, err := oracle.Run(oracle.Config{
+		Seeds:           seeds,
+		Size:            6,
+		Depth:           3,
+		ProfileRuns:     2,
+		BranchFreeEvery: 4,
+		DetLoopEvery:    6,
+		Workers:         workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle corpus: %w", err)
+	}
+	if !rep.AllPass {
+		return nil, fmt.Errorf("oracle corpus: invariant failures — fix correctness before benchmarking:\n%s", rep.Summary())
+	}
+	wall := time.Since(t0)
+	return &report.BenchEntry{
+		Name:   "oracle-corpus",
+		WallMs: float64(wall) / float64(time.Millisecond),
+		Metrics: map[string]float64{
+			"cases":         float64(seeds),
+			"cases_per_sec": float64(seeds) / wall.Seconds(),
+		},
+	}, nil
+}
+
+// newestSnapshot returns the lexically newest BENCH_*.json sibling of out,
+// excluding out itself ("" when there is none).
+func newestSnapshot(out string) string {
+	dir := filepath.Dir(out)
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return ""
+	}
+	absOut, _ := filepath.Abs(out)
+	best := ""
+	for _, m := range matches {
+		if abs, _ := filepath.Abs(m); abs == absOut {
+			continue
+		}
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/database"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,11 +36,16 @@ func main() {
 	flat := flag.Bool("flat", false, "print a gprof-style flat profile instead of per-node tables")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "estimate:", err)
 		os.Exit(1)
+	}
+	tr, err := obsCLI.Begin()
+	if err != nil {
+		fail(err)
 	}
 	if *src == "" || *dbPath == "" {
 		fail(fmt.Errorf("-src and -db are required"))
@@ -59,7 +65,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}
@@ -86,7 +92,9 @@ func main() {
 	if lv, err := db.LoopVariance(); err == nil && len(lv) > 0 {
 		opt.FreqVar = lv
 	}
+	sp := tr.Start("estimate")
 	est, err := core.EstimateProgram(p.An, totals, p.CostTables(m), opt)
+	sp.End()
 	if err != nil {
 		fail(err)
 	}
@@ -96,6 +104,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(core.FormatFlat(rows))
+		if err := obsCLI.End("estimate"); err != nil {
+			fail(err)
+		}
 		return
 	}
 	for _, comp := range p.An.BottomUp {
@@ -110,5 +121,8 @@ func main() {
 	if est.Main != nil && *proc == "" {
 		fmt.Printf("program: TIME = %.6g cycles, STD_DEV = %.6g cycles (model %s, %d profiled runs)\n",
 			est.Main.Time, est.Main.StdDev(), m.Name, db.Runs)
+	}
+	if err := obsCLI.End("estimate"); err != nil {
+		fail(err)
 	}
 }

@@ -14,16 +14,21 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to print: 1, 2, 3 or all")
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text (figures 1 and 3)")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
+	}
+	if _, err := obsCLI.Begin(); err != nil {
+		fail(err)
 	}
 	show1 := *fig == "1" || *fig == "all"
 	show2 := *fig == "2" || *fig == "all"
@@ -60,5 +65,8 @@ func main() {
 		} else {
 			fmt.Println(r.Format())
 		}
+	}
+	if err := obsCLI.End("figures"); err != nil {
+		fail(err)
 	}
 }

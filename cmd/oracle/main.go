@@ -7,7 +7,7 @@
 //
 //	oracle -seeds 200 [-start 1] [-size 8] [-depth 3] [-runs 3]
 //	       [-workers N] [-invariants name,name,...] [-branchfree-every 4]
-//	       [-no-minimize] [-quiet]
+//	       [-detloop-every 6] [-no-minimize] [-quiet]
 //
 // The exit status is 0 when every invariant passes and 1 otherwise, so the
 // command doubles as a CI gate (`make oracle`). To reproduce a failure, re-run
@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/report"
 )
@@ -34,10 +35,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent case evaluations")
 	invariants := flag.String("invariants", "", "comma-separated invariant names (default: all)")
 	branchFreeEvery := flag.Int("branchfree-every", 4, "every k-th case uses the branch-free program family (0 = never)")
+	detLoopEvery := flag.Int("detloop-every", 6, "every k-th case uses the branch-free-plus-constant-trip-DO family (0 = never)")
 	noMinimize := flag.Bool("no-minimize", false, "skip shrinking failing cases")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary on stderr")
 	diag := flag.Bool("diag", false, "emit the diagnostic document shared with ptranlint instead of the sweep report")
 	list := flag.Bool("list", false, "list registry invariants and exit")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -54,14 +57,23 @@ func main() {
 		Depth:           *depth,
 		ProfileRuns:     *runs,
 		BranchFreeEvery: *branchFreeEvery,
+		DetLoopEvery:    *detLoopEvery,
 		Workers:         *workers,
 		Minimize:        !*noMinimize,
 	}
 	if *invariants != "" {
 		cfg.Invariants = strings.Split(*invariants, ",")
 	}
+	if _, err := obsCLI.Begin(); err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(2)
+	}
 	rep, err := oracle.Run(cfg)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(2)
+	}
+	if err := obsCLI.End("oracle"); err != nil {
 		fmt.Fprintln(os.Stderr, "oracle:", err)
 		os.Exit(2)
 	}

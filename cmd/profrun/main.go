@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/database"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 )
 
@@ -32,11 +33,16 @@ func main() {
 	show := flag.Bool("print", false, "print program output (PRINT statements)")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "profrun:", err)
 		os.Exit(1)
+	}
+	tr, err := obsCLI.Begin()
+	if err != nil {
+		fail(err)
 	}
 	if *src == "" || *dbPath == "" {
 		fail(fmt.Errorf("-src and -db are required"))
@@ -45,7 +51,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}
@@ -102,4 +108,7 @@ func main() {
 	}
 	fmt.Printf("profrun: %d run(s) merged into %s (now %d runs total)\n",
 		len(seedList), *dbPath, db.Runs)
+	if err := obsCLI.End("profrun"); err != nil {
+		fail(err)
+	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 )
 
@@ -28,11 +29,16 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz dot for graph dumps")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ptranc:", err)
 		os.Exit(1)
+	}
+	tr, err := obsCLI.Begin()
+	if err != nil {
+		fail(err)
 	}
 	if *src == "" {
 		fail(fmt.Errorf("-src is required"))
@@ -41,7 +47,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}
@@ -118,6 +124,9 @@ func main() {
 			}
 			fmt.Printf("  %v%s\n", comp, rec)
 		}
+	}
+	if err := obsCLI.End("ptranc"); err != nil {
+		fail(err)
 	}
 }
 

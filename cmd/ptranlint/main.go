@@ -26,6 +26,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -36,6 +37,7 @@ func main() {
 	passes := flag.String("passes", "", "comma-separated pass names (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
 	list := flag.Bool("list", false, "list registry passes and exit")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -61,8 +63,17 @@ func main() {
 	if *passes != "" {
 		opts.Passes = strings.Split(*passes, ",")
 	}
-	diags, err := lint(string(text), opts, *workers)
+	tr, err := obsCLI.Begin()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptranlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint(string(text), opts, *workers, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptranlint:", err)
+		os.Exit(2)
+	}
+	if err := obsCLI.End("ptranlint"); err != nil {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
 	}
@@ -71,11 +82,12 @@ func main() {
 
 // lint runs the front end and the checker, turning syntax/semantic errors
 // into diagnostics rather than bare failures.
-func lint(text string, opts check.Options, workers int) ([]report.Diagnostic, error) {
+func lint(text string, opts check.Options, workers int, tr *obs.Trace) ([]report.Diagnostic, error) {
 	collector := &check.Collector{Opts: opts}
 	_, err := core.LoadOpts(text, core.LoadOptions{
 		Workers:   workers,
 		CheckProc: collector.CheckProc,
+		Trace:     tr,
 	})
 	if err != nil {
 		var se *lang.SyntaxError

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,8 +27,17 @@ func main() {
 	simpleN := flag.Int("simplen", 24, "SIMPLE mesh size")
 	cycles := flag.Int("cycles", 3, "SIMPLE time-step cycles")
 	seed := flag.Uint64("seed", 1, "interpreter seed")
+	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	tr, err := obsCLI.Begin()
+	if err != nil {
+		fail(err)
+	}
 	cfg := experiments.Table1Config{
 		LoopsN: *loopsN, LoopsReps: *reps,
 		SimpleN: *simpleN, SimpleNCycles: *cycles,
@@ -36,10 +46,13 @@ func main() {
 	if *paper {
 		cfg = experiments.PaperTable1Config
 	}
+	cfg.Trace = tr
 	res, err := experiments.Table1(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "table1:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Print(res.Format())
+	if err := obsCLI.End("table1"); err != nil {
+		fail(err)
+	}
 }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint"} {
+	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint", "bench"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -131,6 +132,114 @@ func TestCommandLineTools(t *testing.T) {
 		out := runCmd(t, filepath.Join(dir, "ptranc"), "-src", src, "-check", "-dump", "plan", "-proc", "EXMPL")
 		if !strings.Contains(out, "smart counters") {
 			t.Errorf("ptranc -check output:\n%s", out)
+		}
+	})
+
+	t.Run("trace-flag", func(t *testing.T) {
+		tracePath := filepath.Join(dir, "trace.json")
+		runCmd(t, filepath.Join(dir, "ptranc"), "-src", src, "-dump", "plan", "-trace", tracePath)
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Tool  string `json:"tool"`
+			Spans []struct {
+				Name   string  `json:"name"`
+				WallMs float64 `json:"wall_ms"`
+				Count  int64   `json:"count"`
+			} `json:"spans"`
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("trace JSON: %v\n%s", err, raw)
+		}
+		if doc.Tool != "ptranc" {
+			t.Errorf("tool = %q, want ptranc", doc.Tool)
+		}
+		phases := make(map[string]bool)
+		for _, sp := range doc.Spans {
+			phases[sp.Name] = true
+			if sp.Count <= 0 {
+				t.Errorf("span %q has count %d", sp.Name, sp.Count)
+			}
+		}
+		for _, want := range []string{"parse", "lower", "interval", "ecfg", "cdg", "fcdg", "analyze"} {
+			if !phases[want] {
+				t.Errorf("missing span %q in %v", want, phases)
+			}
+		}
+		if doc.Metrics["pipeline.procs"] <= 0 {
+			t.Errorf("metrics missing pipeline.procs: %v", doc.Metrics)
+		}
+		if doc.Metrics["process.peak_rss_bytes"] <= 0 {
+			t.Errorf("metrics missing process.peak_rss_bytes: %v", doc.Metrics)
+		}
+
+		metricsPath := filepath.Join(dir, "metrics.json")
+		runCmd(t, filepath.Join(dir, "profrun"), "-src", src, "-db",
+			filepath.Join(dir, "trace-profile.json"), "-seeds", "1", "-metrics", metricsPath)
+		raw, err = os.ReadFile(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mdoc struct {
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal(raw, &mdoc); err != nil {
+			t.Fatalf("metrics JSON: %v\n%s", err, raw)
+		}
+		if mdoc.Metrics["pipeline.counters"] <= 0 {
+			t.Errorf("profrun metrics missing pipeline.counters: %v", mdoc.Metrics)
+		}
+	})
+
+	t.Run("bench", func(t *testing.T) {
+		out := filepath.Join(dir, "BENCH_1999-01-01.json")
+		// Small/medium only (the large sweep is slow), no oracle corpus.
+		msg := runCmd(t, filepath.Join(dir, "bench"), "-reps", "1", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out, "-diff", "auto")
+		if !strings.Contains(msg, "no previous BENCH_") {
+			t.Errorf("first run must skip the diff:\n%s", msg)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Schema  string `json:"schema"`
+			Entries []struct {
+				Name    string             `json:"name"`
+				Metrics map[string]float64 `json:"metrics"`
+				Spans   []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+			} `json:"entries"`
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("snapshot JSON: %v\n%s", err, raw)
+		}
+		if snap.Schema != "bench/v1" || len(snap.Entries) == 0 {
+			t.Fatalf("snapshot = %+v", snap)
+		}
+		e := snap.Entries[0]
+		if e.Metrics["nodes_per_sec"] <= 0 || e.Metrics["counters_per_block"] <= 0 {
+			t.Errorf("entry %s metrics: %v", e.Name, e.Metrics)
+		}
+		phases := make(map[string]bool)
+		for _, sp := range e.Spans {
+			phases[sp.Name] = true
+		}
+		for _, want := range []string{"parse", "analyze", "plan", "profile", "estimate"} {
+			if !phases[want] {
+				t.Errorf("entry %s missing span %q in %v", e.Name, want, phases)
+			}
+		}
+		// A second run diffing against the first must pass (same machine,
+		// same workload) and exit 0.
+		out2 := filepath.Join(dir, "BENCH_1999-01-02.json")
+		msg = runCmd(t, filepath.Join(dir, "bench"), "-reps", "1", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out2, "-diff", out)
+		if !strings.Contains(msg, "no regression") {
+			t.Errorf("self-diff must report no regression:\n%s", msg)
 		}
 	})
 

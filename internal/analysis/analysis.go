@@ -15,11 +15,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cdg"
 	"repro/internal/ecfg"
 	"repro/internal/interval"
 	"repro/internal/lower"
+	"repro/internal/obs"
 )
 
 // Proc bundles every derived structure for one procedure.
@@ -49,28 +52,43 @@ type Program struct {
 
 // AnalyzeProc runs the full pipeline on one lowered procedure. The lowering
 // phase already node-split any irreducible input, so the CFG is reducible.
-func AnalyzeProc(p *lower.Proc) (*Proc, error) {
+func AnalyzeProc(p *lower.Proc) (*Proc, error) { return analyzeProcTraced(p, nil) }
+
+// analyzeProcTraced is AnalyzeProc reporting each phase into tr (nil = no
+// tracing). Same-named spans from concurrent procedures aggregate into one
+// row per phase.
+func analyzeProcTraced(p *lower.Proc, tr *obs.Trace) (*Proc, error) {
 	a := &Proc{P: p}
 	g := p.G
+	sp := tr.Start("interval")
 	iv, err := interval.Analyze(g)
+	sp.End(obs.M("cfg_nodes", float64(len(g.Nodes()))))
 	if err != nil {
 		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
 	}
 	a.Intervals = iv
+	sp = tr.Start("ecfg")
 	ext, err := ecfg.Build(g, iv)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
 	}
+	sp.End(obs.M("ecfg_nodes", float64(len(ext.G.Nodes()))))
 	a.Ext = ext
+	sp = tr.Start("cdg")
 	full, err := cdg.Build(ext)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
 	}
 	a.CDG = full
+	sp = tr.Start("fcdg")
 	fwd, err := full.Forward()
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("analysis %s: %w", g.Name, err)
 	}
+	sp.End(obs.M("conditions", float64(len(fwd.Conditions()))))
 	a.FCDG = fwd
 	return a, nil
 }
@@ -85,6 +103,11 @@ type Options struct {
 	// ride the analysis pool for free. It must be safe for concurrent use;
 	// a non-nil return aborts the whole analysis with that error.
 	CheckProc func(*Proc) error
+
+	// Trace, when non-nil, receives per-phase spans (interval, ecfg, cdg,
+	// fcdg, check) plus an "analyze" summary span carrying the worker count
+	// and pool utilization. Phases of concurrent procedures aggregate.
+	Trace *obs.Trace
 }
 
 // AnalyzeProgram analyzes every procedure with GOMAXPROCS workers and
@@ -120,11 +143,18 @@ func AnalyzeProgramOpts(res *lower.Result, opts Options) (*Program, error) {
 	}
 	procs := make([]*Proc, len(names))
 	errs := make([]error, len(names))
+	overall := opts.Trace.Start("analyze")
+	poolStart := time.Now()
+	var busyNanos atomic.Int64
 	analyzeAt := func(i int) {
-		procs[i], errs[i] = AnalyzeProc(res.Procs[names[i]])
+		t0 := time.Now()
+		procs[i], errs[i] = analyzeProcTraced(res.Procs[names[i]], opts.Trace)
 		if errs[i] == nil && opts.CheckProc != nil {
+			sp := opts.Trace.Start("check")
 			errs[i] = opts.CheckProc(procs[i])
+			sp.End()
 		}
+		busyNanos.Add(int64(time.Since(t0)))
 	}
 	if workers <= 1 {
 		for i := range names {
@@ -147,6 +177,14 @@ func AnalyzeProgramOpts(res *lower.Result, opts Options) (*Program, error) {
 		}
 		close(work)
 		wg.Wait()
+	}
+	overall.End(obs.M("procs", float64(len(names))))
+	if opts.Trace != nil && workers > 0 {
+		if elapsed := time.Since(poolStart); elapsed > 0 {
+			opts.Trace.SetMetric("analyze", "workers", float64(workers))
+			opts.Trace.SetMetric("analyze", "utilization",
+				float64(busyNanos.Load())/(float64(elapsed)*float64(workers)))
+		}
 	}
 	for i, name := range names {
 		if errs[i] != nil {

@@ -43,6 +43,8 @@ import (
 	"repro/internal/ecfg"
 	"repro/internal/freq"
 	"repro/internal/lower"
+	"repro/internal/report"
+	"repro/internal/staticfreq"
 )
 
 // NodeEstimate is the [COST, TIME, E[T²], VAR, STD_DEV] tuple Figure 3
@@ -65,6 +67,10 @@ type ProcEstimate struct {
 	// Time and Var are TIME(START) and VAR(START): the average execution
 	// time and variance of one invocation.
 	Time, Var float64
+	// Diags collects numerical-health findings of the bottom-up pass —
+	// currently negative-variance cancellation beyond the relative
+	// tolerance (see the clamp in estimateProc).
+	Diags []report.Diagnostic
 }
 
 // StdDev is the standard deviation of one invocation.
@@ -79,6 +85,17 @@ type ProgramEstimate struct {
 	Main *ProcEstimate
 }
 
+// Diagnostics collects the numerical-health diagnostics of every
+// procedure's estimate, sorted by procedure and node.
+func (p *ProgramEstimate) Diagnostics() []report.Diagnostic {
+	var out []report.Diagnostic
+	for _, pe := range p.Procs {
+		out = append(out, pe.Diags...)
+	}
+	report.Sort(out)
+	return out
+}
+
 // Options tune the estimator.
 type Options struct {
 	// FreqVar supplies VAR(FREQ) per loop condition per procedure (from
@@ -91,6 +108,18 @@ type Options struct {
 	// StaticFreq supplies compile-time FREQ values per procedure (from
 	// staticfreq.Program); they take precedence over the profile.
 	StaticFreq map[string]map[cdg.Condition]float64
+	// DeterministicTests marks extra DO-test nodes, per procedure, whose
+	// branch is proven deterministic (e.g. by a counter plan's doConstTrip
+	// rule, profiler.Plan.ConstTripTests). EstimateProgram always unions
+	// this set with staticfreq.ConstTripTests, so it only matters for
+	// proofs the static analysis cannot see.
+	DeterministicTests map[string]map[cfg.NodeID]bool
+	// BernoulliDoTests restores the pre-fix model that prices every DO
+	// test as an i.i.d. Bernoulli branch, assigning nonzero VAR even to
+	// loops with a compile-time-constant trip count. Kept for A/B studies
+	// of the deviation; the default (false) treats proven constant-trip
+	// tests as deterministic, matching Section 5's known-trip-count case.
+	BernoulliDoTests bool
 }
 
 // EstimateProgram computes estimates for every procedure, visiting the call
@@ -116,6 +145,26 @@ func EstimateProgram(prog *analysis.Program, profile map[string]freq.Totals,
 		freqs[name] = tab
 	}
 
+	// Deterministic DO tests per procedure: the static analysis' proofs
+	// unioned with any caller-supplied ones (e.g. a counter plan's
+	// doConstTrip rules). With BernoulliDoTests set the union is left
+	// empty, restoring the old model.
+	det := make(map[string]map[cfg.NodeID]bool, len(prog.Procs))
+	for name, a := range prog.Procs {
+		m := make(map[cfg.NodeID]bool)
+		if !opt.BernoulliDoTests {
+			for id := range staticfreq.ConstTripTests(a) {
+				m[id] = true
+			}
+			for id, ok := range opt.DeterministicTests[name] {
+				if ok {
+					m[id] = true
+				}
+			}
+		}
+		det[name] = m
+	}
+
 	// calleeTime/calleeVar accumulate solved TIME(START)/VAR(START).
 	calleeTime := make(map[string]float64)
 	calleeVar := make(map[string]float64)
@@ -132,13 +181,13 @@ func EstimateProgram(prog *analysis.Program, profile map[string]freq.Totals,
 		}
 		if !recursive {
 			name := comp[0]
-			pe := estimateProc(prog.Procs[name], freqs[name], costs[name], calleeTime, calleeVar, opt)
+			pe := estimateProc(prog.Procs[name], freqs[name], costs[name], calleeTime, calleeVar, det[name], opt)
 			out.Procs[name] = pe
 			calleeTime[name] = pe.Time
 			calleeVar[name] = pe.Var
 			continue
 		}
-		if err := solveRecursive(prog, comp, freqs, costs, calleeTime, calleeVar, opt, out); err != nil {
+		if err := solveRecursive(prog, comp, freqs, costs, calleeTime, calleeVar, det, opt, out); err != nil {
 			return nil, err
 		}
 	}
@@ -149,9 +198,12 @@ func EstimateProgram(prog *analysis.Program, profile map[string]freq.Totals,
 }
 
 // estimateProc runs the bottom-up FCDG pass of Sections 4 and 5 for one
-// procedure, with callee times/variances taken from the given maps.
+// procedure, with callee times/variances taken from the given maps. det
+// marks DO-test nodes with a proven constant trip count and no conditional
+// exits: their branch outcome is a deterministic function of the iteration
+// number, not an i.i.d. Bernoulli draw.
 func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts cost.Table,
-	calleeTime, calleeVar map[string]float64, opt Options) *ProcEstimate {
+	calleeTime, calleeVar map[string]float64, det map[cfg.NodeID]bool, opt Options) *ProcEstimate {
 
 	pe := &ProcEstimate{A: a, Freq: tab, Node: make([]NodeEstimate, a.Ext.G.MaxID()+1)}
 	f := a.FCDG
@@ -190,6 +242,32 @@ func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts cost.Table,
 			}
 			est.Time = F * sumT
 			est.Var = F*F*sumV + varF*sumT*sumT + varF*sumV
+		} else if det[u] {
+			// Deterministic branch: the node is a DO test with a proven
+			// constant trip count and no conditional exits, so per loop
+			// entry it takes its T label exactly trip times and F once —
+			// label selection contributes no variance. The Bernoulli
+			// spread term E[T_C²] − E[T_C]² of case 2 is dropped; the
+			// children's own variances accumulate with the same F² weight
+			// the preheader rule (case 1 with VAR(F)=0) uses, keeping the
+			// two rules consistent under loop composition. A fully
+			// constant loop therefore reports VAR = 0 exactly.
+			var timeC, varC float64
+			for _, ci := range f.NodeConds(u) {
+				F := tab.Freq.AtIndex(ci.Index)
+				if F == 0 {
+					continue
+				}
+				var sumT, sumV float64
+				for _, v := range ci.Children {
+					sumT += pe.Node[v].Time
+					sumV += pe.Node[v].Var
+				}
+				timeC += F * sumT
+				varC += F * F * sumV
+			}
+			est.Time = baseCost + timeC
+			est.Var = costVar + varC
 		} else {
 			// Case 2.
 			var timeC, eTC2 float64
@@ -209,8 +287,25 @@ func estimateProc(a *analysis.Proc, tab *freq.Table, procCosts cost.Table,
 			est.Time = baseCost + timeC
 			est.Var = costVar + eTC2 - timeC*timeC
 		}
-		if est.Var < 0 && est.Var > -1e-9 {
-			est.Var = 0 // numerical noise from catastrophic cancellation
+		if est.Var < 0 {
+			// Clamp any negative variance — it can only arise from
+			// floating-point cancellation in E[T²] − E[T]², whose error
+			// scales with the magnitude of the terms, i.e. with Time².
+			// Cancellation beyond that relative tolerance is a numerical-
+			// health problem worth surfacing, not silently absorbing.
+			tol := 1e-9 * math.Max(1, est.Time*est.Time)
+			if est.Var < -tol {
+				pe.Diags = append(pe.Diags, report.Diagnostic{
+					Severity: report.Warning,
+					Pass:     "var-clamp",
+					Proc:     a.P.G.Name,
+					Node:     int(u),
+					Message: fmt.Sprintf("VAR(%d) = %g is negative beyond the cancellation tolerance %g (TIME = %g); clamped to 0",
+						u, est.Var, tol, est.Time),
+					Hint: "second-moment cancellation lost more than 9 significant digits; check FREQ inputs for inconsistency",
+				})
+			}
+			est.Var = 0
 		}
 		est.SecondMoment = est.Var + est.Time*est.Time
 		est.StdDev = math.Sqrt(math.Max(0, est.Var))
@@ -237,7 +332,7 @@ func callOp(a *analysis.Proc, u cfg.NodeID) (lower.OpCall, bool) {
 // tuples are consistent.
 func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*freq.Table,
 	costs map[string]cost.Table, calleeTime, calleeVar map[string]float64,
-	opt Options, out *ProgramEstimate) error {
+	det map[string]map[cfg.NodeID]bool, opt Options, out *ProgramEstimate) error {
 
 	n := len(comp)
 	idx := make(map[string]int, n)
@@ -252,7 +347,7 @@ func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*fre
 		for k, v := range times {
 			merged[k] = v
 		}
-		pe := estimateProc(prog.Procs[member], freqs[member], costs[member], merged, calleeVar, opt)
+		pe := estimateProc(prog.Procs[member], freqs[member], costs[member], merged, calleeVar, det[member], opt)
 		return pe.Time
 	}
 
@@ -277,7 +372,7 @@ func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*fre
 			M[i][j] = evalTime(name, probe) - a[i]
 		}
 	}
-	times, err := solveAffine(a, M)
+	times, err := solveAffine(comp, a, M)
 	if err != nil {
 		return fmt.Errorf("core: recursive component %v has unbounded expected time: %w", comp, err)
 	}
@@ -296,7 +391,7 @@ func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*fre
 		for k, v := range vars {
 			merged[k] = v
 		}
-		pe := estimateProc(prog.Procs[member], freqs[member], costs[member], calleeTime, merged, opt)
+		pe := estimateProc(prog.Procs[member], freqs[member], costs[member], calleeTime, merged, det[member], opt)
 		return pe.Var
 	}
 	b := make([]float64, n)
@@ -317,7 +412,7 @@ func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*fre
 			}
 		}
 	}
-	vars, err := solveAffine(b, K)
+	vars, err := solveAffine(comp, b, K)
 	if err != nil {
 		return fmt.Errorf("core: recursive component %v has unbounded variance: %w", comp, err)
 	}
@@ -330,7 +425,7 @@ func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*fre
 
 	// Final per-node pass with everything resolved.
 	for _, name := range comp {
-		pe := estimateProc(prog.Procs[name], freqs[name], costs[name], calleeTime, calleeVar, opt)
+		pe := estimateProc(prog.Procs[name], freqs[name], costs[name], calleeTime, calleeVar, det[name], opt)
 		// The root values must agree with the solved fixpoint; they can
 		// drift only by floating-point error.
 		pe.Time, pe.Var = calleeTime[name], calleeVar[name]
@@ -342,12 +437,16 @@ func solveRecursive(prog *analysis.Program, comp []string, freqs map[string]*fre
 // solveAffine solves x = a + M·x, i.e. (I − M)·x = a, by Gaussian
 // elimination with partial pivoting. A singular or negative-definite
 // system (spectral radius ≥ 1: expected recursion depth diverges) is an
-// error.
-func solveAffine(a []float64, M [][]float64) ([]float64, error) {
+// error; names[i] is the procedure owning unknown/equation i, so errors
+// can say which member of the recursive component is at fault.
+func solveAffine(names []string, a []float64, M [][]float64) ([]float64, error) {
 	n := len(a)
 	// Build A = I − M and rhs = a.
 	A := make([][]float64, n)
 	x := make([]float64, n)
+	// perm tracks row swaps: row r of the reduced system is equation
+	// perm[r] of the original, i.e. the TIME/VAR equation of names[perm[r]].
+	perm := make([]int, n)
 	for i := 0; i < n; i++ {
 		A[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
@@ -355,6 +454,7 @@ func solveAffine(a []float64, M [][]float64) ([]float64, error) {
 		}
 		A[i][i] += 1
 		x[i] = a[i]
+		perm[i] = i
 	}
 	for col := 0; col < n; col++ {
 		// Partial pivot.
@@ -366,8 +466,14 @@ func solveAffine(a []float64, M [][]float64) ([]float64, error) {
 		}
 		A[col], A[pivot] = A[pivot], A[col]
 		x[col], x[pivot] = x[pivot], x[col]
+		perm[col], perm[pivot] = perm[pivot], perm[col]
 		if math.Abs(A[col][col]) < 1e-12 {
-			return nil, fmt.Errorf("singular system (pivot %d)", col)
+			// Column col is the unknown of names[col]; every remaining
+			// equation has eliminated it, so its NODE_FREQ within the
+			// component is unconstrained (spectral radius ≥ 1: each
+			// activation spawns, on average, at least one more).
+			return nil, fmt.Errorf("singular system: procedure %s (equation of %s, pivot column %d) has no finite solution; its expected recursive call count per activation is at least 1",
+				names[col], names[perm[col]], col)
 		}
 		for r := col + 1; r < n; r++ {
 			factor := A[r][col] / A[col][col]
@@ -386,7 +492,8 @@ func solveAffine(a []float64, M [][]float64) ([]float64, error) {
 	}
 	for i := 0; i < n; i++ {
 		if x[i] < 0 || math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-			return nil, fmt.Errorf("no finite non-negative solution (x[%d] = %g): expected recursive call count is at least 1", i, x[i])
+			return nil, fmt.Errorf("no finite non-negative solution for procedure %s (x[%d] = %g): expected recursive call count is at least 1",
+				names[i], i, x[i])
 		}
 	}
 	return x, nil

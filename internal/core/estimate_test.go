@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -51,7 +52,7 @@ func TestFigure3HandBuilt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pe := estimateProc(a, tab, cost.FromMap(paperex.Costs()), nil, nil, Options{})
+	pe := estimateProc(a, tab, cost.FromMap(paperex.Costs()), nil, nil, nil, Options{})
 
 	if math.Abs(pe.Time-paperex.PaperTime) > 1e-9 {
 		t.Errorf("TIME(START) = %g, want %g", pe.Time, paperex.PaperTime)
@@ -185,10 +186,9 @@ func TestMeanMatchesMeasuredExactly(t *testing.T) {
 // is decided by one multi-way branch over fixed-cost callees, the estimated
 // variance equals the population variance of the observed per-run costs
 // exactly: the branch distribution recovered from the profile IS the
-// empirical distribution. Callee variance propagation stays off because the
-// paper's model assigns phantom variance to deterministic counted loops
-// (their test branch is treated as a Bernoulli draw with p = trip/(trip+1));
-// see TestDeterministicLoopPhantomVariance.
+// empirical distribution. The callees are constant-trip counted loops, so
+// they carry VAR = 0 and turning on callee variance propagation must not
+// change the answer; see TestDeterministicLoopZeroVariance.
 func TestVarianceExactForSingleBranch(t *testing.T) {
 	src := `      PROGRAM ONEB
       REAL X
@@ -260,24 +260,35 @@ func TestVarianceExactForSingleBranch(t *testing.T) {
 		t.Errorf("VAR = %g, want population variance %g", est.Main.Var, popVar)
 	}
 
-	// With callee variance propagation the estimate strictly exceeds the
-	// multinomial variance: the deterministic callees' loops contribute
-	// phantom variance under the paper's model.
+	// The callees are deterministic (constant-trip loops → VAR = 0), so
+	// propagating their variance must leave the multinomial answer intact.
 	withProp, err := p.Estimate(model, Options{PropagateCallVariance: true}, seeds...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if withProp.Main.Var <= est.Main.Var {
-		t.Errorf("propagated VAR %g should exceed plain VAR %g", withProp.Main.Var, est.Main.Var)
+	if math.Abs(withProp.Main.Var-est.Main.Var) > 1e-9*math.Max(1, est.Main.Var) {
+		t.Errorf("propagated VAR %g must equal plain VAR %g: callees are deterministic",
+			withProp.Main.Var, est.Main.Var)
+	}
+	// Under the legacy Bernoulli model the same propagation strictly
+	// inflates the variance — the phantom-variance artifact the fix removed.
+	legacy, err := p.Estimate(model, Options{PropagateCallVariance: true, BernoulliDoTests: true}, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Main.Var <= est.Main.Var {
+		t.Errorf("legacy propagated VAR %g should exceed plain VAR %g", legacy.Main.Var, est.Main.Var)
 	}
 }
 
-// TestDeterministicLoopPhantomVariance documents a property of Section 5's
-// model: a DO loop with a compile-time-constant trip count still gets
-// non-zero variance, because its test is modelled as a Bernoulli branch
-// with p = trip/(trip+1). VAR(test) = p(1−p)·T_body² and the preheader
-// scales it by FREQ² = (trip+1)².
-func TestDeterministicLoopPhantomVariance(t *testing.T) {
+// TestDeterministicLoopZeroVariance: a DO loop with a compile-time-constant
+// trip count and no conditional exits is fully deterministic, so the whole
+// program must report VAR(START) = 0 exactly — the test branch is a
+// deterministic selection (per entry: T exactly trip times, F once), not a
+// Bernoulli draw. Options.BernoulliDoTests restores the old model, whose
+// phantom variance VAR(test) = p(1−p)·T_body² with p = trip/(trip+1) is
+// still checked here to pin down exactly what the fix removed.
+func TestDeterministicLoopZeroVariance(t *testing.T) {
 	src := `      PROGRAM DLOOP
       INTEGER I, S
       S = 0
@@ -299,25 +310,48 @@ func TestDeterministicLoopPhantomVariance(t *testing.T) {
 	ph := a.Ext.Preheader[h]
 	pe := est.Procs["DLOOP"]
 
-	// Body per iteration: S=S+1 (1) + CONTINUE (1) + DO-INCR (1) = T_b.
+	// Deterministic program: zero variance, everywhere, exactly.
+	if est.Main.Var != 0 {
+		t.Errorf("VAR(START) = %g, want exactly 0 for a constant-trip loop", est.Main.Var)
+	}
+	if pe.Node[h].Var != 0 || pe.Node[ph].Var != 0 {
+		t.Errorf("VAR(test) = %g, VAR(preheader) = %g, want 0, 0",
+			pe.Node[h].Var, pe.Node[ph].Var)
+	}
+	// TIME is untouched by the deterministic rule.
+	measured, err := p.MeasuredCost(cost.Unit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Main.Time-measured) > 1e-9 {
+		t.Errorf("TIME = %g, want measured %g", est.Main.Time, measured)
+	}
+
+	// Legacy Bernoulli model, kept behind an option for A/B comparison.
+	old, err := p.Estimate(cost.Unit, Options{BernoulliDoTests: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ope := old.Procs["DLOOP"]
 	var tb float64
 	for _, v := range a.FCDG.Children(h, cfg.True) {
-		tb += pe.Node[v].Time
+		tb += ope.Node[v].Time
 	}
 	const trip = 4.0
 	pT := trip / (trip + 1)
 	wantTestVar := pT*tb*tb - (pT*tb)*(pT*tb)
-	if math.Abs(pe.Node[h].Var-wantTestVar) > 1e-9 {
-		t.Errorf("VAR(test) = %g, want p(1-p)T² = %g", pe.Node[h].Var, wantTestVar)
+	if math.Abs(ope.Node[h].Var-wantTestVar) > 1e-9 {
+		t.Errorf("Bernoulli VAR(test) = %g, want p(1-p)T² = %g", ope.Node[h].Var, wantTestVar)
 	}
-	wantPhVar := (trip + 1) * (trip + 1) * (pe.Node[h].Var)
-	if math.Abs(pe.Node[ph].Var-wantPhVar) > 1e-9 {
-		t.Errorf("VAR(preheader) = %g, want F²·VAR(header) = %g", pe.Node[ph].Var, wantPhVar)
+	wantPhVar := (trip + 1) * (trip + 1) * (ope.Node[h].Var)
+	if math.Abs(ope.Node[ph].Var-wantPhVar) > 1e-9 {
+		t.Errorf("Bernoulli VAR(preheader) = %g, want F²·VAR(header) = %g", ope.Node[ph].Var, wantPhVar)
 	}
-	// The program is deterministic, so this variance is a model artifact —
-	// assert it is indeed positive (the paper's formulas, faithfully).
-	if est.Main.Var <= 0 {
-		t.Errorf("phantom variance expected, got %g", est.Main.Var)
+	if old.Main.Var <= 0 {
+		t.Errorf("legacy model's phantom variance expected, got %g", old.Main.Var)
+	}
+	if old.Main.Time != est.Main.Time {
+		t.Errorf("TIME must not depend on the variance model: %g vs %g", old.Main.Time, est.Main.Time)
 	}
 }
 
@@ -415,24 +449,198 @@ func TestMutualRecursion(t *testing.T) {
 }
 
 // TestDivergentRecursionRejected: a synthetic profile claiming one or more
-// expected recursive calls per activation has no finite expected time.
+// expected recursive calls per activation has no finite expected time, and
+// the error must say which procedure is at fault.
 func TestDivergentRecursionRejected(t *testing.T) {
+	names := []string{"SELF"}
 	a := []float64{1}
 	M := [][]float64{{1.0}} // exactly one recursive call per activation
-	if _, err := solveAffine(a, M); err == nil {
+	_, err := solveAffine(names, a, M)
+	if err == nil {
 		t.Fatal("p = 1 recursion must be rejected")
 	}
+	if !strings.Contains(err.Error(), "SELF") {
+		t.Errorf("error must name the offending procedure: %v", err)
+	}
 	M = [][]float64{{1.5}}
-	if _, err := solveAffine(a, M); err == nil {
+	if _, err := solveAffine(names, a, M); err == nil {
 		t.Fatal("p > 1 recursion must be rejected")
 	}
 	// p < 1 solves the geometric series.
-	x, err := solveAffine([]float64{2}, [][]float64{{0.5}})
+	x, err := solveAffine(names, []float64{2}, [][]float64{{0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(x[0]-4) > 1e-12 {
 		t.Errorf("x = %g, want 4", x[0])
+	}
+}
+
+// pingPongSource is a mutually recursive pair driven by synthetic profiles
+// in the tests below; it is analyzed but never executed (each activation
+// would recurse forever), so the totals are supplied by hand.
+const pingPongSource = `      PROGRAM MAINR
+      INTEGER N
+      N = 1
+      CALL PING(N)
+      END
+
+      SUBROUTINE PING(N)
+      INTEGER N
+      IF (N .GT. 0) CALL PONG(N)
+      N = N + 5
+      RETURN
+      END
+
+      SUBROUTINE PONG(N)
+      INTEGER N
+      IF (N .GT. 0) CALL PING(N)
+      N = N + 3
+      RETURN
+      END
+`
+
+// pingPongFixture analyzes pingPongSource and builds synthetic totals with
+// the given recursion probability p per activation (the IF takes its T arm
+// with frequency p), plus cost tables charging 5 for PING's assignment and
+// 3 for PONG's (everything else free).
+func pingPongFixture(t *testing.T, p float64) (*Pipeline, map[string]freq.Totals, map[string]cost.Table) {
+	t.Helper()
+	pl, err := Load(pingPongSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const activations = 1000 // totals are counts: p must have denominator dividing this
+	profile := make(map[string]freq.Totals)
+	for name, a := range pl.An.Procs {
+		tot := freq.Totals{}
+		for _, c := range a.FCDG.Conditions() {
+			tot[c] = 0
+		}
+		if name == "MAINR" {
+			tot[cdg.Condition{Node: a.Ext.Start, Label: cfg.Uncond}] = 1
+			profile[name] = tot
+			continue
+		}
+		var branch cfg.NodeID
+		for _, n := range a.P.G.Nodes() {
+			if _, ok := n.Payload.(lower.OpBranch); ok {
+				branch = n.ID
+			}
+		}
+		if branch == 0 {
+			t.Fatalf("%s: no branch node found", name)
+		}
+		taken := math.Round(p * activations)
+		tot[cdg.Condition{Node: a.Ext.Start, Label: cfg.Uncond}] = activations
+		tot[cdg.Condition{Node: branch, Label: cfg.True}] = taken
+		tot[cdg.Condition{Node: branch, Label: cfg.False}] = activations - taken
+		profile[name] = tot
+	}
+	costs := make(map[string]cost.Table)
+	for name, a := range pl.An.Procs {
+		tab := cost.NewTable(a.P.G.MaxID())
+		for id, s := range a.P.Stmt {
+			if strings.Contains(s.Text(), "N+5") {
+				tab[id] = 5
+			} else if strings.Contains(s.Text(), "N+3") {
+				tab[id] = 3
+			}
+		}
+		costs[name] = tab
+	}
+	return pl, profile, costs
+}
+
+// TestRecursiveVarianceHandComputed checks solveRecursive against a fully
+// hand-solved two-procedure system. With recursion probability p = 1/2 and
+// local costs c_P = 5, c_Q = 3:
+//
+//	T_P = 5 + T_Q/2, T_Q = 3 + T_P/2      → T_P = 26/3, T_Q = 22/3
+//
+// and each procedure's variance is its IF node's case-2 value
+// VAR = V_callee/2 + T_callee²/4, with V_callee = 0 when call-variance
+// propagation is off:
+//
+//	off: V_P = T_Q²/4 = 121/9, V_Q = T_P²/4 = 169/9
+//	on:  V_P = V_Q/2 + 121/9, V_Q = V_P/2 + 169/9 → V_P = 274/9, V_Q = 34
+func TestRecursiveVarianceHandComputed(t *testing.T) {
+	pl, profile, costs := pingPongFixture(t, 0.5)
+
+	off, err := EstimateProgram(pl.An, profile, costs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := EstimateProgram(pl.An, profile, costs, Options{PropagateCallVariance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checks := []struct {
+		name       string
+		est        *ProgramEstimate
+		proc       string
+		time, vari float64
+	}{
+		{"off", off, "PING", 26.0 / 3, 121.0 / 9},
+		{"off", off, "PONG", 22.0 / 3, 169.0 / 9},
+		{"on", on, "PING", 26.0 / 3, 274.0 / 9},
+		{"on", on, "PONG", 22.0 / 3, 34},
+	}
+	for _, c := range checks {
+		pe := c.est.Procs[c.proc]
+		if math.Abs(pe.Time-c.time) > 1e-9 {
+			t.Errorf("%s %s: TIME = %.12g, want %.12g", c.name, c.proc, pe.Time, c.time)
+		}
+		if math.Abs(pe.Var-c.vari) > 1e-9 {
+			t.Errorf("%s %s: VAR = %.12g, want %.12g", c.name, c.proc, pe.Var, c.vari)
+		}
+	}
+	// Main calls PING unconditionally: its tuple is the solved fixpoint.
+	if math.Abs(on.Main.Time-26.0/3) > 1e-9 || math.Abs(on.Main.Var-274.0/9) > 1e-9 {
+		t.Errorf("MAINR: TIME = %g VAR = %g, want 26/3, 274/9", on.Main.Time, on.Main.Var)
+	}
+	if off.Main.Var != 0 {
+		t.Errorf("MAINR without propagation: VAR = %g, want 0", off.Main.Var)
+	}
+}
+
+// TestRecursiveNodeTuplesMatchRoot: after solveRecursive's final per-node
+// pass, each member's FCDG root tuple must agree with the solved fixpoint
+// values (they can differ only by floating-point drift).
+func TestRecursiveNodeTuplesMatchRoot(t *testing.T) {
+	pl, profile, costs := pingPongFixture(t, 0.5)
+	est, err := EstimateProgram(pl.An, profile, costs, Options{PropagateCallVariance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"PING", "PONG"} {
+		pe := est.Procs[name]
+		root := pe.Node[pe.A.FCDG.Root]
+		if math.Abs(root.Time-pe.Time) > 1e-9*math.Max(1, pe.Time) {
+			t.Errorf("%s: root TIME %.15g disagrees with solved %.15g", name, root.Time, pe.Time)
+		}
+		if math.Abs(root.Var-pe.Var) > 1e-9*math.Max(1, pe.Var) {
+			t.Errorf("%s: root VAR %.15g disagrees with solved %.15g", name, root.Var, pe.Var)
+		}
+	}
+}
+
+// TestSingularRecursionNamesProcedure: with p = 1 the pair calls each other
+// once per activation — the expected activation count diverges and the
+// error must name a member of the offending component.
+func TestSingularRecursionNamesProcedure(t *testing.T) {
+	pl, profile, costs := pingPongFixture(t, 1.0)
+	_, err := EstimateProgram(pl.An, profile, costs, Options{})
+	if err == nil {
+		t.Fatal("p = 1 mutual recursion must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "PING") && !strings.Contains(msg, "PONG") {
+		t.Errorf("error must name the offending procedure: %v", err)
+	}
+	if !strings.Contains(msg, "recursive call count") {
+		t.Errorf("error must explain the divergence (call count ≥ 1): %v", err)
 	}
 }
 

@@ -78,7 +78,7 @@ func (pe *ProgramEstimate) FlatProfile() ([]FlatRow, error) {
 			mt[i][j] = callRate[j][i]
 		}
 	}
-	calls, err := solveAffine(e, mt)
+	calls, err := solveAffine(names, e, mt)
 	if err != nil {
 		return nil, fmt.Errorf("core: flat profile: %w", err)
 	}

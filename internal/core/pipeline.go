@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cfg"
 	"repro/internal/cost"
 	"repro/internal/freq"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 )
 
@@ -25,6 +29,12 @@ type Pipeline struct {
 	// the per-seed profiling runs; ≤ 0 means GOMAXPROCS. Results are
 	// bit-identical for every worker count.
 	Workers int
+
+	// Trace, when non-nil, receives per-phase spans from every pipeline
+	// stage run through this Pipeline (parse, lower, analyze and its
+	// sub-phases, plan, profile, recover, estimate). Tracing never changes
+	// results; a nil trace costs nothing.
+	Trace *obs.Trace
 
 	// plans caches one optimized counter placement per procedure; plans
 	// depend only on the analysis, so they are computed once and shared by
@@ -43,6 +53,9 @@ type LoadOptions struct {
 	// CheckProc, when non-nil, runs inside the analysis worker pool on
 	// every successfully analyzed procedure (see analysis.Options).
 	CheckProc func(*analysis.Proc) error
+
+	// Trace, when non-nil, collects per-phase spans (see Pipeline.Trace).
+	Trace *obs.Trace
 }
 
 // Load parses and analyzes a source program with GOMAXPROCS workers.
@@ -58,29 +71,54 @@ func LoadWorkers(src string, workers int) (*Pipeline, error) {
 // LoadOpts is the general entry point: parse, lower, and analyze with the
 // given options.
 func LoadOpts(src string, opts LoadOptions) (*Pipeline, error) {
+	tr := opts.Trace
+	sp := tr.Start("parse")
 	prog, err := lang.Parse(src)
+	sp.End(obs.M("source_bytes", float64(len(src))))
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("lower")
 	res, err := lower.Lower(prog)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	an, err := analysis.AnalyzeProgramOpts(res, analysis.Options{
 		Workers:   opts.Workers,
 		CheckProc: opts.CheckProc,
+		Trace:     tr,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers}, nil
+	var nodes int
+	for _, proc := range res.Procs {
+		nodes += len(proc.G.Nodes())
+	}
+	obs.Default.Add("pipeline.procs", int64(len(res.Procs)))
+	obs.Default.Add("pipeline.cfg_nodes", int64(nodes))
+	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr}, nil
 }
 
 // profilePlans returns the per-procedure counter plans, computing them on
 // first use.
 func (p *Pipeline) profilePlans() (profiler.Plans, error) {
 	p.plansOnce.Do(func() {
+		sp := p.Trace.Start("plan")
 		p.plans, p.plansErr = profiler.BuildPlans(p.An)
+		if p.plansErr == nil {
+			var counters, blocks int
+			for name, plan := range p.plans {
+				counters += plan.NumCounters()
+				blocks += len(profiler.BlockLeaders(p.An.Procs[name].P.G))
+			}
+			obs.Default.Add("pipeline.counters", int64(counters))
+			obs.Default.Add("pipeline.blocks", int64(blocks))
+			sp.End(obs.M("counters", float64(counters)), obs.M("blocks", float64(blocks)))
+		} else {
+			sp.End()
+		}
 	})
 	return p.plans, p.plansErr
 }
@@ -114,10 +152,16 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 		workers = 1
 	}
 
+	overall := p.Trace.Start("profile")
+	poolStart := time.Now()
+	var busyNanos atomic.Int64
+
 	profs := make([]profiler.ProgramProfile, len(seeds))
 	runs := make([]*interp.Result, len(seeds))
 	errs := make([]error, len(seeds))
 	oneSeed := func(i int) {
+		t0 := time.Now()
+		defer func() { busyNanos.Add(int64(time.Since(t0))) }()
 		o := opts
 		o.Seed = seeds[i]
 		run, err := interp.Run(p.Res, o)
@@ -149,6 +193,22 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 		}
 		close(work)
 		wg.Wait()
+	}
+
+	var steps float64
+	for _, run := range runs {
+		if run != nil {
+			steps += float64(run.Steps)
+		}
+	}
+	overall.End(obs.M("seeds", float64(len(seeds))), obs.M("steps", steps))
+	if p.Trace != nil {
+		elapsed := time.Since(poolStart)
+		p.Trace.SetMetric("profile", "workers", float64(workers))
+		if elapsed > 0 && workers > 0 {
+			p.Trace.SetMetric("profile", "utilization",
+				float64(busyNanos.Load())/(float64(elapsed)*float64(workers)))
+		}
 	}
 
 	acc := make(profiler.ProgramProfile)
@@ -184,14 +244,51 @@ func (p *Pipeline) Estimate(m cost.Model, opt Options, seeds ...uint64) (*Progra
 	if err != nil {
 		return nil, err
 	}
-	return EstimateProgram(p.An, toTotals(profile), p.CostTables(m), opt)
+	sp := p.Trace.Start("estimate")
+	pe, err := EstimateProgram(p.An, toTotals(profile), p.CostTables(m), p.withPlanDetTests(opt))
+	sp.End()
+	return pe, err
 }
 
 // EstimateWithProfile estimates from an existing profile (e.g. loaded from
 // the program database) — the cross-architecture use case: profile once,
 // estimate under any cost model.
 func (p *Pipeline) EstimateWithProfile(profile profiler.ProgramProfile, m cost.Model, opt Options) (*ProgramEstimate, error) {
-	return EstimateProgram(p.An, toTotals(profile), p.CostTables(m), opt)
+	sp := p.Trace.Start("estimate")
+	pe, err := EstimateProgram(p.An, toTotals(profile), p.CostTables(m), p.withPlanDetTests(opt))
+	sp.End()
+	return pe, err
+}
+
+// withPlanDetTests merges the counter plans' doConstTrip proofs into the
+// estimator options, so DO tests the planner proved deterministic are
+// priced as deterministic even if the static frequency analysis alone
+// could not fold them. Plans are cached, so this is cheap after the first
+// Profile call; a plan build failure is ignored here — estimation can run
+// on the static proofs alone, and the failure resurfaces on Profile.
+func (p *Pipeline) withPlanDetTests(opt Options) Options {
+	plans, err := p.profilePlans()
+	if err != nil {
+		return opt
+	}
+	merged := make(map[string]map[cfg.NodeID]bool, len(plans))
+	for name, tests := range opt.DeterministicTests {
+		m := make(map[cfg.NodeID]bool, len(tests))
+		for id, ok := range tests {
+			m[id] = ok
+		}
+		merged[name] = m
+	}
+	for name, plan := range plans {
+		for _, id := range plan.ConstTripTests() {
+			if merged[name] == nil {
+				merged[name] = make(map[cfg.NodeID]bool)
+			}
+			merged[name][id] = true
+		}
+	}
+	opt.DeterministicTests = merged
+	return opt
 }
 
 func toTotals(p profiler.ProgramProfile) map[string]freq.Totals {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/freq"
 	"repro/internal/interp"
 	"repro/internal/livermore"
+	"repro/internal/obs"
 	"repro/internal/paperex"
 	"repro/internal/profiler"
 	"repro/internal/simplecfd"
@@ -132,6 +133,10 @@ type Table1Config struct {
 	LoopsN, LoopsReps      int
 	SimpleN, SimpleNCycles int
 	Seed                   uint64
+
+	// Trace, when non-nil, collects per-phase pipeline spans across both
+	// benchmark loads (see internal/obs).
+	Trace *obs.Trace
 }
 
 // DefaultTable1Config is a fast configuration for tests.
@@ -181,7 +186,7 @@ func Table1(cfg1 Table1Config) (*Table1Result, error) {
 	models := []cost.Model{cost.Optimized, cost.Unoptimized}
 	res := &Table1Result{}
 	for _, bm := range benches {
-		p, err := core.Load(bm.src)
+		p, err := core.LoadOpts(bm.src, core.LoadOptions{Trace: cfg1.Trace})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", bm.name, err)
 		}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"repro/internal/report"
+)
+
+// CLI is the shared observability flag set of the command-line tools:
+// -trace writes per-phase spans and a metrics snapshot as a report.Document,
+// -metrics dumps the metrics snapshot alone, -pprof captures a CPU profile.
+type CLI struct {
+	tracePath   string
+	metricsPath string
+	pprofPath   string
+
+	trace     *Trace
+	pprofFile *os.File
+}
+
+// AddCLIFlags registers -trace, -metrics, and -pprof on fs.
+func AddCLIFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.tracePath, "trace", "", "write per-phase spans + metrics as report JSON to `file` (- = stderr)")
+	fs.StringVar(&c.metricsPath, "metrics", "", "write the metrics snapshot as report JSON to `file` (- = stderr)")
+	fs.StringVar(&c.pprofPath, "pprof", "", "capture a CPU profile of the run to `file`")
+	return c
+}
+
+// Begin starts tracing/profiling as requested by the parsed flags and
+// returns the trace to thread through the pipeline (nil when -trace is off,
+// which every consumer accepts).
+func (c *CLI) Begin() (*Trace, error) {
+	if c.tracePath != "" {
+		c.trace = NewTrace()
+	}
+	if c.pprofPath != "" {
+		f, err := os.Create(c.pprofPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: -pprof: %w", err)
+		}
+		c.pprofFile = f
+	}
+	return c.trace, nil
+}
+
+// Trace returns the trace started by Begin (nil when -trace is off).
+func (c *CLI) Trace() *Trace { return c.trace }
+
+// End stops the CPU profile and writes the requested reports. Call it on
+// the success path (after the tool's own output), passing the tool name.
+func (c *CLI) End(tool string) error {
+	if c.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.pprofFile.Close(); err != nil {
+			return fmt.Errorf("obs: -pprof: %w", err)
+		}
+		c.pprofFile = nil
+	}
+	Default.MaxGauge("process.peak_rss_bytes", float64(PeakRSSBytes()))
+	if c.tracePath != "" {
+		doc := report.NewDocument(tool, nil)
+		doc.Spans = c.trace.Spans()
+		doc.Metrics = Default.Snapshot()
+		if err := writeDoc(c.tracePath, doc); err != nil {
+			return fmt.Errorf("obs: -trace: %w", err)
+		}
+	}
+	if c.metricsPath != "" {
+		doc := report.NewDocument(tool, nil)
+		doc.Metrics = Default.Snapshot()
+		if err := writeDoc(c.metricsPath, doc); err != nil {
+			return fmt.Errorf("obs: -metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeDoc(path string, doc *report.Document) error {
+	if path == "-" {
+		return doc.Encode(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := doc.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("phase")
+	sp.End(M("x", 1))
+	tr.SetMetric("phase", "y", 2)
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil trace Spans() = %v, want nil", got)
+	}
+}
+
+func TestSpanAggregation(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("work")
+		time.Sleep(time.Millisecond)
+		sp.End(M("items", 10))
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d rows, want 1 aggregated row: %v", len(spans), spans)
+	}
+	row := spans[0]
+	if row.Name != "work" || row.Count != 3 {
+		t.Errorf("row = %+v, want name=work count=3", row)
+	}
+	if row.WallMs < 3 {
+		t.Errorf("WallMs = %v, want >= 3 (three 1ms sleeps)", row.WallMs)
+	}
+	if row.ElapsedMs < row.WallMs-0.5 {
+		// Sequential spans: elapsed covers all busy time.
+		t.Errorf("ElapsedMs = %v < WallMs = %v for sequential spans", row.ElapsedMs, row.WallMs)
+	}
+	if row.Metrics["items"] != 30 {
+		t.Errorf("metrics summed to %v, want items=30", row.Metrics)
+	}
+}
+
+func TestConcurrentSpansOverlap(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := tr.Start("pool")
+			time.Sleep(5 * time.Millisecond)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	row := tr.Spans()[0]
+	if row.Count != 4 {
+		t.Fatalf("count = %d, want 4", row.Count)
+	}
+	// Four overlapping 5ms spans: wall ≈ 20ms busy, elapsed ≈ 5ms extent.
+	if row.WallMs <= row.ElapsedMs {
+		t.Errorf("overlapping spans must have WallMs (%v) > ElapsedMs (%v)", row.WallMs, row.ElapsedMs)
+	}
+}
+
+func TestSetMetricReplaces(t *testing.T) {
+	tr := NewTrace()
+	tr.SetMetric("analyze", "utilization", 0.5)
+	tr.SetMetric("analyze", "utilization", 0.75)
+	row := tr.Spans()[0]
+	if row.Metrics["utilization"] != 0.75 {
+		t.Errorf("SetMetric must replace, got %v", row.Metrics)
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("first")
+	sp.End()
+	time.Sleep(time.Millisecond)
+	sp = tr.Start("second")
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "first" || spans[1].Name != "second" {
+		t.Errorf("spans out of order: %v", spans)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := &Registry{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add("counter", 1)
+				r.MaxGauge("peak", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap["counter"] != 800 {
+		t.Errorf("counter = %v, want 800", snap["counter"])
+	}
+	if snap["peak"] != 99 {
+		t.Errorf("peak = %v, want 99", snap["peak"])
+	}
+	r.SetGauge("gauge", 1.5)
+	if got := r.Snapshot()["gauge"]; got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	r.Reset()
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("Reset left %v", snap)
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	// Linux CI: getrusage must report a real footprint. Elsewhere 0 is the
+	// documented "unavailable" value.
+	if got := PeakRSSBytes(); got < 0 {
+		t.Errorf("PeakRSSBytes = %d, want >= 0", got)
+	}
+}
+
+func TestCLIWritesTraceDocument(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := AddCLIFlags(fs)
+	if err := fs.Parse([]string{"-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("Begin with -trace must return a trace")
+	}
+	sp := tr.Start("phase")
+	sp.End(M("n", 7))
+	if err := c.End("testtool"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tool": "testtool"`, `"name": "phase"`, `"n": 7`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("trace document missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+func TestCLIOffByDefault(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := AddCLIFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Error("Begin without -trace must return nil")
+	}
+	if err := c.End("testtool"); err != nil {
+		t.Fatal(err)
+	}
+}

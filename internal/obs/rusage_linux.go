@@ -1,0 +1,15 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// PeakRSSBytes returns the process's peak resident set size. On Linux,
+// getrusage reports Maxrss in kilobytes.
+func PeakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

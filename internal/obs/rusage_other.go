@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// PeakRSSBytes returns 0 on platforms where peak RSS is not wired up;
+// consumers treat 0 as "unavailable".
+func PeakRSSBytes() int64 { return 0 }

@@ -16,14 +16,14 @@
 //   - TIME(START) equals the measured mean trace cost over the profiled
 //     runs, and VAR(START) is non-negative everywhere;
 //   - on branch-free programs VAR(START) equals the sample variance of the
-//     measured costs (both exactly zero);
+//     measured costs (both exactly zero), and programs whose only control
+//     flow is constant-trip exit-free DO loops report VAR(START) = 0
+//     exactly (the estimator proves their tests deterministic);
 //   - scaling the cost model by k scales TIME by k and VAR by k²;
 //   - semantics-preserving source transformations (swapping IF arms under a
 //     complemented condition, wrapping a statement in a one-trip DO,
-//     splitting a straight-line block with a forward GOTO) leave TIME
-//     unchanged; VAR is unchanged too except under wrap-DO, where the
-//     estimator's Bernoulli model of the added loop test may only increase
-//     it (metamorphic checks).
+//     splitting a straight-line block with a forward GOTO) leave TIME and
+//     VAR unchanged (metamorphic checks).
 //
 // Failures are minimized by shrinking the generator's size and depth knobs
 // until the smallest program that still violates the invariant is found;
@@ -58,11 +58,19 @@ const (
 	// no control flow at all, so every seed executes the same trace and the
 	// modeled variance is exactly zero.
 	KindBranchFree
+	// KindDetLoop is branch-free code plus exit-free counted DO loops with
+	// compile-time-constant bounds: still fully deterministic, so VAR(START)
+	// must be exactly zero — the estimator prices proven constant-trip tests
+	// as deterministic selections, not Bernoulli branches.
+	KindDetLoop
 )
 
 func (k Kind) String() string {
-	if k == KindBranchFree {
+	switch k {
+	case KindBranchFree:
 		return "branch-free"
+	case KindDetLoop:
+		return "det-loop"
 	}
 	return "random"
 }
@@ -93,7 +101,10 @@ func NewCase(seed uint64, size, depth int, kind Kind, profileRuns int) *Case {
 	for i := 0; i < profileRuns; i++ {
 		c.ProfileSeeds = append(c.ProfileSeeds, seed+uint64(i))
 	}
-	c.Src = progen.GenerateOpts(seed, size, depth, progen.Opts{BranchFree: kind == KindBranchFree})
+	c.Src = progen.GenerateOpts(seed, size, depth, progen.Opts{
+		BranchFree: kind == KindBranchFree || kind == KindDetLoop,
+		ConstLoops: kind == KindDetLoop,
+	})
 	return c
 }
 
@@ -248,6 +259,10 @@ type Config struct {
 	ProfileRuns int
 	// BranchFreeEvery makes every k-th case branch-free (0 disables).
 	BranchFreeEvery int
+	// DetLoopEvery makes every k-th case branch-free-plus-constant-trip-DO
+	// (0 disables). When a case index matches both knobs, det-loop wins —
+	// it is the stricter family.
+	DetLoopEvery int
 	// Workers bounds concurrent case evaluation (≤0 = GOMAXPROCS).
 	Workers int
 	// Invariants filters the registry by name (empty = all).
@@ -266,6 +281,9 @@ func (cfg *Config) caseFor(i int) *Case {
 	kind := KindRandom
 	if cfg.BranchFreeEvery > 0 && i%cfg.BranchFreeEvery == cfg.BranchFreeEvery-1 {
 		kind = KindBranchFree
+	}
+	if cfg.DetLoopEvery > 0 && i%cfg.DetLoopEvery == cfg.DetLoopEvery-1 {
+		kind = KindDetLoop
 	}
 	size := cfg.Size
 	if size < 1 {

@@ -18,6 +18,7 @@ func TestOracleCorpus(t *testing.T) {
 		Depth:           3,
 		ProfileRuns:     2,
 		BranchFreeEvery: 4,
+		DetLoopEvery:    6,
 		Minimize:        true,
 	}
 	if testing.Short() {
@@ -103,6 +104,20 @@ func TestCheckBranchFreeCase(t *testing.T) {
 	}
 }
 
+func TestCheckDetLoopCase(t *testing.T) {
+	c := NewCase(11, 6, 3, KindDetLoop, 3)
+	if strings.Contains(c.Src, "RAND()") || strings.Contains(c.Src, "GOTO") ||
+		strings.Contains(c.Src, "IF ") {
+		t.Fatalf("det-loop program contains data-dependent control flow:\n%s", c.Src)
+	}
+	if !strings.Contains(c.Src, "DO ") {
+		t.Fatalf("det-loop program for seed 11 has no DO loop:\n%s", c.Src)
+	}
+	if err := c.Check(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunConfigErrors(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Error("Run with Seeds = 0 must fail")
@@ -145,26 +160,31 @@ func TestMinimizeOnPassingCase(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if KindRandom.String() != "random" || KindBranchFree.String() != "branch-free" {
+	if KindRandom.String() != "random" || KindBranchFree.String() != "branch-free" ||
+		KindDetLoop.String() != "det-loop" {
 		t.Error("Kind.String wrong")
 	}
 }
 
 func TestCaseForSpreadsSizesAndKinds(t *testing.T) {
-	cfg := Config{SeedStart: 1, Seeds: 16, Size: 8, Depth: 3, ProfileRuns: 2, BranchFreeEvery: 4}
-	branchFree, sizes := 0, map[int]bool{}
+	cfg := Config{SeedStart: 1, Seeds: 16, Size: 8, Depth: 3, ProfileRuns: 2, BranchFreeEvery: 4, DetLoopEvery: 8}
+	branchFree, detLoop, sizes := 0, 0, map[int]bool{}
 	for i := 0; i < cfg.Seeds; i++ {
 		c := cfg.caseFor(i)
-		if c.Kind == KindBranchFree {
+		switch c.Kind {
+		case KindBranchFree:
 			branchFree++
+		case KindDetLoop:
+			detLoop++
 		}
 		sizes[c.Size] = true
 		if c.Size < 1 || c.Size > cfg.Size {
 			t.Errorf("case %d: size %d out of range", i, c.Size)
 		}
 	}
-	if branchFree != 4 {
-		t.Errorf("branch-free cases = %d, want 4 of 16", branchFree)
+	// Indices 3, 11 are branch-free; 7, 15 match both knobs and det-loop wins.
+	if branchFree != 2 || detLoop != 2 {
+		t.Errorf("branch-free = %d, det-loop = %d, want 2 and 2 of 16", branchFree, detLoop)
 	}
 	if len(sizes) < 4 {
 		t.Errorf("size spread too narrow: %v", sizes)

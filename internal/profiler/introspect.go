@@ -79,3 +79,18 @@ func (p *Plan) Rules() []RuleView {
 func (p *Plan) Conds() []cdg.Condition {
 	return append([]cdg.Condition(nil), p.conds...)
 }
+
+// ConstTripTests returns the DO-test nodes the plan proved to be exit-free
+// counted loops with a compile-time-constant trip count (the doConstTrip
+// rule of Section 3's third optimization). Such a test is deterministic —
+// per loop entry it takes T exactly trip times and F once — so the
+// estimator may drop the Bernoulli model for its branch.
+func (p *Plan) ConstTripTests() []cfg.NodeID {
+	var out []cfg.NodeID
+	for i := range p.rules {
+		if p.rules[i].kind == doConstTrip {
+			out = append(out, p.rules[i].node)
+		}
+	}
+	return out
+}

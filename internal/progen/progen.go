@@ -31,11 +31,16 @@ type Opts struct {
 	// and calls to straight-line subroutines, with no control flow at all.
 	// Every run executes the identical trace, so the estimated TIME is
 	// exact and VAR(START) is exactly zero — the ground truth the oracle's
-	// variance invariant compares against. (Deterministic loops are
-	// deliberately excluded: the paper's estimator models each DO test as
-	// an independent Bernoulli branch, which assigns a counted loop
-	// nonzero variance even when its trip count never varies.)
+	// variance invariant compares against.
 	BranchFree bool
+	// ConstLoops extends the BranchFree family with exit-free counted DO
+	// loops whose bounds are compile-time constants (possibly nested), in
+	// the main program and the leaf subroutines. Such loops are fully
+	// deterministic — the estimator proves their test branches constant-trip
+	// and prices them with zero test variance — so programs of this family
+	// must still report VAR(START) = 0 exactly. Only meaningful together
+	// with BranchFree.
+	ConstLoops bool
 }
 
 // Generate returns a random program. Larger size yields more statements;
@@ -53,7 +58,7 @@ func GenerateOpts(seed uint64, size, maxDepth int, o Opts) string {
 	if maxDepth < 1 {
 		maxDepth = 1
 	}
-	g := &gen{r: r, maxDepth: maxDepth, branchFree: o.BranchFree}
+	g := &gen{r: r, maxDepth: maxDepth, branchFree: o.BranchFree, constLoops: o.BranchFree && o.ConstLoops}
 	nsubs := r.intn(3)
 	var b strings.Builder
 	b.WriteString("      PROGRAM RANDP\n")
@@ -65,6 +70,21 @@ func GenerateOpts(seed uint64, size, maxDepth int, o Opts) string {
 	b.WriteString("      PRINT *, X1, X2, K\n")
 	b.WriteString("      END\n")
 	for s := 1; s <= nsubs; s++ {
+		if g.constLoops {
+			// Deterministic leaf: a constant-trip, exit-free DO and no
+			// data-dependent control flow.
+			fmt.Fprintf(&b, `
+      SUBROUTINE SUB%d(A, B)
+      REAL A, B
+      INTEGER J
+      DO 10 J = 1, %d
+         A = A + B*0.125
+   10 CONTINUE
+      RETURN
+      END
+`, s, 2+g.r.intn(6))
+			continue
+		}
 		if o.BranchFree {
 			fmt.Fprintf(&b, `
       SUBROUTINE SUB%d(A, B)
@@ -98,6 +118,7 @@ type gen struct {
 	label      int
 	gotoVars   int
 	branchFree bool
+	constLoops bool
 }
 
 func (g *gen) newLabel() int {
@@ -145,11 +166,21 @@ func (g *gen) block(b *strings.Builder, n, depth, indent int) {
 }
 
 // branchFreeStmt emits one statement of the straight-line family:
-// assignments and calls to the straight-line leaf subroutines. No control
-// flow at all, so the trace is seed-invariant and VAR(START) is exactly 0.
+// assignments and calls to the straight-line leaf subroutines. With
+// constLoops it also emits exit-free counted DO loops over constant bounds —
+// still fully deterministic, so the trace stays seed-invariant and
+// VAR(START) is exactly 0.
 func (g *gen) branchFreeStmt(b *strings.Builder, pad string, depth, indent int) {
-	_ = depth
-	_ = indent
+	if g.constLoops && depth < g.maxDepth && g.r.intn(6) < 2 {
+		lab := g.newLabel()
+		v := fmt.Sprintf("I%d", depth+1)
+		lo := 1 + g.r.intn(3)
+		hi := lo + g.r.intn(6)
+		fmt.Fprintf(b, "%s   DO %d %s = %d, %d\n", pad, lab, v, lo, hi)
+		g.block(b, 1+g.r.intn(2), depth+1, indent+1)
+		fmt.Fprintf(b, "%s%4d CONTINUE\n", pad, lab)
+		return
+	}
 	if g.r.intn(6) < 2 && g.subs > 0 {
 		fmt.Fprintf(b, "%s   CALL SUB%d(X1, X%d)\n", pad, 1+g.r.intn(g.subs), 2+g.r.intn(2))
 		return

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BenchSchema versions the snapshot format; bump on breaking changes.
+const BenchSchema = "bench/v1"
+
+// BenchEntry is one benchmark scenario of a sweep: a generated program size,
+// a real benchmark, or the oracle corpus. Metrics whose name ends in
+// "_per_sec" are throughput rates (higher is better) and are the ones a
+// regression diff compares; everything else is recorded for inspection only.
+type BenchEntry struct {
+	Name string `json:"name"`
+	// WallMs is the end-to-end wall time of the best repetition.
+	WallMs float64 `json:"wall_ms"`
+	// Metrics holds the scenario's measurements (nodes_per_sec,
+	// counters_per_block, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Spans is the per-phase trace of the best repetition, in the same
+	// schema -trace emits, so a snapshot shows where the time went.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// BenchSnapshot is one full sweep, written as BENCH_<date>.json and diffed
+// against the previous snapshot to catch performance regressions.
+type BenchSnapshot struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	// Date is the sweep day (YYYY-MM-DD), also embedded in the file name.
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"maxprocs"`
+	// Metrics holds process-wide measurements (process.peak_rss_bytes, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Entries []BenchEntry       `json:"entries"`
+}
+
+// Entry returns the named entry, or nil.
+func (s *BenchSnapshot) Entry(name string) *BenchEntry {
+	for i := range s.Entries {
+		if s.Entries[i].Name == name {
+			return &s.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Save writes the snapshot as indented JSON.
+func (s *BenchSnapshot) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBench reads a snapshot and validates its schema tag.
+func LoadBench(path string) (*BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s BenchSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, BenchSchema)
+	}
+	return &s, nil
+}
+
+// BenchRegression is one throughput metric that fell below the threshold
+// relative to the previous snapshot.
+type BenchRegression struct {
+	Entry  string
+	Metric string
+	Old    float64
+	New    float64
+}
+
+// Drop is the fractional throughput loss (0.30 = 30% slower).
+func (r BenchRegression) Drop() float64 { return 1 - r.New/r.Old }
+
+func (r BenchRegression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (-%.1f%%)", r.Entry, r.Metric, r.Old, r.New, 100*r.Drop())
+}
+
+// DiffBench compares every "_per_sec" rate present in both snapshots and
+// returns the ones that regressed by more than threshold (0.25 = fail when
+// a rate drops below 75% of the previous value). Entries or metrics present
+// on only one side are ignored: scenarios may come and go across revisions.
+func DiffBench(prev, cur *BenchSnapshot, threshold float64) []BenchRegression {
+	var out []BenchRegression
+	for _, pe := range prev.Entries {
+		ce := cur.Entry(pe.Name)
+		if ce == nil {
+			continue
+		}
+		names := make([]string, 0, len(pe.Metrics))
+		for name := range pe.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if !strings.HasSuffix(name, "_per_sec") {
+				continue
+			}
+			old, cv := pe.Metrics[name], ce.Metrics[name]
+			if old <= 0 || cv <= 0 {
+				continue
+			}
+			if cv < old*(1-threshold) {
+				out = append(out, BenchRegression{Entry: pe.Name, Metric: name, Old: old, New: cv})
+			}
+		}
+	}
+	return out
+}

@@ -62,13 +62,40 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// Document is the top-level JSON shape both tools emit: the producing tool,
-// its findings, and the severity tally.
+// Span is one aggregated pipeline phase in a trace: all observations of the
+// same phase name merge into a single row. Wall is the summed busy time of
+// every observation; Elapsed is last-end minus first-start, so on a worker
+// pool Wall/Elapsed exceeds 1 exactly when the phase ran concurrently.
+type Span struct {
+	Name string `json:"name"`
+	// StartMs is the first observation's offset from the trace start.
+	StartMs float64 `json:"start_ms"`
+	// WallMs is total busy time across observations.
+	WallMs float64 `json:"wall_ms"`
+	// ElapsedMs is the end-to-end extent of the phase.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Count is the number of merged observations (e.g. procedures analyzed).
+	Count int64 `json:"count"`
+	// AllocBytes is the heap allocation delta attributed to the phase
+	// (approximate under concurrency: the counter is process-wide).
+	AllocBytes int64 `json:"alloc_bytes"`
+	// Metrics carries phase-specific measurements (node counts, counters
+	// placed, utilization ratios, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the top-level JSON shape the tools emit: the producing tool,
+// its findings, the severity tally, and — when tracing is on — the phase
+// spans and process metrics.
 type Document struct {
 	Tool        string       `json:"tool"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	Errors      int          `json:"errors"`
 	Warnings    int          `json:"warnings"`
+	// Spans are the pipeline phase timings of a traced run (obs.Trace).
+	Spans []Span `json:"spans,omitempty"`
+	// Metrics is a point-in-time snapshot of the process metrics registry.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // NewDocument bundles diagnostics under a tool name, counting severities.

@@ -110,6 +110,28 @@ func Analyze(a *analysis.Proc) map[cdg.Condition]float64 {
 	return out
 }
 
+// ConstTripTests returns every DO-test node of a that is proven to run a
+// compile-time-constant trip count with no conditional loop exits, mapped
+// to that trip count. These are exactly the loops whose test branch is
+// deterministic: per loop entry the test takes its T label trip times and
+// its F label once, with zero variance. The estimator (core) uses this set
+// to price such tests as deterministic selections rather than Bernoulli
+// branches, so fully constant loops carry VAR = 0, matching Section 5's
+// preheader case with a known trip count.
+func ConstTripTests(a *analysis.Proc) map[cfg.NodeID]int64 {
+	out := make(map[cfg.NodeID]int64)
+	for _, n := range a.P.G.Nodes() {
+		op, ok := n.Payload.(lower.OpDoTest)
+		if !ok {
+			continue
+		}
+		if trip, ok := constTrip(a, n.ID, op); ok {
+			out[n.ID] = trip
+		}
+	}
+	return out
+}
+
 // constTrip reports whether the DO test at node id belongs to an exit-free
 // loop with compile-time-constant bounds, and the trip count if so.
 func constTrip(a *analysis.Proc, id cfg.NodeID, op lower.OpDoTest) (int64, bool) {

@@ -1,4 +1,4 @@
-package staticfreq
+package staticfreq_test
 
 import (
 	"math"
@@ -11,6 +11,7 @@ import (
 	"repro/internal/freq"
 	"repro/internal/interp"
 	"repro/internal/profiler"
+	"repro/internal/staticfreq"
 )
 
 // fullyStatic has only compile-time-resolvable control flow: constant-trip
@@ -37,7 +38,7 @@ func TestFullyStaticProgramNeedsNoProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	static := Program(p.An)
+	static := staticfreq.Program(p.An)
 	a := p.An.Procs["STATP"]
 
 	// Every non-pseudo condition except (START,U) must be statically
@@ -75,7 +76,7 @@ func TestStaticAgreesWithProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	static := Program(p.An)
+	static := staticfreq.Program(p.An)
 	a := p.An.Procs["STATP"]
 	run, err := interp.Run(p.Res, interp.Options{})
 	if err != nil {
@@ -99,7 +100,7 @@ func TestStaticShrinksCounterPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := p.An.Procs["STATP"]
-	static := Analyze(a)
+	static := staticfreq.Analyze(a)
 	plain, err := profiler.PlanSmart(a)
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +147,7 @@ func TestDynamicConditionsNotResolved(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := p.An.Procs["DYN"]
-	static := Analyze(a)
+	static := staticfreq.Analyze(a)
 	for c, v := range static {
 		if c.Label.IsPseudo() {
 			continue
@@ -182,7 +183,7 @@ func TestArithIfAndComputedGotoStatic(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := p.An.Procs["ACG"]
-	static := Analyze(a)
+	static := staticfreq.Analyze(a)
 	// With N=2: the arithmetic IF takes EQ with probability 1, LT/GT are
 	// dead; the computed GOTO takes case 2 — whose target is the join and
 	// therefore controls nothing — so what is statically known is that G1
