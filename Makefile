@@ -1,10 +1,11 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test bench bench-json oracle selfcheck fuzz-smoke
+.PHONY: check fmt vet lint build test test-vm bench bench-json oracle selfcheck fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, lint, build, race-enabled
-# tests, plus the self-lint, oracle sweep and a fuzzing smoke pass.
+# tests (the engine differential sweeps included), plus the self-lint,
+# oracle sweep and a fuzzing smoke pass.
 check: fmt vet lint build test selfcheck oracle fuzz-smoke
 
 fmt:
@@ -28,6 +29,11 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# test-vm re-runs the tier-1 suite with the bytecode VM as the ambient
+# execution engine (CI's extra bench-smoke leg).
+test-vm:
+	REPRO_ENGINE=vm $(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

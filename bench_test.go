@@ -25,6 +25,7 @@ import (
 	"repro/internal/profiler"
 	"repro/internal/progen"
 	"repro/internal/simplecfd"
+	"repro/internal/vm"
 )
 
 // BenchmarkFigure1BuildCFG regenerates Figure 1 (the example's CFG).
@@ -340,5 +341,54 @@ func BenchmarkScale(b *testing.B) {
 				b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/sec")
 			})
 		}
+	}
+}
+
+// BenchmarkInterp compares the two execution engines on each progen
+// family. The VM sub-benchmarks compile once outside the timed loop
+// (the compile-once/run-many contract); steps/sec is the interpretation
+// throughput of the engine's step loop alone.
+func BenchmarkInterp(b *testing.B) {
+	families := []struct {
+		name string
+		opts progen.Opts
+	}{
+		{"branchy", progen.Opts{}},
+		{"det-loop", progen.Opts{BranchFree: true, ConstLoops: true}},
+		{"branch-free", progen.Opts{BranchFree: true}},
+	}
+	for _, fam := range families {
+		src := progen.GenerateOpts(9, 40, 3, fam.opts)
+		p, err := core.Load(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := vm.Compile(p.Res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := cost.Optimized
+		run := func(b *testing.B, f func(o interp.Options) (*interp.Result, error)) {
+			b.Helper()
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				mc := m
+				r, err := f(interp.Options{Seed: uint64(i), Model: &mc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += r.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+		}
+		b.Run(fam.name+"/tree", func(b *testing.B) {
+			run(b, func(o interp.Options) (*interp.Result, error) {
+				o.Engine = interp.EngineTree
+				return interp.Run(p.Res, o)
+			})
+		})
+		b.Run(fam.name+"/vm", func(b *testing.B) {
+			run(b, prog.Run)
+		})
 	}
 }

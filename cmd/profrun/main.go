@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N] [-loopvar] [-check] [-print]
+//	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N]
+//	        [-engine tree|vm] [-loopvar] [-check] [-print]
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	loopvar := flag.Bool("loopvar", false, "also collect loop-frequency variance (extra instrumented run per seed)")
 	show := flag.Bool("print", false, "print program output (PRINT statements)")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
+	engine := flag.String("engine", "", "execution engine: tree or vm (default: REPRO_ENGINE, else tree)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -51,7 +53,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fail(err)
+	}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Engine: eng}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}

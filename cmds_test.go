@@ -197,7 +197,9 @@ func TestCommandLineTools(t *testing.T) {
 	t.Run("bench", func(t *testing.T) {
 		out := filepath.Join(dir, "BENCH_1999-01-01.json")
 		// Small/medium only (the large sweep is slow), no oracle corpus.
-		msg := runCmd(t, filepath.Join(dir, "bench"), "-reps", "1", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out, "-diff", "auto")
+		// Two reps: the per-phase profile throughput of these tiny sweeps
+		// is noisy at one rep, and the self-diff below gates on it.
+		msg := runCmd(t, filepath.Join(dir, "bench"), "-reps", "2", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out, "-diff", "auto")
 		if !strings.Contains(msg, "no previous BENCH_") {
 			t.Errorf("first run must skip the diff:\n%s", msg)
 		}
@@ -235,9 +237,11 @@ func TestCommandLineTools(t *testing.T) {
 			}
 		}
 		// A second run diffing against the first must pass (same machine,
-		// same workload) and exit 0.
+		// same workload) and exit 0. The loose threshold keeps the smoke
+		// test robust when it shares the machine with the -race suite;
+		// CI's bench-smoke job applies the real 25% gate.
 		out2 := filepath.Join(dir, "BENCH_1999-01-02.json")
-		msg = runCmd(t, filepath.Join(dir, "bench"), "-reps", "1", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out2, "-diff", out)
+		msg = runCmd(t, filepath.Join(dir, "bench"), "-reps", "2", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out2, "-diff", out, "-threshold", "0.6")
 		if !strings.Contains(msg, "no regression") {
 			t.Errorf("self-diff must report no regression:\n%s", msg)
 		}

@@ -35,6 +35,7 @@ func Registry() []Pass {
 		{Name: "fcdg", Desc: "FCDG is a rooted DAG whose region nesting mirrors HDR_PARENT", Run: checkFCDG},
 		{Name: "plan", Desc: "counter plan determines every FREQ(u,l) uniquely (rank proof)", Run: checkPlan},
 		{Name: "lints", Desc: "source lints: constant branches, zero-trip DO loops, dead code", Run: checkLints},
+		{Name: "vmcompile", Desc: "bytecode compile coverage: constructs forcing tree-walker fallback", Run: checkVMCompile},
 	}
 }
 

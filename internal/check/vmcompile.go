@@ -1,0 +1,29 @@
+package check
+
+import (
+	"errors"
+
+	"repro/internal/analysis"
+	"repro/internal/vm"
+)
+
+// checkVMCompile is the compile-coverage lint: it runs the bytecode
+// compiler over the procedure in lint mode and reports any construct it
+// bails out on. A bailout is not an error — the pipeline silently falls
+// back to the tree-walker and produces identical results — but the
+// fallback costs the VM's speedup, so the de-optimization should be a
+// visible diagnostic instead of a perf cliff.
+func checkVMCompile(a *analysis.Proc, r *reporter) {
+	err := vm.CheckProc(a.P)
+	if err == nil {
+		return
+	}
+	var be *vm.BailoutError
+	if errors.As(err, &be) {
+		r.warnAt(be.Line, 0, "this procedure falls back to the tree-walking interpreter",
+			"bytecode compiler bails on %s: %s", be.Construct, be.Reason)
+		return
+	}
+	r.warnAt(0, 0, "this procedure falls back to the tree-walking interpreter",
+		"bytecode compiler bails: %v", err)
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/lower"
 	"repro/internal/obs"
 	"repro/internal/profiler"
+	"repro/internal/vm"
 )
 
 // Pipeline is the one-stop entry point used by the command-line tools and
@@ -32,9 +33,16 @@ type Pipeline struct {
 
 	// Trace, when non-nil, receives per-phase spans from every pipeline
 	// stage run through this Pipeline (parse, lower, analyze and its
-	// sub-phases, plan, profile, recover, estimate). Tracing never changes
-	// results; a nil trace costs nothing.
+	// sub-phases, plan, compile, profile, recover, estimate). Tracing never
+	// changes results; a nil trace costs nothing.
 	Trace *obs.Trace
+
+	// Engine selects the execution substrate for Profile, Estimate and
+	// MeasuredCost when the per-call interp.Options leave it at
+	// EngineDefault. EngineVM compiles the program to bytecode once and
+	// runs every seed against the shared artifact; both engines produce
+	// bit-identical results.
+	Engine interp.Engine
 
 	// plans caches one optimized counter placement per procedure; plans
 	// depend only on the analysis, so they are computed once and shared by
@@ -42,6 +50,12 @@ type Pipeline struct {
 	plansOnce sync.Once
 	plans     profiler.Plans
 	plansErr  error
+
+	// vmProg caches the one-time bytecode compilation shared by every
+	// VM-engine run.
+	vmOnce sync.Once
+	vmProg *vm.Program
+	vmErr  error
 }
 
 // LoadOptions configures LoadOpts beyond the defaults.
@@ -56,6 +70,10 @@ type LoadOptions struct {
 
 	// Trace, when non-nil, collects per-phase spans (see Pipeline.Trace).
 	Trace *obs.Trace
+
+	// Engine is retained as the Pipeline's default execution engine (see
+	// Pipeline.Engine).
+	Engine interp.Engine
 }
 
 // Load parses and analyzes a source program with GOMAXPROCS workers.
@@ -98,7 +116,40 @@ func LoadOpts(src string, opts LoadOptions) (*Pipeline, error) {
 	}
 	obs.Default.Add("pipeline.procs", int64(len(res.Procs)))
 	obs.Default.Add("pipeline.cfg_nodes", int64(nodes))
-	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr}, nil
+	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr, Engine: opts.Engine}, nil
+}
+
+// compiledVM returns the bytecode program, compiling it on first use. A
+// compile bailout is cached too: every subsequent run falls back to the
+// tree-walker without retrying.
+func (p *Pipeline) compiledVM() (*vm.Program, error) {
+	p.vmOnce.Do(func() {
+		sp := p.Trace.Start("compile")
+		p.vmProg, p.vmErr = vm.Compile(p.Res)
+		sp.End()
+		if p.vmErr != nil {
+			obs.Default.Add("pipeline.vm_bailout", 1)
+		}
+	})
+	return p.vmProg, p.vmErr
+}
+
+// runSingle executes one seed under the resolved engine. VM runs go
+// through the cached compiled program; a compile bailout or an OnNode hook
+// forces the tree-walker (forcing EngineTree rather than leaving the
+// option at EngineVM keeps interp.Run from recompiling per call).
+func (p *Pipeline) runSingle(o interp.Options) (*interp.Result, error) {
+	eng := o.Engine
+	if eng == interp.EngineDefault {
+		eng = p.Engine
+	}
+	if interp.EffectiveEngine(eng) == interp.EngineVM && o.OnNode == nil {
+		if prog, err := p.compiledVM(); err == nil {
+			return prog.Run(o)
+		}
+	}
+	o.Engine = interp.EngineTree
+	return interp.Run(p.Res, o)
 }
 
 // profilePlans returns the per-procedure counter plans, computing them on
@@ -164,13 +215,21 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 		defer func() { busyNanos.Add(int64(time.Since(t0))) }()
 		o := opts
 		o.Seed = seeds[i]
-		run, err := interp.Run(p.Res, o)
+		// Sub-spans split the per-seed work into the engine's hot loop
+		// (profile.run) and the engine-independent counter recovery
+		// (profile.recover); their WallMs sum busy time across seeds, so
+		// they measure per-core throughput regardless of worker count.
+		sp := p.Trace.Start("profile.run")
+		run, err := p.runSingle(o)
+		sp.End()
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		runs[i] = run
+		sp = p.Trace.Start("profile.recover")
 		profs[i], errs[i] = plans.Profile(run)
+		sp.End()
 	}
 	if workers <= 1 {
 		for i := range seeds {
@@ -204,6 +263,17 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 	overall.End(obs.M("seeds", float64(len(seeds))), obs.M("steps", steps))
 	if p.Trace != nil {
 		elapsed := time.Since(poolStart)
+		eng := opts.Engine
+		if eng == interp.EngineDefault {
+			eng = p.Engine
+		}
+		vmUsed := 0.0
+		if interp.EffectiveEngine(eng) == interp.EngineVM && opts.OnNode == nil {
+			if _, err := p.compiledVM(); err == nil {
+				vmUsed = 1
+			}
+		}
+		p.Trace.SetMetric("profile", "engine_vm", vmUsed)
 		p.Trace.SetMetric("profile", "workers", float64(workers))
 		if elapsed > 0 && workers > 0 {
 			p.Trace.SetMetric("profile", "utilization",
@@ -298,7 +368,7 @@ func toTotals(p profiler.ProgramProfile) map[string]freq.Totals {
 // MeasuredCost runs the program once under the model and returns the exact
 // trace cost — the ground truth TIME estimates are validated against.
 func (p *Pipeline) MeasuredCost(m cost.Model, seed uint64) (float64, error) {
-	run, err := interp.Run(p.Res, interp.Options{Seed: seed, Model: &m})
+	run, err := p.runSingle(interp.Options{Seed: seed, Model: &m})
 	if err != nil {
 		return 0, err
 	}

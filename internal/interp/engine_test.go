@@ -1,0 +1,86 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/lower"
+
+	// Link the bytecode engine into this test binary so the internal
+	// interp tests exercise the VM dispatch path when REPRO_ENGINE=vm is
+	// set (the tier-1 VM leg in CI).
+	_ "repro/internal/vm"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want interp.Engine
+		ok   bool
+	}{
+		{"", interp.EngineDefault, true},
+		{"default", interp.EngineDefault, true},
+		{"tree", interp.EngineTree, true},
+		{"vm", interp.EngineVM, true},
+		{"jit", 0, false},
+	}
+	for _, c := range cases {
+		got, err := interp.ParseEngine(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseEngine(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if interp.EngineTree.String() != "tree" || interp.EngineVM.String() != "vm" || interp.EngineDefault.String() != "default" {
+		t.Errorf("unexpected engine names: %v %v %v",
+			interp.EngineDefault, interp.EngineTree, interp.EngineVM)
+	}
+}
+
+func TestEffectiveEngineResolvesExplicit(t *testing.T) {
+	if got := interp.EffectiveEngine(interp.EngineTree); got != interp.EngineTree {
+		t.Errorf("EffectiveEngine(tree) = %v", got)
+	}
+	if got := interp.EffectiveEngine(interp.EngineVM); got != interp.EngineVM {
+		t.Errorf("EffectiveEngine(vm) = %v", got)
+	}
+}
+
+// TestVMDispatchFromInterp runs the same program through interp.Run on
+// both engines; with the vm package linked, Engine: EngineVM must route to
+// the bytecode engine and still produce identical results.
+func TestVMDispatchFromInterp(t *testing.T) {
+	src := `      PROGRAM P
+      INTEGER I, S
+      S = 0
+      DO 10 I = 1, 100
+      S = S + I
+   10 CONTINUE
+      END
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := interp.Run(res, interp.Options{Engine: interp.EngineTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmr, err := interp.Run(res, interp.Options{Engine: interp.EngineVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Steps != vmr.Steps || tree.Stopped != vmr.Stopped {
+		t.Fatalf("engines disagree: tree steps %d, vm steps %d", tree.Steps, vmr.Steps)
+	}
+}

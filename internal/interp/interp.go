@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"sync"
 
 	"repro/internal/cfg"
 	"repro/internal/cost"
@@ -94,11 +96,87 @@ type binding struct {
 	arr  *Array
 }
 
-// frame is one procedure activation.
+// frame is one procedure activation. trips is indexed by DO test node ID —
+// a dense slice rather than a map so the step loop never hashes or
+// allocates while bookkeeping loop state.
 type frame struct {
 	proc  *lower.Proc
 	vars  map[string]*binding
-	trips map[cfg.NodeID]int64 // remaining trips per DO test node
+	trips []int64 // remaining trips, indexed by DO test node ID
+}
+
+// Engine selects the execution substrate for a run.
+type Engine int
+
+const (
+	// EngineDefault defers the choice: the REPRO_ENGINE environment
+	// variable when set ("tree" or "vm"), otherwise the tree-walker.
+	EngineDefault Engine = iota
+	// EngineTree is the reference tree-walking interpreter in this package.
+	EngineTree
+	// EngineVM is the slot-indexed bytecode VM (internal/vm). Programs the
+	// bytecode compiler cannot handle, and runs that set OnNode, silently
+	// fall back to the tree-walker with identical results.
+	EngineVM
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineTree:
+		return "tree"
+	case EngineVM:
+		return "vm"
+	}
+	return "default"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default":
+		return EngineDefault, nil
+	case "tree":
+		return EngineTree, nil
+	case "vm":
+		return EngineVM, nil
+	}
+	return EngineDefault, fmt.Errorf("unknown engine %q (want tree or vm)", s)
+}
+
+// vmRun is installed by internal/vm's init; nil until that package is
+// linked in. Registration happens once during package initialization, so
+// reads after init need no synchronization.
+var vmRun func(*lower.Result, Options) (*Result, error)
+
+// RegisterVMEngine installs the bytecode engine entry point. Called from
+// internal/vm's init; not for use by other packages.
+func RegisterVMEngine(run func(*lower.Result, Options) (*Result, error)) { vmRun = run }
+
+var (
+	envEngineOnce sync.Once
+	envEngine     Engine
+)
+
+// defaultEngine resolves EngineDefault against REPRO_ENGINE once.
+func defaultEngine() Engine {
+	envEngineOnce.Do(func() {
+		if e, err := ParseEngine(os.Getenv("REPRO_ENGINE")); err == nil {
+			envEngine = e
+		}
+	})
+	return envEngine
+}
+
+// EffectiveEngine resolves EngineDefault: the REPRO_ENGINE environment
+// variable when set, the tree-walker otherwise.
+func EffectiveEngine(e Engine) Engine {
+	if e == EngineDefault {
+		e = defaultEngine()
+	}
+	if e == EngineDefault {
+		e = EngineTree
+	}
+	return e
 }
 
 // Options configure a run.
@@ -118,6 +196,11 @@ type Options struct {
 	// model cost accumulated so far, the node's own cost included.
 	// Requires Model to be set; silently never fires otherwise.
 	OnNodeCost func(p *lower.Proc, n cfg.NodeID, costSoFar float64)
+	// Engine selects the execution substrate. Both engines produce
+	// bit-identical Results; EngineVM compiles the program to bytecode
+	// first (use vm.Compile + Program.Run, or core.Pipeline, to amortize
+	// compilation over many seeds).
+	Engine Engine
 }
 
 // Counts holds per-procedure execution counts.
@@ -214,6 +297,12 @@ func Run(res *lower.Result, opt Options) (*Result, error) {
 	if res.Main == nil {
 		return nil, fmt.Errorf("interp: program has no main unit")
 	}
+	// The VM supports Out and OnNodeCost but not OnNode (whose OpDoInit
+	// trip argument needs the tree-walker's evaluation order); runs that
+	// need it stay on the reference engine.
+	if EffectiveEngine(opt.Engine) == EngineVM && opt.OnNode == nil && vmRun != nil {
+		return vmRun(res, opt)
+	}
 	m := &machine{
 		res: res,
 		opt: opt,
@@ -266,8 +355,8 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 	}
 	f := &frame{
 		proc:  p,
-		vars:  make(map[string]*binding),
-		trips: make(map[cfg.NodeID]int64),
+		vars:  make(map[string]*binding, len(p.Unit.Symbols)),
+		trips: make([]int64, p.G.MaxID()+1),
 	}
 	// Bind parameters by reference.
 	if callStmt != nil {
@@ -653,6 +742,16 @@ func constValue(sym *lang.Symbol) Value {
 	}
 	return Value{}
 }
+
+// Convert coerces v to type t (Fortran assignment conversion). Exported so
+// the bytecode engine shares the exact store semantics of the tree-walker.
+func Convert(v Value, t lang.Type) Value { return convert(v, t) }
+
+// Ipow is F77 integer exponentiation, shared with the bytecode engine.
+func Ipow(base, exp int64) int64 { return ipow(base, exp) }
+
+// ConstSymbolValue returns the runtime value of a folded PARAMETER symbol.
+func ConstSymbolValue(sym *lang.Symbol) Value { return constValue(sym) }
 
 // convert coerces v to type t (Fortran assignment conversion).
 func convert(v Value, t lang.Type) Value {

@@ -9,9 +9,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/freq"
+	"repro/internal/interp"
 	"repro/internal/profiler"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/vm"
 )
 
 // Invariant is one named correctness property checked per case. Check
@@ -84,6 +86,11 @@ func Registry() []Invariant {
 			Name:  "meta-split-block",
 			Desc:  "splitting a straight-line block with a forward GOTO leaves TIME and VAR unchanged",
 			Check: checkMetaSplitBlock,
+		},
+		{
+			Name:  "engine-equiv",
+			Desc:  "the bytecode VM and the tree-walker produce bit-identical results (steps, cost, node/edge counters, activations) on every profiled seed",
+			Check: checkEngineEquiv,
 		},
 		{
 			Name:  "checker-clean",
@@ -367,6 +374,84 @@ func checkMetaWrapDo(ctx *evalCtx) error {
 
 func checkMetaSplitBlock(ctx *evalCtx) error {
 	return checkMeta(ctx, SplitBlock, ctx.model)
+}
+
+// checkEngineEquiv is the differential engine check: every profiled seed
+// is re-run on the engine the case did NOT use, and the two results must
+// be bit-identical — same step count, exact float-equal cost, same
+// node/edge counters and activations. A compile bailout on a generated
+// program is itself a failure: progen emits only the supported subset.
+func checkEngineEquiv(ctx *evalCtx) error {
+	prog, err := vm.Compile(ctx.res)
+	if err != nil {
+		return fmt.Errorf("bytecode compile bailed on a generated program: %w", err)
+	}
+	vmRef := interp.EffectiveEngine(ctx.c.Engine) == interp.EngineVM
+	for i, seed := range ctx.c.ProfileSeeds {
+		m := ctx.model
+		opt := interp.Options{Seed: seed, Model: &m, MaxSteps: ctx.c.MaxSteps}
+		var other *interp.Result
+		var rerr error
+		if vmRef {
+			opt.Engine = interp.EngineTree
+			other, rerr = interp.Run(ctx.res, opt)
+		} else {
+			other, rerr = prog.Run(opt)
+		}
+		if rerr != nil {
+			return fmt.Errorf("seed %d: opposite-engine run failed: %w", seed, rerr)
+		}
+		if d := diffRunResults(ctx.runs[i], other); d != "" {
+			return fmt.Errorf("seed %d: engines disagree: %s", seed, d)
+		}
+	}
+	return nil
+}
+
+// diffRunResults describes the first difference between two runs, or ""
+// when they are bit-identical. Cost is compared with ==, not near(): both
+// engines must accumulate the same floats in the same order.
+func diffRunResults(a, b *interp.Result) string {
+	if a.Steps != b.Steps {
+		return fmt.Sprintf("steps %d vs %d", a.Steps, b.Steps)
+	}
+	if a.Cost != b.Cost {
+		return fmt.Sprintf("cost %.17g vs %.17g", a.Cost, b.Cost)
+	}
+	if a.Stopped != b.Stopped {
+		return fmt.Sprintf("stopped %v vs %v", a.Stopped, b.Stopped)
+	}
+	if len(a.ByProc) != len(b.ByProc) {
+		return fmt.Sprintf("%d procs vs %d", len(a.ByProc), len(b.ByProc))
+	}
+	for name, ca := range a.ByProc {
+		cb := b.ByProc[name]
+		if cb == nil {
+			return fmt.Sprintf("proc %s missing", name)
+		}
+		if ca.Activations != cb.Activations {
+			return fmt.Sprintf("proc %s activations %d vs %d", name, ca.Activations, cb.Activations)
+		}
+		if len(ca.Node) != len(cb.Node) {
+			return fmt.Sprintf("proc %s node-table length %d vs %d", name, len(ca.Node), len(cb.Node))
+		}
+		for id := range ca.Node {
+			if ca.Node[id] != cb.Node[id] {
+				return fmt.Sprintf("proc %s node %d count %d vs %d", name, id, ca.Node[id], cb.Node[id])
+			}
+		}
+		for id := range ca.Edge {
+			if len(ca.Edge[id]) != len(cb.Edge[id]) {
+				return fmt.Sprintf("proc %s node %d edge-table length %d vs %d", name, id, len(ca.Edge[id]), len(cb.Edge[id]))
+			}
+			for k := range ca.Edge[id] {
+				if ca.Edge[id][k] != cb.Edge[id][k] {
+					return fmt.Sprintf("proc %s edge %d/%d count %d vs %d", name, id, k, ca.Edge[id][k], cb.Edge[id][k])
+				}
+			}
+		}
+	}
+	return ""
 }
 
 // checkCheckerClean asserts the generated program is clean under the

@@ -86,6 +86,10 @@ type Case struct {
 	// MaxSteps bounds every interpreter run of the case (0 = the
 	// interpreter default).
 	MaxSteps int64
+	// Engine selects the execution substrate for the case's profiled runs
+	// (EngineDefault resolves as in interp). The engine-equiv invariant
+	// additionally re-runs every seed on the opposite engine.
+	Engine interp.Engine
 	// Src is the program text; filled by Generate, or set directly to
 	// check an externally supplied source.
 	Src string
@@ -171,7 +175,7 @@ func (c *Case) eval(src string, m cost.Model) (*evalCtx, error) {
 		return nil, &PipelineError{Stage: "plan", Err: err}
 	}
 	for _, seed := range c.ProfileSeeds {
-		run, err := interp.Run(ctx.res, interp.Options{Seed: seed, Model: &m, MaxSteps: c.MaxSteps})
+		run, err := interp.Run(ctx.res, interp.Options{Seed: seed, Model: &m, MaxSteps: c.MaxSteps, Engine: c.Engine})
 		if err != nil {
 			return nil, &PipelineError{Stage: "run", Err: err}
 		}
@@ -265,6 +269,8 @@ type Config struct {
 	DetLoopEvery int
 	// Workers bounds concurrent case evaluation (≤0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the execution substrate every case runs on.
+	Engine interp.Engine
 	// Invariants filters the registry by name (empty = all).
 	Invariants []string
 	// Minimize shrinks failing cases to the smallest size/depth that still
@@ -296,7 +302,9 @@ func (cfg *Config) caseFor(i int) *Case {
 	if depth < 1 {
 		depth = 3
 	}
-	return NewCase(seed, size, depth, kind, cfg.ProfileRuns)
+	c := NewCase(seed, size, depth, kind, cfg.ProfileRuns)
+	c.Engine = cfg.Engine
+	return c
 }
 
 // Run sweeps the corpus and reports per-invariant pass/fail counts and
@@ -439,6 +447,7 @@ func newFailure(invariant string, c *Case, err error, minimize bool) Failure {
 func Minimize(c *Case, invariant string) (*Case, error) {
 	fails := func(size, depth int) (*Case, error) {
 		mc := NewCase(c.Seed, size, depth, c.Kind, len(c.ProfileSeeds))
+		mc.Engine = c.Engine
 		var err error
 		if invariant == "pipeline" {
 			_, err = mc.eval(mc.Src, baseModel)

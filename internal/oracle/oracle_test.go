@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/interp"
 )
 
 // TestOracleCorpus is the tier-1 sweep: 200 generated programs (40 under
@@ -243,5 +245,41 @@ func TestPipelineErrorWraps(t *testing.T) {
 	}
 	if pe.Unwrap() == nil || pe.Error() == "" {
 		t.Error("PipelineError must wrap and describe the cause")
+	}
+}
+
+// TestEngineEquivalence is the dedicated differential sweep behind the
+// engine-equiv invariant: ≥200 generated programs across all three
+// families, profiled on the VM engine and re-run on the tree-walker, with
+// bit-identical results required (the registry sweep in TestOracleCorpus
+// covers the tree→VM direction; this one makes the VM the reference).
+func TestEngineEquivalence(t *testing.T) {
+	cfg := Config{
+		SeedStart:       1,
+		Seeds:           200,
+		Size:            8,
+		Depth:           3,
+		ProfileRuns:     2,
+		BranchFreeEvery: 5,
+		DetLoopEvery:    7,
+		Engine:          interp.EngineVM,
+		Invariants:      []string{"engine-equiv"},
+	}
+	if testing.Short() {
+		cfg.Seeds = 40
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("engine-equiv failed: seed=%d kind=%s size=%d depth=%d\n%s\nprogram:\n%s",
+			f.Seed, f.Kind, f.Size, f.Depth, f.Error, f.Source)
+	}
+	if !rep.AllPass {
+		t.Fatal("engine differential sweep failed")
+	}
+	if rep.Invariants[0].Checked == 0 {
+		t.Fatal("engine-equiv never ran")
 	}
 }

@@ -37,7 +37,10 @@ type Result struct {
 	Cost float64
 }
 
-// Run executes the program once, sampling every interval cycles.
+// Run executes the program once, sampling every interval cycles. The
+// opt.Engine selection passes through to interp.Run: both engines support
+// the OnNodeCost sampling hook and tick at identical trace positions, so
+// sampled profiles are engine-independent.
 func Run(res *lower.Result, m cost.Model, interval float64, opt interp.Options) (*Result, error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("sampling: interval must be positive, got %g", interval)

