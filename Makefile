@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test test-vm bench bench-json oracle selfcheck fuzz-smoke
+.PHONY: check fmt vet lint build test test-vm test-vm-batch bench bench-json oracle selfcheck fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, lint, build, race-enabled
 # tests (the engine differential sweeps included), plus the self-lint,
@@ -30,10 +30,14 @@ build:
 test:
 	$(GO) test -race ./...
 
-# test-vm re-runs the tier-1 suite with the bytecode VM as the ambient
-# execution engine (CI's extra bench-smoke leg).
+# test-vm and test-vm-batch re-run the tier-1 suite with the bytecode VM
+# (per-seed, then batched multi-seed) as the ambient execution engine
+# (CI's extra bench-smoke legs).
 test-vm:
 	REPRO_ENGINE=vm $(GO) test -race ./...
+
+test-vm-batch:
+	REPRO_ENGINE=vm-batch $(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -10,20 +10,27 @@
 //
 //	bench [-out BENCH_2026-08-06.json] [-diff auto|FILE] [-threshold 0.25]
 //	      [-reps 3] [-sizes small,medium,large] [-oracle-seeds 32] [-workers N]
-//	      [-engines tree,vm]
+//	      [-engines tree,vm,vm-batch]
 //
 // Every scenario runs once per requested engine: tree-walker entries keep
 // the legacy names (small, medium, large, oracle-corpus) so historical
-// diffs line up, VM entries get a "-vm" suffix. Each pipeline entry also
-// records profile_nodes_per_sec (interpreted nodes per second inside the
-// profile phase alone) and alloc_bytes_per_seed — the numbers behind the
-// VM engine's ≥2× profile-phase speedup target.
+// diffs line up, VM entries get a "-vm" suffix and batch-engine entries a
+// "-vm-batch" suffix. Each pipeline entry also records
+// profile_nodes_per_sec (interpreted nodes per second of engine busy time
+// inside the profile phase alone) and alloc_bytes_per_seed (the engine's
+// own heap allocation per seed, measured precisely with ReadMemStats
+// around direct engine runs — not from span attribution, which is only
+// mcache-refill granular); batch entries add profile_batch_nodes_per_sec
+// (nodes per second of whole-batch wall time, counter recovery included —
+// the end-to-end number for the batched path) and the lane count. Every entry records the maxprocs and worker
+// count it ran under, so lane/worker sweeps stay attributable.
 //
 // -diff auto picks the lexically newest BENCH_*.json in the output
 // directory other than the output file itself (the date-stamped names sort
 // chronologically); when none exists the diff is skipped. The exit status
-// is 1 when any "_per_sec" rate dropped by more than -threshold, so the
-// command doubles as a CI gate (`make bench-json`).
+// is 1 when any "_per_sec" rate dropped by more than -threshold or
+// alloc_bytes_per_seed grew by more than it, so the command doubles as a
+// CI gate (`make bench-json`).
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/progen"
 	"repro/internal/report"
+	"repro/internal/vm"
 )
 
 // sweepSizes mirrors BenchmarkScale in bench_test.go so `go test -bench`
@@ -65,7 +73,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per scenario; the best one is recorded")
 	oracleSeeds := flag.Int("oracle-seeds", 32, "oracle corpus size (0 = skip the corpus entry)")
 	sizes := flag.String("sizes", "small,medium,large", "comma-separated sweep sizes to run")
-	engines := flag.String("engines", "tree,vm", "comma-separated execution engines to sweep (tree, vm)")
+	engines := flag.String("engines", "tree,vm,vm-batch", "comma-separated execution engines to sweep (tree, vm, vm-batch)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and profiling")
 	flag.Parse()
 
@@ -153,10 +161,13 @@ func main() {
 
 // entryName names a scenario for one engine: the tree-walker keeps the
 // legacy name so diffs against historical snapshots line up; the VM gets a
-// "-vm" suffix.
+// "-vm" suffix and the batched VM a "-vm-batch" suffix.
 func entryName(base string, eng interp.Engine) string {
-	if interp.EffectiveEngine(eng) == interp.EngineVM {
+	switch interp.EffectiveEngine(eng) {
+	case interp.EngineVM:
 		return base + "-vm"
+	case interp.EngineVMBatch:
+		return base + "-vm-batch"
 	}
 	return base
 }
@@ -171,7 +182,7 @@ func runPipelineScenario(name string, size, depth, workers, reps int, eng interp
 	// but the profile-phase throughput keeps its own best across reps (the
 	// rep with the best wall is not necessarily the one with the cleanest
 	// profile phase, and the phase is short enough to be noisy).
-	bestProfile, bestAlloc := 0.0, 0.0
+	bestProfile, bestBatch, lanes := 0.0, 0.0, 0.0
 	for rep := 0; rep < reps || rep == 0; rep++ {
 		obs.Default.Reset()
 		tr := obs.NewTrace()
@@ -196,10 +207,10 @@ func runPipelineScenario(name string, size, depth, workers, reps int, eng interp
 		// profile.run isolates the execution engine's hot loop from the
 		// engine-independent counter recovery; its WallMs sums busy time
 		// across seeds, so steps/busy is per-core interpretation throughput.
-		var steps, seeds float64
+		var steps float64
 		for _, sp := range spans {
 			if sp.Name == "profile" {
-				steps, seeds = sp.Metrics["steps"], sp.Metrics["seeds"]
+				steps = sp.Metrics["steps"]
 			}
 		}
 		for _, sp := range spans {
@@ -211,11 +222,28 @@ func runPipelineScenario(name string, size, depth, workers, reps int, eng interp
 					bestProfile = rate
 				}
 			}
-			if seeds > 0 {
-				if a := float64(sp.AllocBytes) / seeds; bestAlloc == 0 || a < bestAlloc {
-					bestAlloc = a
+		}
+		// Under the batch engine the profile phase is one lane-sharded batch
+		// run instead of per-seed profile.run spans: exec_ms is summed lane
+		// busy time (profile_nodes_per_sec stays comparable with the
+		// per-seed entries), the span's own wall covers the whole batch,
+		// counter recovery included (profile_batch_nodes_per_sec).
+		for _, sp := range spans {
+			if sp.Name != "profile.batch" {
+				continue
+			}
+			bSteps := sp.Metrics["steps"]
+			if ms := sp.Metrics["exec_ms"]; ms > 0 {
+				if rate := bSteps / (ms / 1000); rate > bestProfile {
+					bestProfile = rate
 				}
 			}
+			if sp.WallMs > 0 {
+				if rate := bSteps / (sp.WallMs / 1000); rate > bestBatch {
+					bestBatch = rate
+				}
+			}
+			lanes = sp.Metrics["lanes"]
 		}
 
 		wallMs := float64(wall) / float64(time.Millisecond)
@@ -230,6 +258,8 @@ func runPipelineScenario(name string, size, depth, workers, reps int, eng interp
 			"seeds":         float64(len(sweepSeeds)),
 			"time_estimate": est.Main.Time,
 			"stddev":        est.Main.StdDev(),
+			"maxprocs":      float64(runtime.GOMAXPROCS(0)),
+			"workers":       float64(workers),
 		}
 		if blocks := counters["pipeline.blocks"]; blocks > 0 {
 			best.Metrics["counters_per_block"] = counters["pipeline.counters"] / blocks
@@ -238,10 +268,93 @@ func runPipelineScenario(name string, size, depth, workers, reps int, eng interp
 	if bestProfile > 0 {
 		best.Metrics["profile_nodes_per_sec"] = bestProfile
 	}
-	if bestAlloc > 0 {
-		best.Metrics["alloc_bytes_per_seed"] = bestAlloc
+	if bestBatch > 0 {
+		best.Metrics["profile_batch_nodes_per_sec"] = bestBatch
 	}
+	if lanes > 0 {
+		best.Metrics["lanes"] = lanes
+	}
+	alloc, err := measureAllocPerSeed(src, eng)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	best.Metrics["alloc_bytes_per_seed"] = alloc
 	return best, nil
+}
+
+// measureAllocPerSeed measures the execution engine's own heap allocation
+// per profiled seed — directly and precisely, outside the traced pipeline.
+// The span layer reads the cheap runtime/metrics allocation counter, which
+// the runtime only updates at mcache span-refill granularity; at the ~10KB
+// scale of a warm engine that lumpiness leaks neighboring-phase
+// allocations (counter recovery allocates an order of magnitude more) into
+// the engine's window. Here one warm-up pass settles pools, the compiled
+// program and memoized cost tables, then runtime.ReadMemStats — which
+// flushes every mcache — brackets a second pass over all sweep seeds.
+func measureAllocPerSeed(src string, eng interp.Engine) (float64, error) {
+	p, err := core.LoadOpts(src, core.LoadOptions{Workers: 1})
+	if err != nil {
+		return 0, err
+	}
+	m := cost.Optimized
+	opt := interp.Options{Model: &m}
+	var runAll func() error
+	switch interp.EffectiveEngine(eng) {
+	case interp.EngineVM, interp.EngineVMBatch:
+		prog, err := vm.Compile(p.Res)
+		if err != nil {
+			return 0, err
+		}
+		if interp.EffectiveEngine(eng) == interp.EngineVMBatch {
+			runAll = func() error {
+				var seedErr error
+				_, err := prog.RunBatch(opt, sweepSeeds, 1,
+					func(_ int, _ uint64, _ *interp.Result, rerr error) bool {
+						if rerr != nil && seedErr == nil {
+							seedErr = rerr
+						}
+						return false
+					})
+				if err != nil {
+					return err
+				}
+				return seedErr
+			}
+		} else {
+			runAll = func() error {
+				for _, s := range sweepSeeds {
+					o := opt
+					o.Seed = s
+					if _, err := prog.Run(o); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+	default:
+		runAll = func() error {
+			for _, s := range sweepSeeds {
+				o := opt
+				o.Seed = s
+				o.Engine = interp.EngineTree
+				if _, err := interp.Run(p.Res, o); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := runAll(); err != nil {
+		return 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := runAll(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(len(sweepSeeds)), nil
 }
 
 // runOracleScenario sweeps a small oracle corpus once; corpus evaluation is
@@ -271,6 +384,8 @@ func runOracleScenario(name string, seeds, workers int, eng interp.Engine) (*rep
 		Metrics: map[string]float64{
 			"cases":         float64(seeds),
 			"cases_per_sec": float64(seeds) / wall.Seconds(),
+			"maxprocs":      float64(runtime.GOMAXPROCS(0)),
+			"workers":       float64(workers),
 		},
 	}, nil
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N]
-//	        [-engine tree|vm] [-loopvar] [-check] [-print]
+//	        [-engine tree|vm|vm-batch] [-loopvar] [-check] [-print]
 package main
 
 import (
@@ -33,7 +33,7 @@ func main() {
 	loopvar := flag.Bool("loopvar", false, "also collect loop-frequency variance (extra instrumented run per seed)")
 	show := flag.Bool("print", false, "print program output (PRINT statements)")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
-	engine := flag.String("engine", "", "execution engine: tree or vm (default: REPRO_ENGINE, else tree)")
+	engine := flag.String("engine", "", "execution engine: tree, vm or vm-batch (default: REPRO_ENGINE, else tree)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()

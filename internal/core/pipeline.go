@@ -143,7 +143,7 @@ func (p *Pipeline) runSingle(o interp.Options) (*interp.Result, error) {
 	if eng == interp.EngineDefault {
 		eng = p.Engine
 	}
-	if interp.EffectiveEngine(eng) == interp.EngineVM && o.OnNode == nil {
+	if interp.EffectiveEngine(eng).VMBased() && o.OnNode == nil {
 		if prog, err := p.compiledVM(); err == nil {
 			return prog.Run(o)
 		}
@@ -201,6 +201,20 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 	}
 	if opts.Out != nil || opts.OnNode != nil || opts.OnNodeCost != nil {
 		workers = 1
+	}
+
+	// Under the batch engine the whole seed batch goes through the VM's
+	// batch runner, which shards lanes across workers internally on
+	// arena-backed reusable frames (a compile bailout falls through to the
+	// per-seed pool below). OnNode runs need the tree-walker per seed.
+	eng := opts.Engine
+	if eng == interp.EngineDefault {
+		eng = p.Engine
+	}
+	if interp.EffectiveEngine(eng) == interp.EngineVMBatch && opts.OnNode == nil {
+		if prog, err := p.compiledVM(); err == nil {
+			return p.profileBatch(prog, plans, opts, seeds, workers)
+		}
 	}
 
 	overall := p.Trace.Start("profile")
@@ -263,12 +277,8 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 	overall.End(obs.M("seeds", float64(len(seeds))), obs.M("steps", steps))
 	if p.Trace != nil {
 		elapsed := time.Since(poolStart)
-		eng := opts.Engine
-		if eng == interp.EngineDefault {
-			eng = p.Engine
-		}
 		vmUsed := 0.0
-		if interp.EffectiveEngine(eng) == interp.EngineVM && opts.OnNode == nil {
+		if interp.EffectiveEngine(eng).VMBased() && opts.OnNode == nil {
 			if _, err := p.compiledVM(); err == nil {
 				vmUsed = 1
 			}
@@ -288,6 +298,62 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 			return nil, nil, errs[i]
 		}
 		last = runs[i]
+		for name, totals := range profs[i] {
+			if acc[name] == nil {
+				acc[name] = make(freq.Totals)
+			}
+			acc[name].Add(totals)
+		}
+	}
+	return acc, last, nil
+}
+
+// profileBatch runs the whole seed batch through the VM's batch runner.
+// Each seed's counter recovery happens inside the sink, while the lane's
+// reusable result storage is still live; only the last seed's run is
+// retained, for the returned Result. The merge is identical to the
+// per-seed path — seeds are independent, so lane sharding cannot change
+// any per-seed outcome and the accumulated profile stays bit-identical.
+func (p *Pipeline) profileBatch(prog *vm.Program, plans profiler.Plans, opts interp.Options,
+	seeds []uint64, lanes int) (profiler.ProgramProfile, *interp.Result, error) {
+	overall := p.Trace.Start("profile")
+	sp := p.Trace.Start("profile.batch")
+	profs := make([]profiler.ProgramProfile, len(seeds))
+	errs := make([]error, len(seeds))
+	lastIdx := len(seeds) - 1
+	var last *interp.Result
+	sink := func(idx int, seed uint64, run *interp.Result, err error) bool {
+		if err != nil {
+			errs[idx] = err
+			return false
+		}
+		rsp := p.Trace.Start("profile.recover")
+		profs[idx], errs[idx] = plans.Profile(run)
+		rsp.End()
+		if idx == lastIdx && errs[idx] == nil {
+			// Exactly one lane owns the last index; the write is published
+			// to this goroutine by RunBatch's completion barrier.
+			last = run
+			return true
+		}
+		return false
+	}
+	stats, err := prog.RunBatch(opts, seeds, lanes, sink)
+	sp.End(obs.M("seeds", float64(stats.Seeds)), obs.M("lanes", float64(stats.Lanes)),
+		obs.M("steps", float64(stats.Steps)), obs.M("exec_ms", float64(stats.ExecNanos)/1e6))
+	overall.End(obs.M("seeds", float64(len(seeds))), obs.M("steps", float64(stats.Steps)))
+	if p.Trace != nil {
+		p.Trace.SetMetric("profile", "engine_vm", 1)
+		p.Trace.SetMetric("profile", "workers", float64(stats.Lanes))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	acc := make(profiler.ProgramProfile)
+	for i := range seeds {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
 		for name, totals := range profs[i] {
 			if acc[name] == nil {
 				acc[name] = make(freq.Totals)

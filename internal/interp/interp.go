@@ -20,6 +20,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/cost"
@@ -110,7 +111,8 @@ type Engine int
 
 const (
 	// EngineDefault defers the choice: the REPRO_ENGINE environment
-	// variable when set ("tree" or "vm"), otherwise the tree-walker.
+	// variable when set ("tree", "vm" or "vm-batch"), otherwise the
+	// tree-walker.
 	EngineDefault Engine = iota
 	// EngineTree is the reference tree-walking interpreter in this package.
 	EngineTree
@@ -118,6 +120,11 @@ const (
 	// bytecode compiler cannot handle, and runs that set OnNode, silently
 	// fall back to the tree-walker with identical results.
 	EngineVM
+	// EngineVMBatch is the bytecode VM's batched multi-seed runner: whole
+	// seed batches execute through one compiled instruction stream on
+	// per-lane reusable frames (see RunBatch). Single runs behave exactly
+	// like EngineVM.
+	EngineVMBatch
 )
 
 func (e Engine) String() string {
@@ -126,9 +133,14 @@ func (e Engine) String() string {
 		return "tree"
 	case EngineVM:
 		return "vm"
+	case EngineVMBatch:
+		return "vm-batch"
 	}
 	return "default"
 }
+
+// VMBased reports whether the engine executes on the bytecode VM.
+func (e Engine) VMBased() bool { return e == EngineVM || e == EngineVMBatch }
 
 // ParseEngine parses an -engine flag value.
 func ParseEngine(s string) (Engine, error) {
@@ -139,8 +151,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineTree, nil
 	case "vm":
 		return EngineVM, nil
+	case "vm-batch":
+		return EngineVMBatch, nil
 	}
-	return EngineDefault, fmt.Errorf("unknown engine %q (want tree or vm)", s)
+	return EngineDefault, fmt.Errorf("unknown engine %q (want tree, vm or vm-batch)", s)
 }
 
 // vmRun is installed by internal/vm's init; nil until that package is
@@ -151,6 +165,65 @@ var vmRun func(*lower.Result, Options) (*Result, error)
 // RegisterVMEngine installs the bytecode engine entry point. Called from
 // internal/vm's init; not for use by other packages.
 func RegisterVMEngine(run func(*lower.Result, Options) (*Result, error)) { vmRun = run }
+
+// BatchSink receives one per-seed outcome from RunBatch: idx is the seed's
+// position in the batch, res/err mirror Run's return values. The callee owns
+// res only for the duration of the call — batch lanes reuse result storage
+// across seeds — unless it returns retain=true, which transfers ownership
+// and makes the lane rebuild fresh storage for its next seed. When the
+// batch runs on more than one lane, the sink may be called concurrently
+// from different lanes; calls never share a res or an idx.
+type BatchSink func(idx int, seed uint64, res *Result, err error) (retain bool)
+
+// BatchStats summarizes one RunBatch call.
+type BatchStats struct {
+	// Seeds is the batch size, Lanes the number of lanes actually used.
+	Seeds, Lanes int
+	// Steps is the total node executions across all seeds.
+	Steps int64
+	// ExecNanos is the summed per-lane execution time, sink time excluded —
+	// busy nanoseconds, not wall time, when Lanes > 1.
+	ExecNanos int64
+}
+
+// vmRunBatch is installed by internal/vm's init alongside vmRun.
+var vmRunBatch func(*lower.Result, Options, []uint64, int, BatchSink) (BatchStats, error)
+
+// RegisterVMBatchEngine installs the batched bytecode engine entry point.
+// Called from internal/vm's init; not for use by other packages.
+func RegisterVMBatchEngine(run func(*lower.Result, Options, []uint64, int, BatchSink) (BatchStats, error)) {
+	vmRunBatch = run
+}
+
+// RunBatch executes one seed batch and reports every per-seed outcome
+// through sink, in seed order unless the batch engine shards the batch
+// across lanes. Under EngineVMBatch (and no OnNode hook) the whole batch
+// runs through the VM's batch runner on up to lanes lanes (≤ 0 means
+// GOMAXPROCS); any other engine falls back to a sequential per-seed loop
+// with identical sink observations. Each seed's res/err are bit-identical
+// to Run with the same Options and that seed.
+func RunBatch(res *lower.Result, opt Options, seeds []uint64, lanes int, sink BatchSink) (BatchStats, error) {
+	if EffectiveEngine(opt.Engine) == EngineVMBatch && opt.OnNode == nil && vmRunBatch != nil {
+		return vmRunBatch(res, opt, seeds, lanes, sink)
+	}
+	stats := BatchStats{Seeds: len(seeds), Lanes: 1}
+	o := opt
+	for i, s := range seeds {
+		o.Seed = s
+		t0 := time.Now()
+		r, err := Run(res, o)
+		stats.ExecNanos += int64(time.Since(t0))
+		if r != nil {
+			stats.Steps += r.Steps
+		}
+		if sink != nil {
+			// Fallback runs allocate a fresh Result per seed, so retain is
+			// a no-op here.
+			sink(i, s, r, err)
+		}
+	}
+	return stats, nil
+}
 
 var (
 	envEngineOnce sync.Once
@@ -300,7 +373,7 @@ func Run(res *lower.Result, opt Options) (*Result, error) {
 	// The VM supports Out and OnNodeCost but not OnNode (whose OpDoInit
 	// trip argument needs the tree-walker's evaluation order); runs that
 	// need it stay on the reference engine.
-	if EffectiveEngine(opt.Engine) == EngineVM && opt.OnNode == nil && vmRun != nil {
+	if EffectiveEngine(opt.Engine).VMBased() && opt.OnNode == nil && vmRun != nil {
 		return vmRun(res, opt)
 	}
 	m := &machine{

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -379,14 +380,16 @@ func checkMetaSplitBlock(ctx *evalCtx) error {
 // checkEngineEquiv is the differential engine check: every profiled seed
 // is re-run on the engine the case did NOT use, and the two results must
 // be bit-identical — same step count, exact float-equal cost, same
-// node/edge counters and activations. A compile bailout on a generated
-// program is itself a failure: progen emits only the supported subset.
+// node/edge counters and activations. The same seeds are then re-run once
+// more as a single lane-sharded batch through the VM's batch runner, which
+// must also match seed for seed. A compile bailout on a generated program
+// is itself a failure: progen emits only the supported subset.
 func checkEngineEquiv(ctx *evalCtx) error {
 	prog, err := vm.Compile(ctx.res)
 	if err != nil {
 		return fmt.Errorf("bytecode compile bailed on a generated program: %w", err)
 	}
-	vmRef := interp.EffectiveEngine(ctx.c.Engine) == interp.EngineVM
+	vmRef := interp.EffectiveEngine(ctx.c.Engine).VMBased()
 	for i, seed := range ctx.c.ProfileSeeds {
 		m := ctx.model
 		opt := interp.Options{Seed: seed, Model: &m, MaxSteps: ctx.c.MaxSteps}
@@ -405,7 +408,33 @@ func checkEngineEquiv(ctx *evalCtx) error {
 			return fmt.Errorf("seed %d: engines disagree: %s", seed, d)
 		}
 	}
-	return nil
+	// Batch-engine sample: two lanes exercise both the arena-backed frame
+	// reuse and the lane sharding; the sink diffs each seed in place
+	// against the case's profiled run.
+	var (
+		mu       sync.Mutex
+		batchErr error
+	)
+	m := ctx.model
+	_, err = prog.RunBatch(interp.Options{Model: &m, MaxSteps: ctx.c.MaxSteps},
+		ctx.c.ProfileSeeds, 2,
+		func(idx int, seed uint64, r *interp.Result, rerr error) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if batchErr != nil {
+				return false
+			}
+			if rerr != nil {
+				batchErr = fmt.Errorf("seed %d: batch-engine run failed: %w", seed, rerr)
+			} else if d := diffRunResults(ctx.runs[idx], r); d != "" {
+				batchErr = fmt.Errorf("seed %d: batch engine disagrees: %s", seed, d)
+			}
+			return false
+		})
+	if err != nil {
+		return err
+	}
+	return batchErr
 }
 
 // diffRunResults describes the first difference between two runs, or ""

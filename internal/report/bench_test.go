@@ -49,6 +49,44 @@ func TestDiffBench(t *testing.T) {
 	}
 }
 
+func TestDiffBenchLowerBetter(t *testing.T) {
+	prev := &BenchSnapshot{Schema: BenchSchema, Entries: []BenchEntry{
+		{Name: "small-vm", Metrics: map[string]float64{"alloc_bytes_per_seed": 1000, "profile_batch_nodes_per_sec": 5000}},
+		{Name: "ok", Metrics: map[string]float64{"alloc_bytes_per_seed": 1000}},
+	}}
+	cur := &BenchSnapshot{Schema: BenchSchema, Entries: []BenchEntry{
+		// alloc grew 60% (regression) and the batch rate halved (regression).
+		{Name: "small-vm", Metrics: map[string]float64{"alloc_bytes_per_seed": 1600, "profile_batch_nodes_per_sec": 2500}},
+		// 20% growth stays within a 0.25 threshold.
+		{Name: "ok", Metrics: map[string]float64{"alloc_bytes_per_seed": 1200}},
+	}}
+	regs := DiffBench(prev, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	var alloc, rate *BenchRegression
+	for i := range regs {
+		switch regs[i].Metric {
+		case "alloc_bytes_per_seed":
+			alloc = &regs[i]
+		case "profile_batch_nodes_per_sec":
+			rate = &regs[i]
+		}
+	}
+	if alloc == nil || !alloc.LowerBetter || alloc.Entry != "small-vm" {
+		t.Fatalf("alloc regression = %+v", alloc)
+	}
+	if got := alloc.Drop(); got < 0.59 || got > 0.61 {
+		t.Errorf("alloc Drop() = %v, want ~0.6", got)
+	}
+	if s := alloc.String(); !strings.Contains(s, "lower is better") || !strings.Contains(s, "+60.0%") {
+		t.Errorf("alloc String() = %q", s)
+	}
+	if rate == nil || rate.LowerBetter {
+		t.Fatalf("batch rate regression = %+v", rate)
+	}
+}
+
 func TestBenchSnapshotRoundTrip(t *testing.T) {
 	prev, _ := benchPair()
 	prev.Date = "2026-08-06"

@@ -8,6 +8,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/lower"
+	"repro/internal/obs"
 )
 
 // BailoutError reports a lowered construct the bytecode compiler does not
@@ -24,10 +25,38 @@ func (e *BailoutError) Error() string {
 	return fmt.Sprintf("vm: %s: cannot compile %s: %s", e.Proc, e.Construct, e.Reason)
 }
 
-// Compile translates every procedure of a lowered program into bytecode.
-// The returned Program is immutable and safe for concurrent Run calls —
-// compile once, run every seed.
+// CompileOptions tune the bytecode compiler.
+type CompileOptions struct {
+	// NoFuse disables the superinstruction peephole pass (fuse.go). The
+	// differential suite compiles both ways to prove fusion changes
+	// nothing observable; production callers leave it false.
+	NoFuse bool
+}
+
+// Compile translates every procedure of a lowered program into bytecode
+// and runs the superinstruction fusion pass over each. The returned
+// Program is immutable and safe for concurrent Run calls — compile once,
+// run every seed.
 func Compile(res *lower.Result) (*Program, error) {
+	return CompileOpts(res, CompileOptions{})
+}
+
+// CompileOpts is Compile with explicit options. A bailout (the program
+// uses a construct outside the compilable subset) increments the
+// "vm.compile_bailouts" metric in obs.Default, so silent tree-walker
+// fallbacks show up in perf data instead of hiding behind identical
+// results.
+func CompileOpts(res *lower.Result, opt CompileOptions) (*Program, error) {
+	prog, err := compileAll(res, opt)
+	if err != nil {
+		obs.Default.Add("vm.compile_bailouts", 1)
+		return nil, err
+	}
+	obs.Default.Add("vm.superinstructions", int64(prog.FusedInstructions()))
+	return prog, nil
+}
+
+func compileAll(res *lower.Result, opt CompileOptions) (*Program, error) {
 	if res.Main == nil {
 		return nil, fmt.Errorf("vm: program has no main unit")
 	}
@@ -44,6 +73,9 @@ func Compile(res *lower.Result) (*Program, error) {
 		pc, err := compileProc(res, res.Procs[name], p.byName, false)
 		if err != nil {
 			return nil, err
+		}
+		if !opt.NoFuse {
+			pc.fuse()
 		}
 		p.procs = append(p.procs, pc)
 	}
@@ -764,5 +796,16 @@ func init() {
 			return interp.Run(res, opt)
 		}
 		return p.Run(opt)
+	})
+	interp.RegisterVMBatchEngine(func(res *lower.Result, opt interp.Options, seeds []uint64,
+		lanes int, sink interp.BatchSink) (interp.BatchStats, error) {
+		p, err := Compile(res)
+		if err != nil {
+			// Compile bailout: the per-seed tree fallback loop makes the
+			// identical sink observations, one fresh Result per seed.
+			opt.Engine = interp.EngineTree
+			return interp.RunBatch(res, opt, seeds, lanes, sink)
+		}
+		return p.RunBatch(opt, seeds, lanes, sink)
 	})
 }

@@ -71,12 +71,56 @@ const (
 	opPrintFlush        // write the accumulated line
 	opEnd               // return from the procedure
 	opStop              // STOP: unwind every frame
+
+	// Superinstructions: fused forms of the hot pairs/triples above,
+	// installed by the post-compile peephole pass in fuse.go. Each one
+	// replaces two or three dispatches (and their cost/counter bookkeeping
+	// preambles) with a single switch arm; semantics are exactly the
+	// concatenation of the constituent opcodes.
+	opNodeJmp       // opNode(f) + opJmp: a=target, b=flat edge
+	opNodeDoTest    // opNode(f) + opDoTest: a/b targets, c/d flat edges, e=trip slot
+	opNodeDoIncrJmp // opNode(f) + stepless opDoIncr(a=var, b=flags, c=trip) + opJmp(d=target, e=flat)
+	opDoIncrJmp     // opDoIncr(a=var, b=flags, c=trip) + opJmp(d=target, e=flat)
+	opNodeConst     // opNode(f) + opConst(a)
+	opNodeLocal     // opNode(f) + opLocal(a)
+	opNodeRef       // opNode(f) + opRef(a)
+	opLocalConstBin // opLocal(a) + opConst(b) + opBin(c)
+	opLocalLocalBin // opLocal(a) + opLocal(b) + opBin(c)
+	opStoreLocalJmp // opStoreLocal(a) + opJmp(b=target, c=flat)
+	opStoreRefJmp   // opStoreRef(a) + opJmp(b=target, c=flat)
+
+	// Round two, driven by the dynamic mix of the bench corpus: the inner
+	// loop of a typical generated program is DoTest, Node, Ref, Ref, Const,
+	// Bin, Bin, StoreRef, Jmp, Node, DoIncr, Jmp — these forms collapse the
+	// remaining expression/store/back-edge dispatches.
+	opRefConstBin    // opRef(a) + opConst(b) + opBin(c)
+	opConstBin       // opConst(a) + opBin(b): pop l, push l op consts[a]
+	opBinStoreRefJmp // opBin(a) + opStoreRef(b) + opJmp(c=target, d=flat)
+	opBinBranch      // opBin(e) + opBranch(a/b targets, c/d flat edges)
+	opDoInitFinJmp   // opDoInitFin(a=var, b=isRef, c=trip) + opJmp(d=target, e=flat)
+
+	// Whole-statement forms: an accumulation statement like S = S + X*C
+	// opens with Node, Ref, [Ref,] Const, Bin — common enough in generated
+	// programs to deserve single-dispatch opcodes.
+	opNodeRefConstBin    // opNode(f) + opRef(a) + opConst(b) + opBin(c)
+	opNodeRefRefConstBin // opNode(f) + opRef(a), then opRef(b) + opConst(c) + opBin(d)
+
+	// Round three, aimed at the shapes the dynamic mix still dispatches one
+	// by one: the DO-loop header (Node, Const lo, Const hi, Const step,
+	// Trip), call-argument staging, and the two-instruction procedure
+	// prologue.
+	opNodeConstConst // opNode(f) + opConst(a) + opConst(b)
+	opConstTrip      // opConst(a=step const) + opTrip(b=line)
+	opArgLocal2      // opArgLocal(a) + opArgLocal(b)
+	opNodeArgLocal2  // opNode(f) + opArgLocal(a) + opArgLocal(b)
+	opActivateGoto   // opActivate + opGoto(a)
 )
 
-// instr is one fixed-width instruction. Field meaning depends on op.
+// instr is one fixed-width instruction. Field meaning depends on op; f is
+// only used by superinstructions (the fused opNode's node ID).
 type instr struct {
-	op            opcode
-	a, b, c, d, e int32
+	op               opcode
+	a, b, c, d, e, f int32
 }
 
 // arm is one precomputed multi-way branch target.
@@ -120,7 +164,9 @@ type procCode struct {
 	meta        []arrayMeta
 	entry       int32
 	maxStack    int
-	pool        sync.Pool
+	// fused counts the instructions eliminated by superinstruction fusion.
+	fused int
+	pool  sync.Pool
 }
 
 // frame is one pooled activation record.
@@ -174,6 +220,26 @@ type Program struct {
 	costCache map[cost.Model][][]float64
 }
 
+// NumInstructions returns the total instruction count across procedures
+// (after fusion, when it ran).
+func (p *Program) NumInstructions() int {
+	n := 0
+	for _, pc := range p.procs {
+		n += len(pc.ins)
+	}
+	return n
+}
+
+// FusedInstructions returns how many instructions the superinstruction pass
+// eliminated across the program (0 when compiled with NoFuse).
+func (p *Program) FusedInstructions() int {
+	n := 0
+	for _, pc := range p.procs {
+		n += pc.fused
+	}
+	return n
+}
+
 // costTables returns the per-proc, per-node cost table for m, building it
 // on first use.
 func (p *Program) costTables(m *cost.Model) [][]float64 {
@@ -205,6 +271,19 @@ type argSlot struct {
 	arr  *interp.Array
 }
 
+// callSite is one suspended caller activation on exec's explicit call
+// stack. Calls are handled inside the dispatch loop — push the caller,
+// switch the register-cached locals to the callee — instead of recursing
+// through runProc, so an activation costs a frame bind plus a register
+// reload rather than a Go call, a full preamble, and a flush/reload of the
+// step and cost accumulators.
+type callSite struct {
+	pc *procCode
+	f  *frame
+	pi int32
+	ip int32
+}
+
 // errStop unwinds all frames on STOP, like the tree-walker's sentinel.
 var errStop = errors.New("stop")
 
@@ -218,11 +297,15 @@ type runState struct {
 	costs  [][]float64 // nil when Options.Model is nil
 	stack  []interp.Value
 	args   []argSlot
+	calls  []callSite
 	parts  []any
 	rng    uint64
 	steps  int64
 	max    int64
 	depth  int
+	// lane, when non-nil, supplies frames from the batch lane's arena
+	// instead of the shared per-procedure sync.Pools (see batch.go).
+	lane *laneArena
 }
 
 // Run executes the compiled program once under opt. Results are
@@ -285,7 +368,12 @@ func (rs *runState) runProc(pi int, args []argSlot, callLine int) error {
 		rs.depth--
 		return &interp.RuntimeError{Unit: pc.name, Line: 0, Msg: "call stack overflow (runaway recursion?)"}
 	}
-	f := pc.getFrame()
+	var f *frame
+	if rs.lane != nil {
+		f = rs.lane.getFrame(pi, pc)
+	} else {
+		f = pc.getFrame()
+	}
 	f.callLine = callLine
 	for i, pb := range pc.params {
 		if pb.isArray {
@@ -295,7 +383,11 @@ func (rs *runState) runProc(pi int, args []argSlot, callLine int) error {
 		}
 	}
 	err := rs.exec(pc, f, pi)
-	pc.putFrame(f)
+	if rs.lane != nil {
+		rs.lane.putFrame(pi, f)
+	} else {
+		pc.putFrame(f)
+	}
 	rs.depth--
 	return err
 }

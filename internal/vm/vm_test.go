@@ -254,6 +254,335 @@ func TestCompileReuse(t *testing.T) {
 	}
 }
 
+// batchAll runs a whole seed batch with a retaining sink and returns the
+// per-seed results and errors, indexed like seeds.
+func batchAll(t *testing.T, prog *Program, opt interp.Options, seeds []uint64, lanes int) ([]*interp.Result, []error) {
+	t.Helper()
+	results := make([]*interp.Result, len(seeds))
+	errs := make([]error, len(seeds))
+	stats, err := prog.RunBatch(opt, seeds, lanes, func(idx int, seed uint64, res *interp.Result, err error) bool {
+		if seeds[idx] != seed {
+			t.Errorf("sink idx %d: seed %d, want %d", idx, seed, seeds[idx])
+		}
+		results[idx] = res
+		errs[idx] = err
+		return true
+	})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if stats.Seeds != len(seeds) {
+		t.Fatalf("stats.Seeds = %d, want %d", stats.Seeds, len(seeds))
+	}
+	return results, errs
+}
+
+// TestDifferentialBatch is the third axis of the differential suite: the
+// same programs and seeds through tree, per-seed vm and vm-batch at lane
+// counts 1, 3 and 16, all required bit-identical.
+func TestDifferentialBatch(t *testing.T) {
+	t.Parallel()
+	families := []struct {
+		name string
+		opts progen.Opts
+	}{
+		{"branchy", progen.Opts{}},
+		{"branch-free", progen.Opts{BranchFree: true}},
+		{"det-loop", progen.Opts{BranchFree: true, ConstLoops: true}},
+	}
+	model := cost.Optimized
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 20; seed++ {
+				src := progen.GenerateOpts(seed, 2+int(seed%10), 1+int(seed%4), fam.opts)
+				res := lowerSrc(t, src)
+				prog, err := Compile(res)
+				if err != nil {
+					t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+				}
+				runSeeds := make([]uint64, 16)
+				for k := range runSeeds {
+					runSeeds[k] = seed*77 + uint64(k)*13
+				}
+				m := model
+				opt := interp.Options{MaxSteps: 5_000_000, Model: &m}
+				// Reference: tree-walker, one run per seed.
+				want := make([]*interp.Result, len(runSeeds))
+				wantErr := make([]error, len(runSeeds))
+				for k, rs := range runSeeds {
+					o := opt
+					o.Seed = rs
+					o.Engine = interp.EngineTree
+					want[k], wantErr[k] = interp.Run(res, o)
+				}
+				for _, lanes := range []int{1, 3, 16} {
+					got, errs := batchAll(t, prog, opt, runSeeds, lanes)
+					for k := range runSeeds {
+						if (wantErr[k] == nil) != (errs[k] == nil) ||
+							(wantErr[k] != nil && wantErr[k].Error() != errs[k].Error()) {
+							t.Fatalf("seed %d lanes %d run %d: err tree=%v batch=%v\n%s",
+								seed, lanes, runSeeds[k], wantErr[k], errs[k], src)
+						}
+						if wantErr[k] != nil {
+							continue
+						}
+						if d := diffResults(want[k], got[k]); d != "" {
+							t.Fatalf("seed %d lanes %d run %d: %s\n%s", seed, lanes, runSeeds[k], d, src)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchErrorMidBatch builds a batch where some seeds hit a runtime
+// error: error seeds must report the tree-walker's exact error through the
+// sink, the batch must keep going, and later seeds on the same lane must be
+// unaffected by the mid-batch unwinding.
+func TestBatchErrorMidBatch(t *testing.T) {
+	t.Parallel()
+	// IRAND(3) draws 1, 2 or 3 per seed; the division errors exactly when
+	// it draws 1, so the batch mixes failing and succeeding seeds.
+	src := `      PROGRAM P
+      INTEGER I, J, K, S
+      S = 0
+      DO 10 K = 1, 4
+      I = IRAND(3)
+      J = 6 / (I - 1)
+      S = S + J
+   10 CONTINUE
+      PRINT *, S
+      END
+`
+	res := lowerSrc(t, src)
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	seeds := make([]uint64, 40)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	m := cost.Optimized
+	opt := interp.Options{MaxSteps: 100000, Model: &m}
+	want := make([]*interp.Result, len(seeds))
+	wantErr := make([]error, len(seeds))
+	failing := 0
+	for i, s := range seeds {
+		o := opt
+		o.Seed = s
+		o.Engine = interp.EngineTree
+		want[i], wantErr[i] = interp.Run(res, o)
+		if wantErr[i] != nil {
+			failing++
+		}
+	}
+	if failing == 0 || failing == len(seeds) {
+		t.Fatalf("bad corpus: %d/%d failing seeds, need a mix", failing, len(seeds))
+	}
+	for _, lanes := range []int{1, 3, 16} {
+		got, errs := batchAll(t, prog, opt, seeds, lanes)
+		for i := range seeds {
+			if (wantErr[i] == nil) != (errs[i] == nil) ||
+				(wantErr[i] != nil && wantErr[i].Error() != errs[i].Error()) {
+				t.Fatalf("lanes %d seed %d: err tree=%v batch=%v", lanes, seeds[i], wantErr[i], errs[i])
+			}
+			if wantErr[i] != nil {
+				continue
+			}
+			if d := diffResults(want[i], got[i]); d != "" {
+				t.Fatalf("lanes %d seed %d: %s", lanes, seeds[i], d)
+			}
+		}
+	}
+}
+
+// TestBatchPrintOrdering checks that a batch carrying an output writer is
+// forced onto one lane and produces exactly the sequential per-seed output.
+func TestBatchPrintOrdering(t *testing.T) {
+	t.Parallel()
+	src := `      PROGRAM P
+      INTEGER I
+      I = IRAND(100)
+      PRINT *, 'SEED DREW', I
+      END
+`
+	res := lowerSrc(t, src)
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	seeds := []uint64{5, 9, 2, 14, 3, 3, 11}
+	var want bytes.Buffer
+	for _, s := range seeds {
+		if _, err := interp.Run(res, interp.Options{Seed: s, Out: &want, Engine: interp.EngineTree}); err != nil {
+			t.Fatalf("tree seed %d: %v", s, err)
+		}
+	}
+	var got bytes.Buffer
+	stats, err := prog.RunBatch(interp.Options{Out: &got}, seeds, 16, nil)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if stats.Lanes != 1 {
+		t.Fatalf("Out set: lanes = %d, want 1", stats.Lanes)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("batch output differs\nbatch: %q\ntree:  %q", got.String(), want.String())
+	}
+}
+
+// TestBatchArenaReuse drives one lane directly through seeds with different
+// behaviors and re-runs the first seed last: identical results prove the
+// arena hands back fully zeroed frames (locals re-seeded, trips cleared,
+// refs/arrays dropped) between seeds.
+func TestBatchArenaReuse(t *testing.T) {
+	t.Parallel()
+	src := progen.Generate(7, 12, 3)
+	res := lowerSrc(t, src)
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := cost.Optimized
+	ls := newLaneState(prog, interp.Options{MaxSteps: 2_000_000, Model: &m})
+	first, err := ls.runSeed(3)
+	if err != nil {
+		t.Fatalf("seed 3: %v", err)
+	}
+	snap := cloneResult(first)
+	for _, s := range []uint64{8, 1, 99} {
+		if _, err := ls.runSeed(s); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+	}
+	again, err := ls.runSeed(3)
+	if err != nil {
+		t.Fatalf("seed 3 again: %v", err)
+	}
+	if d := diffResults(snap, again); d != "" {
+		t.Fatalf("lane state leaked across seeds: %s", d)
+	}
+	// The lane reuses its result storage between seeds unless retained.
+	if first != again {
+		t.Fatal("lane rebuilt result storage without a retain")
+	}
+}
+
+// cloneResult deep-copies a Result so it survives lane storage reuse.
+func cloneResult(r *interp.Result) *interp.Result {
+	out := &interp.Result{Steps: r.Steps, Cost: r.Cost, Stopped: r.Stopped,
+		ByProc: make(map[string]*interp.Counts, len(r.ByProc))}
+	for name, ct := range r.ByProc {
+		cc := &interp.Counts{
+			Node:        append([]int64(nil), ct.Node...),
+			Edge:        make([][]int64, len(ct.Edge)),
+			Activations: ct.Activations,
+		}
+		for i := range ct.Edge {
+			cc.Edge[i] = append([]int64(nil), ct.Edge[i]...)
+		}
+		out.ByProc[name] = cc
+	}
+	return out
+}
+
+// TestBatchRetain checks the ownership contract: a retained Result must
+// stay intact while the lane keeps running, and an unretained one is
+// recycled storage.
+func TestBatchRetain(t *testing.T) {
+	t.Parallel()
+	src := progen.Generate(13, 10, 2)
+	res := lowerSrc(t, src)
+	prog, err := Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := cost.Optimized
+	opt := interp.Options{MaxSteps: 2_000_000, Model: &m}
+	seeds := []uint64{4, 7, 19, 23, 42}
+	retained := make([]*interp.Result, len(seeds))
+	if _, err := prog.RunBatch(opt, seeds, 1, func(idx int, seed uint64, r *interp.Result, err error) bool {
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		retained[idx] = r
+		return true
+	}); err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	for i, s := range seeds {
+		for j := i + 1; j < len(seeds); j++ {
+			if retained[i] == retained[j] {
+				t.Fatalf("retained results for seeds %d and %d alias", s, seeds[j])
+			}
+		}
+		single, err := prog.Run(interp.Options{Seed: s, MaxSteps: 2_000_000, Model: &m})
+		if err != nil {
+			t.Fatalf("single seed %d: %v", s, err)
+		}
+		if d := diffResults(single, retained[i]); d != "" {
+			t.Fatalf("seed %d: retained result corrupted: %s", s, d)
+		}
+	}
+}
+
+// TestFusionDifferential compiles the same programs with and without the
+// superinstruction pass and requires bit-identical results, while checking
+// the pass actually fires on loopy programs.
+func TestFusionDifferential(t *testing.T) {
+	t.Parallel()
+	m := cost.Optimized
+	anyFused := false
+	for seed := uint64(1); seed <= 40; seed++ {
+		src := progen.GenerateOpts(seed, 4+int(seed%8), 1+int(seed%3), progen.Opts{ConstLoops: seed%2 == 0})
+		res := lowerSrc(t, src)
+		fusedProg, err := Compile(res)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		plainProg, err := CompileOpts(res, CompileOptions{NoFuse: true})
+		if err != nil {
+			t.Fatalf("seed %d: compile nofuse: %v", seed, err)
+		}
+		if plainProg.FusedInstructions() != 0 {
+			t.Fatalf("seed %d: NoFuse program reports %d fused instructions", seed, plainProg.FusedInstructions())
+		}
+		if fusedProg.FusedInstructions() > 0 {
+			anyFused = true
+		}
+		if fusedProg.NumInstructions()+fusedProg.FusedInstructions() != plainProg.NumInstructions() {
+			t.Fatalf("seed %d: instruction accounting: fused %d + eliminated %d != plain %d",
+				seed, fusedProg.NumInstructions(), fusedProg.FusedInstructions(), plainProg.NumInstructions())
+		}
+		for _, runSeed := range []uint64{seed, seed * 31} {
+			var fout, pout bytes.Buffer
+			mf, mp := m, m
+			fr, ferr := fusedProg.Run(interp.Options{Seed: runSeed, MaxSteps: 2_000_000, Model: &mf, Out: &fout})
+			pr, perr := plainProg.Run(interp.Options{Seed: runSeed, MaxSteps: 2_000_000, Model: &mp, Out: &pout})
+			if (ferr == nil) != (perr == nil) || (ferr != nil && ferr.Error() != perr.Error()) {
+				t.Fatalf("seed %d run %d: err fused=%v plain=%v\n%s", seed, runSeed, ferr, perr, src)
+			}
+			if ferr != nil {
+				continue
+			}
+			if d := diffResults(pr, fr); d != "" {
+				t.Fatalf("seed %d run %d: fused vs plain: %s\n%s", seed, runSeed, d, src)
+			}
+			if fout.String() != pout.String() {
+				t.Fatalf("seed %d run %d: PRINT differs\nfused: %q\nplain: %q", seed, runSeed, fout.String(), pout.String())
+			}
+		}
+	}
+	if !anyFused {
+		t.Fatal("superinstruction pass never fired on the progen corpus")
+	}
+}
+
 // TestCheckProc verifies the lint-mode compiler accepts every generated
 // program (the progen surface is fully compilable).
 func TestCheckProc(t *testing.T) {

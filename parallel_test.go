@@ -1,5 +1,6 @@
 // Parallel determinism: the analysis fan-out and the per-seed profiling
-// pool must produce bit-identical results for every worker count. The
+// pool must produce bit-identical results for every worker count and every
+// execution engine (tree, vm, and the lane-sharded vm-batch runner). The
 // merge step sums private per-seed profiles in seed order and every
 // per-procedure table is computed independently, so not a single float64
 // may differ — the comparisons below use ==, not a tolerance. Run with
@@ -25,18 +26,18 @@ func TestParallelDeterminism(t *testing.T) {
 		vari    map[string]float64            // proc -> VAR(START)
 		nodes   map[string][]float64          // proc -> per-node TIME
 	}
-	take := func(workers int) snapshot {
-		p, err := core.LoadWorkers(src, workers)
+	take := func(workers int, eng interp.Engine) snapshot {
+		p, err := core.LoadOpts(src, core.LoadOptions{Workers: workers, Engine: eng})
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d engine=%v: %v", workers, eng, err)
 		}
 		profile, _, err := p.Profile(interp.Options{}, seeds...)
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d engine=%v: %v", workers, eng, err)
 		}
 		est, err := p.EstimateWithProfile(profile, cost.Optimized, core.Options{})
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d engine=%v: %v", workers, eng, err)
 		}
 		s := snapshot{
 			profile: map[string]map[string]float64{},
@@ -63,9 +64,22 @@ func TestParallelDeterminism(t *testing.T) {
 		return s
 	}
 
-	base := take(1)
-	for _, w := range []int{4, 8} {
-		got := take(w)
+	base := take(1, interp.EngineTree)
+	combos := []struct {
+		workers int
+		eng     interp.Engine
+	}{
+		{4, interp.EngineTree},
+		{8, interp.EngineTree},
+		{1, interp.EngineVM},
+		{4, interp.EngineVM},
+		{1, interp.EngineVMBatch},
+		{4, interp.EngineVMBatch},
+		{8, interp.EngineVMBatch},
+	}
+	for _, combo := range combos {
+		w := combo.workers
+		got := take(w, combo.eng)
 		for name, totals := range base.profile {
 			other := got.profile[name]
 			if len(other) != len(totals) {
