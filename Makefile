@@ -1,12 +1,13 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test test-vm test-vm-batch bench bench-json oracle selfcheck fuzz-smoke
+.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, lint, build, race-enabled
 # tests (the engine differential sweeps included), plus the self-lint,
-# oracle sweep and a fuzzing smoke pass.
-check: fmt vet lint build test selfcheck oracle fuzz-smoke
+# oracle sweeps (both counter-placement strategies) and a fuzzing smoke
+# pass.
+check: fmt vet lint build test selfcheck oracle oracle-bl fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -39,6 +40,11 @@ test-vm:
 test-vm-batch:
 	REPRO_ENGINE=vm-batch $(GO) test -race ./...
 
+# test-bl re-runs the tier-1 suite with Ball–Larus path profiling as the
+# ambient counter-placement strategy.
+test-bl:
+	REPRO_PLAN=ball-larus $(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
@@ -59,8 +65,15 @@ selfcheck:
 oracle:
 	$(GO) run ./cmd/oracle -seeds 200 -quiet
 
+# oracle-bl repeats the sweep with Ball–Larus counter placement, so every
+# invariant (plan-equiv included) also holds under path profiling.
+oracle-bl:
+	$(GO) run ./cmd/oracle -seeds 200 -plan ball-larus -quiet
+
 # fuzz-smoke gives each native fuzz target a short budget; any panic or
 # invariant violation found becomes a crasher in testdata/fuzz.
 fuzz-smoke:
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz FuzzParsePipeline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz FuzzProgenOracle -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pathprof/ -run '^$$' -fuzz FuzzPathNumbering -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/vm/ -run '^$$' -fuzz FuzzFusePipeline -fuzztime $(FUZZTIME)

@@ -10,7 +10,7 @@
 //
 //	bench [-out BENCH_2026-08-06.json] [-diff auto|FILE] [-threshold 0.25]
 //	      [-reps 3] [-sizes small,medium,large] [-oracle-seeds 32] [-workers N]
-//	      [-engines tree,vm,vm-batch]
+//	      [-engines tree,vm,vm-batch] [-plan sarkar|ball-larus]
 //
 // Every scenario runs once per requested engine: tree-walker entries keep
 // the legacy names (small, medium, large, oracle-corpus) so historical
@@ -24,6 +24,12 @@
 // (nodes per second of whole-batch wall time, counter recovery included —
 // the end-to-end number for the batched path) and the lane count. Every entry records the maxprocs and worker
 // count it ran under, so lane/worker sweeps stay attributable.
+//
+// -plan switches the sweep's counter-placement strategy; ball-larus
+// entries get an extra "-bl" suffix. Independent of -plan, every snapshot
+// carries a "strategy-economy" entry recording both strategies'
+// counters_per_block and counter bumps per run on the medium program, so
+// the economy comparison is always in the artifact.
 //
 // -diff auto picks the lexically newest BENCH_*.json in the output
 // directory other than the output file itself (the date-stamped names sort
@@ -47,6 +53,8 @@ import (
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/oracle"
+	"repro/internal/pathprof"
+	"repro/internal/profiler"
 	"repro/internal/progen"
 	"repro/internal/report"
 	"repro/internal/vm"
@@ -73,7 +81,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per scenario; the best one is recorded")
 	oracleSeeds := flag.Int("oracle-seeds", 32, "oracle corpus size (0 = skip the corpus entry)")
 	sizes := flag.String("sizes", "small,medium,large", "comma-separated sweep sizes to run")
-	engines := flag.String("engines", "tree,vm,vm-batch", "comma-separated execution engines to sweep (tree, vm, vm-batch)")
+	engines := flag.String("engines", "tree,vm,vm-batch", "comma-separated execution engines to sweep: tree|vm|vm-batch")
+	plan := flag.String("plan", "", "counter-placement strategy for the sweep: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and profiling")
 	flag.Parse()
 
@@ -89,6 +98,10 @@ func main() {
 			fail(err)
 		}
 		engineList = append(engineList, eng)
+	}
+	strat, err := core.ParseStrategy(*plan)
+	if err != nil {
+		fail(err)
 	}
 
 	snap := &report.BenchSnapshot{
@@ -107,7 +120,7 @@ func main() {
 			if !wanted[sz.name] {
 				continue
 			}
-			entry, err := runPipelineScenario(entryName(sz.name, eng), sz.size, sz.depth, *workers, *reps, eng)
+			entry, err := runPipelineScenario(entryName(sz.name, eng, strat), sz.size, sz.depth, *workers, *reps, eng, strat)
 			if err != nil {
 				fail(err)
 			}
@@ -117,7 +130,7 @@ func main() {
 				entry.Metrics["profile_nodes_per_sec"], entry.Metrics["counters_per_block"])
 		}
 		if *oracleSeeds > 0 {
-			entry, err := runOracleScenario(entryName("oracle-corpus", eng), *oracleSeeds, *workers, eng)
+			entry, err := runOracleScenario(entryName("oracle-corpus", eng, strat), *oracleSeeds, *workers, eng, strat)
 			if err != nil {
 				fail(err)
 			}
@@ -126,6 +139,14 @@ func main() {
 				entry.Name, entry.WallMs, entry.Metrics["cases_per_sec"])
 		}
 	}
+	econ, err := runEconomyScenario(*workers)
+	if err != nil {
+		fail(err)
+	}
+	snap.Entries = append(snap.Entries, *econ)
+	fmt.Fprintf(os.Stderr, "bench: %-12s sarkar %.3f ctr/blk %.0f bumps/run | ball-larus %.3f ctr/blk %.0f bumps/run\n",
+		econ.Name, econ.Metrics["sarkar_counters_per_block"], econ.Metrics["sarkar_bumps_per_run"],
+		econ.Metrics["bl_counters_per_block"], econ.Metrics["bl_bumps_per_run"])
 	snap.Metrics = map[string]float64{"process.peak_rss_bytes": float64(obs.PeakRSSBytes())}
 
 	if err := snap.Save(*out); err != nil {
@@ -159,15 +180,19 @@ func main() {
 	os.Exit(1)
 }
 
-// entryName names a scenario for one engine: the tree-walker keeps the
-// legacy name so diffs against historical snapshots line up; the VM gets a
-// "-vm" suffix and the batched VM a "-vm-batch" suffix.
-func entryName(base string, eng interp.Engine) string {
+// entryName names a scenario for one engine and strategy: the tree-walker
+// under the Sarkar plan keeps the legacy name so diffs against historical
+// snapshots line up; the VM gets a "-vm" suffix, the batched VM a
+// "-vm-batch" suffix, and the Ball–Larus strategy an extra "-bl" suffix.
+func entryName(base string, eng interp.Engine, strat core.Strategy) string {
 	switch interp.EffectiveEngine(eng) {
 	case interp.EngineVM:
-		return base + "-vm"
+		base += "-vm"
 	case interp.EngineVMBatch:
-		return base + "-vm-batch"
+		base += "-vm-batch"
+	}
+	if core.EffectiveStrategy(strat) == core.StrategyBallLarus {
+		base += "-bl"
 	}
 	return base
 }
@@ -175,7 +200,7 @@ func entryName(base string, eng interp.Engine) string {
 // runPipelineScenario measures the full pipeline on one generated program,
 // keeping the fastest of reps repetitions (minimum-of-N rejects scheduler
 // noise; a regression must slow down every repetition to show).
-func runPipelineScenario(name string, size, depth, workers, reps int, eng interp.Engine) (*report.BenchEntry, error) {
+func runPipelineScenario(name string, size, depth, workers, reps int, eng interp.Engine, strat core.Strategy) (*report.BenchEntry, error) {
 	src := progen.Generate(7, size, depth)
 	best := &report.BenchEntry{Name: name}
 	// Best-of-N is applied per metric: wall time picks the recorded entry,
@@ -187,7 +212,7 @@ func runPipelineScenario(name string, size, depth, workers, reps int, eng interp
 		obs.Default.Reset()
 		tr := obs.NewTrace()
 		t0 := time.Now()
-		p, err := core.LoadOpts(src, core.LoadOptions{Workers: workers, Trace: tr, Engine: eng})
+		p, err := core.LoadOpts(src, core.LoadOptions{Workers: workers, Trace: tr, Engine: eng, Plan: strat})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -359,7 +384,7 @@ func measureAllocPerSeed(src string, eng interp.Engine) (float64, error) {
 
 // runOracleScenario sweeps a small oracle corpus once; corpus evaluation is
 // already a multi-case aggregate, so a single repetition is stable enough.
-func runOracleScenario(name string, seeds, workers int, eng interp.Engine) (*report.BenchEntry, error) {
+func runOracleScenario(name string, seeds, workers int, eng interp.Engine, strat core.Strategy) (*report.BenchEntry, error) {
 	t0 := time.Now()
 	rep, err := oracle.Run(oracle.Config{
 		Seeds:           seeds,
@@ -370,6 +395,7 @@ func runOracleScenario(name string, seeds, workers int, eng interp.Engine) (*rep
 		DetLoopEvery:    6,
 		Workers:         workers,
 		Engine:          eng,
+		Plan:            strat,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("oracle corpus: %w", err)
@@ -388,6 +414,64 @@ func runOracleScenario(name string, seeds, workers int, eng interp.Engine) (*rep
 			"workers":       float64(workers),
 		},
 	}, nil
+}
+
+// runEconomyScenario measures the counter economy of both placement
+// strategies on the medium sweep program: counters per basic block (the
+// static cost of carrying the instrumentation) and counter bumps per
+// profiled run (the dynamic cost, seed 1 under the tree-walker — bump
+// counts are engine-independent). The entry is recorded in every snapshot
+// regardless of -plan, so the strategy comparison is always in the
+// artifact.
+func runEconomyScenario(workers int) (*report.BenchEntry, error) {
+	t0 := time.Now()
+	src := progen.Generate(7, 80, 3)
+	p, err := core.LoadOpts(src, core.LoadOptions{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("strategy-economy: %w", err)
+	}
+	sk, err := profiler.BuildPlans(p.An)
+	if err != nil {
+		return nil, fmt.Errorf("strategy-economy: sarkar plans: %w", err)
+	}
+	bl, err := pathprof.BuildPlansWith(p.An, sk, pathprof.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("strategy-economy: path plans: %w", err)
+	}
+	var blocks, skCounters, blCounters float64
+	for name, a := range p.An.Procs {
+		blocks += float64(len(profiler.BlockLeaders(a.P.G)))
+		skCounters += float64(sk[name].NumCounters())
+		blCounters += float64(bl.ByProc[name].NumCounters())
+	}
+	run, err := interp.Run(p.Res, interp.Options{Seed: 1, PathSpec: bl.Spec(), Engine: interp.EngineTree})
+	if err != nil {
+		return nil, fmt.Errorf("strategy-economy: run: %w", err)
+	}
+	var skBumps float64
+	for name := range p.An.Procs {
+		ov := sk[name].MeasureOverhead(run, cost.Model{})
+		skBumps += float64(ov.Increments + ov.TripAdds)
+	}
+	econ := bl.MeasureEconomy(run)
+	entry := &report.BenchEntry{
+		Name:   "strategy-economy",
+		WallMs: float64(time.Since(t0)) / float64(time.Millisecond),
+		Metrics: map[string]float64{
+			"blocks":               blocks,
+			"sarkar_counters":      skCounters,
+			"bl_counters":          blCounters,
+			"sarkar_bumps_per_run": skBumps,
+			"bl_bumps_per_run":     float64(econ.Bumps),
+			"bl_counters_touched":  float64(econ.Touched),
+			"bl_fallback_procs":    float64(econ.FallbackProcs),
+		},
+	}
+	if blocks > 0 {
+		entry.Metrics["sarkar_counters_per_block"] = skCounters / blocks
+		entry.Metrics["bl_counters_per_block"] = blCounters / blocks
+	}
+	return entry, nil
 }
 
 // newestSnapshot returns the lexically newest BENCH_*.json sibling of out,

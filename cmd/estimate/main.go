@@ -6,7 +6,7 @@
 // Usage:
 //
 //	estimate -src prog.f -db profile.json [-model opt-on|opt-off|unit]
-//	         [-proc NAME] [-callvar] [-workers N]
+//	         [-proc NAME] [-plan sarkar|ball-larus] [-callvar] [-workers N]
 //
 // The same database can be estimated under different cost models — the
 // cross-architecture property Section 3 highlights ("the frequency
@@ -35,6 +35,7 @@ func main() {
 	callvar := flag.Bool("callvar", false, "propagate callee variance into call sites")
 	flat := flag.Bool("flat", false, "print a gprof-style flat profile instead of per-node tables")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
+	plan := flag.String("plan", "", "counter-placement strategy for pipeline profiling: sarkar|ball-larus (default: REPRO_PLAN, else sarkar); the database's stored profile is strategy-independent")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,7 +66,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr}
+	strat, err := core.ParseStrategy(*plan)
+	if err != nil {
+		fail(err)
+	}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Plan: strat}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}

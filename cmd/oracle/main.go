@@ -7,7 +7,8 @@
 //
 //	oracle -seeds 200 [-start 1] [-size 8] [-depth 3] [-runs 3]
 //	       [-workers N] [-invariants name,name,...] [-branchfree-every 4]
-//	       [-detloop-every 6] [-engine tree|vm|vm-batch] [-no-minimize] [-quiet]
+//	       [-detloop-every 6] [-engine tree|vm|vm-batch]
+//	       [-plan sarkar|ball-larus] [-no-minimize] [-quiet]
 //
 // The exit status is 0 when every invariant passes and 1 otherwise, so the
 // command doubles as a CI gate (`make oracle`). To reproduce a failure, re-run
@@ -21,6 +22,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/oracle"
@@ -37,7 +39,8 @@ func main() {
 	invariants := flag.String("invariants", "", "comma-separated invariant names (default: all)")
 	branchFreeEvery := flag.Int("branchfree-every", 4, "every k-th case uses the branch-free program family (0 = never)")
 	detLoopEvery := flag.Int("detloop-every", 6, "every k-th case uses the branch-free-plus-constant-trip-DO family (0 = never)")
-	engine := flag.String("engine", "", "execution engine for profiled runs: tree, vm or vm-batch (default: REPRO_ENGINE, else tree)")
+	engine := flag.String("engine", "", "execution engine for profiled runs: tree|vm|vm-batch (default: REPRO_ENGINE, else tree)")
+	plan := flag.String("plan", "", "counter-placement strategy for profiled runs: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	noMinimize := flag.Bool("no-minimize", false, "skip shrinking failing cases")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary on stderr")
 	diag := flag.Bool("diag", false, "emit the diagnostic document shared with ptranlint instead of the sweep report")
@@ -57,8 +60,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oracle:", err)
 		os.Exit(2)
 	}
+	strat, err := core.ParseStrategy(*plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(2)
+	}
 	cfg := oracle.Config{
 		Engine:          eng,
+		Plan:            strat,
 		SeedStart:       *start,
 		Seeds:           *seeds,
 		Size:            *size,

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	profrun -src prog.f -db profile.json [-seeds 1,2,3] [-workers N]
-//	        [-engine tree|vm|vm-batch] [-loopvar] [-check] [-print]
+//	        [-engine tree|vm|vm-batch] [-plan sarkar|ball-larus]
+//	        [-loopvar] [-check] [-print]
 package main
 
 import (
@@ -33,7 +34,8 @@ func main() {
 	loopvar := flag.Bool("loopvar", false, "also collect loop-frequency variance (extra instrumented run per seed)")
 	show := flag.Bool("print", false, "print program output (PRINT statements)")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
-	engine := flag.String("engine", "", "execution engine: tree, vm or vm-batch (default: REPRO_ENGINE, else tree)")
+	engine := flag.String("engine", "", "execution engine: tree|vm|vm-batch (default: REPRO_ENGINE, else tree)")
+	plan := flag.String("plan", "", "counter-placement strategy: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -57,7 +59,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Engine: eng}
+	strat, err := core.ParseStrategy(*plan)
+	if err != nil {
+		fail(err)
+	}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Engine: eng, Plan: strat}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}

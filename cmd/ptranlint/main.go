@@ -7,7 +7,13 @@
 // Usage:
 //
 //	ptranlint [-json] [-Werror] [-passes name,name] [-workers N] [-src] prog.f
+//	ptranlint -hot-paths K [-hot-seed N] prog.f
 //	ptranlint -list
+//
+// With -hot-paths K the program additionally runs once under Ball–Larus
+// path instrumentation and the report carries each procedure's top-K most
+// frequently completed acyclic paths (decoded node sequences with counts)
+// — as text lines, or as the hot_paths array of the JSON document.
 //
 // Exit status: 0 when no error-severity findings (warnings allowed unless
 // -Werror), 1 when findings fail the run, 2 on usage or internal errors.
@@ -25,8 +31,10 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/obs"
+	"repro/internal/pathprof"
 	"repro/internal/report"
 )
 
@@ -36,6 +44,8 @@ func main() {
 	werror := flag.Bool("Werror", false, "treat warnings as errors")
 	passes := flag.String("passes", "", "comma-separated pass names (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
+	hotPaths := flag.Int("hot-paths", 0, "report each procedure's top-K hot acyclic paths from one profiled run (0: off)")
+	hotSeed := flag.Uint64("hot-seed", 1, "random seed of the -hot-paths profiling run")
 	list := flag.Bool("list", false, "list registry passes and exit")
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -68,23 +78,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
 	}
-	diags, err := lint(string(text), opts, *workers, tr)
+	diags, pipe, err := lint(string(text), opts, *workers, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
+	}
+	var hot []report.HotPath
+	if *hotPaths > 0 && pipe != nil {
+		hps, err := pipe.HotPaths(interp.Options{Seed: *hotSeed, MaxSteps: 50_000_000}, *hotPaths)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptranlint: hot-paths:", err)
+			os.Exit(2)
+		}
+		hot = toReportHotPaths(hps)
 	}
 	if err := obsCLI.End("ptranlint"); err != nil {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
 	}
-	emit(*src, diags, *jsonOut, *werror)
+	emit(*src, diags, hot, *jsonOut, *werror)
+}
+
+// toReportHotPaths converts the pathprof rows into the shared report
+// schema (plain ints for the node ids).
+func toReportHotPaths(hps []pathprof.HotPath) []report.HotPath {
+	out := make([]report.HotPath, len(hps))
+	for i, h := range hps {
+		nodes := make([]int, len(h.Nodes))
+		for j, n := range h.Nodes {
+			nodes[j] = int(n)
+		}
+		out[i] = report.HotPath{
+			Proc: h.Proc, ID: h.ID, Count: h.Count,
+			Nodes: nodes, FromEntry: h.FromEntry, ToExit: h.ToExit,
+		}
+	}
+	return out
 }
 
 // lint runs the front end and the checker, turning syntax/semantic errors
-// into diagnostics rather than bare failures.
-func lint(text string, opts check.Options, workers int, tr *obs.Trace) ([]report.Diagnostic, error) {
+// into diagnostics rather than bare failures. The loaded pipeline is
+// returned for follow-on reports (nil when the front end failed).
+func lint(text string, opts check.Options, workers int, tr *obs.Trace) ([]report.Diagnostic, *core.Pipeline, error) {
 	collector := &check.Collector{Opts: opts}
-	_, err := core.LoadOpts(text, core.LoadOptions{
+	pipe, err := core.LoadOpts(text, core.LoadOptions{
 		Workers:   workers,
 		CheckProc: collector.CheckProc,
 		Trace:     tr,
@@ -98,26 +135,29 @@ func lint(text string, opts check.Options, workers int, tr *obs.Trace) ([]report
 				Line:     se.Line,
 				Col:      se.Col,
 				Message:  se.Msg,
-			}}, nil
+			}}, nil, nil
 		}
 		// Lowering/analysis errors have no richer structure than the text.
 		return []report.Diagnostic{{
 			Severity: report.Error,
 			Pass:     "parse",
 			Message:  err.Error(),
-		}}, nil
+		}}, nil, nil
 	}
-	return collector.Diagnostics()
+	diags, err := collector.Diagnostics()
+	return diags, pipe, err
 }
 
 // emit prints the findings and exits with the verdict.
-func emit(path string, diags []report.Diagnostic, jsonOut, werror bool) {
+func emit(path string, diags []report.Diagnostic, hot []report.HotPath, jsonOut, werror bool) {
 	fail := report.Count(diags, report.Error) > 0
 	if werror && report.Count(diags, report.Warning) > 0 {
 		fail = true
 	}
 	if jsonOut {
-		if err := report.NewDocument("ptranlint", diags).Encode(os.Stdout); err != nil {
+		doc := report.NewDocument("ptranlint", diags)
+		doc.HotPaths = hot
+		if err := doc.Encode(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ptranlint:", err)
 			os.Exit(2)
 		}
@@ -127,6 +167,9 @@ func emit(path string, diags []report.Diagnostic, jsonOut, werror bool) {
 		}
 		if len(diags) == 0 {
 			fmt.Printf("%s: clean (%d passes)\n", path, len(check.Registry()))
+		}
+		for _, h := range hot {
+			fmt.Printf("%s: hot: %s\n", path, h)
 		}
 	}
 	if fail {

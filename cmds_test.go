@@ -15,7 +15,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint", "bench"} {
+	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint", "bench", "oracle"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -244,6 +244,76 @@ func TestCommandLineTools(t *testing.T) {
 		msg = runCmd(t, filepath.Join(dir, "bench"), "-reps", "2", "-sizes", "small,medium", "-oracle-seeds", "0", "-out", out2, "-diff", out, "-threshold", "0.6")
 		if !strings.Contains(msg, "no regression") {
 			t.Errorf("self-diff must report no regression:\n%s", msg)
+		}
+	})
+
+	t.Run("hot-paths", func(t *testing.T) {
+		bin := filepath.Join(dir, "ptranlint")
+		out := runCmd(t, bin, "-hot-paths", "3", src)
+		if !strings.Contains(out, "hot:") || !strings.Contains(out, "path ") {
+			t.Errorf("text hot-path report missing:\n%s", out)
+		}
+		out = runCmd(t, bin, "-hot-paths", "3", "-json", src)
+		var doc struct {
+			HotPaths []struct {
+				Proc  string `json:"proc"`
+				Count int64  `json:"count"`
+				Nodes []int  `json:"nodes"`
+			} `json:"hot_paths"`
+		}
+		if err := json.Unmarshal([]byte(out), &doc); err != nil {
+			t.Fatalf("hot-paths JSON: %v\n%s", err, out)
+		}
+		if len(doc.HotPaths) == 0 {
+			t.Fatalf("no hot_paths in document:\n%s", out)
+		}
+		for _, h := range doc.HotPaths {
+			if h.Proc == "" || h.Count <= 0 || len(h.Nodes) == 0 {
+				t.Errorf("malformed hot path %+v", h)
+			}
+		}
+	})
+
+	// Every tool that takes -engine/-plan must reject unknown values with
+	// the named sentinel message, and their help text must agree on the
+	// accepted values — the flag set is one strategy surface, not N.
+	t.Run("flag-rejection", func(t *testing.T) {
+		engineTools := map[string][]string{
+			"profrun": {"-src", src, "-db", db, "-engine", "bogus"},
+			"oracle":  {"-seeds", "1", "-engine", "bogus"},
+			"bench":   {"-engines", "bogus"},
+		}
+		for name, args := range engineTools {
+			msg, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+			if err == nil {
+				t.Errorf("%s -engine bogus must fail:\n%s", name, msg)
+				continue
+			}
+			if !strings.Contains(string(msg), "unknown engine (want tree|vm|vm-batch)") {
+				t.Errorf("%s: engine error must name the accepted values:\n%s", name, msg)
+			}
+		}
+		planTools := map[string][]string{
+			"profrun":  {"-src", src, "-db", db, "-plan", "bogus"},
+			"estimate": {"-src", src, "-db", db, "-plan", "bogus"},
+			"oracle":   {"-seeds", "1", "-plan", "bogus"},
+			"bench":    {"-plan", "bogus"},
+		}
+		for name, args := range planTools {
+			msg, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+			if err == nil {
+				t.Errorf("%s -plan bogus must fail:\n%s", name, msg)
+				continue
+			}
+			if !strings.Contains(string(msg), "unknown plan (want sarkar|ball-larus)") {
+				t.Errorf("%s: plan error must name the accepted values:\n%s", name, msg)
+			}
+		}
+		for _, name := range []string{"profrun", "oracle"} {
+			msg, _ := exec.Command(filepath.Join(dir, name), "-h").CombinedOutput()
+			if !strings.Contains(string(msg), "tree|vm|vm-batch") {
+				t.Errorf("%s -h engine help drifted:\n%s", name, msg)
+			}
 		}
 	})
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/lower"
 	"repro/internal/obs"
+	"repro/internal/pathprof"
 	"repro/internal/profiler"
 	"repro/internal/vm"
 )
@@ -44,12 +45,23 @@ type Pipeline struct {
 	// bit-identical results.
 	Engine interp.Engine
 
+	// Plan selects the counter-placement strategy for Profile and
+	// Estimate: the paper's optimized Sarkar placement (the default) or
+	// Ball–Larus path profiling with exact edge recovery.
+	Plan Strategy
+
 	// plans caches one optimized counter placement per procedure; plans
 	// depend only on the analysis, so they are computed once and shared by
 	// every profiling run.
 	plansOnce sync.Once
 	plans     profiler.Plans
 	plansErr  error
+
+	// pathPlans caches the Ball–Larus numberings (built over the cached
+	// Sarkar plans, which serve as per-procedure overflow fallbacks).
+	pathOnce  sync.Once
+	pathPlans *pathprof.Plans
+	pathErr   error
 
 	// vmProg caches the one-time bytecode compilation shared by every
 	// VM-engine run.
@@ -74,6 +86,10 @@ type LoadOptions struct {
 	// Engine is retained as the Pipeline's default execution engine (see
 	// Pipeline.Engine).
 	Engine interp.Engine
+
+	// Plan is retained as the Pipeline's counter-placement strategy (see
+	// Pipeline.Plan).
+	Plan Strategy
 }
 
 // Load parses and analyzes a source program with GOMAXPROCS workers.
@@ -116,7 +132,7 @@ func LoadOpts(src string, opts LoadOptions) (*Pipeline, error) {
 	}
 	obs.Default.Add("pipeline.procs", int64(len(res.Procs)))
 	obs.Default.Add("pipeline.cfg_nodes", int64(nodes))
-	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr, Engine: opts.Engine}, nil
+	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr, Engine: opts.Engine, Plan: opts.Plan}, nil
 }
 
 // compiledVM returns the bytecode program, compiling it on first use. A
@@ -174,6 +190,53 @@ func (p *Pipeline) profilePlans() (profiler.Plans, error) {
 	return p.plans, p.plansErr
 }
 
+// pathProfPlans returns the Ball–Larus path plans, computing them on first
+// use. The cached Sarkar plans double as per-procedure fallbacks for
+// numberings that overflow Options.MaxPaths.
+func (p *Pipeline) pathProfPlans() (*pathprof.Plans, error) {
+	p.pathOnce.Do(func() {
+		sk, err := p.profilePlans()
+		if err != nil {
+			p.pathErr = err
+			return
+		}
+		sp := p.Trace.Start("plan.paths")
+		p.pathPlans, p.pathErr = pathprof.BuildPlansWith(p.An, sk, pathprof.Options{})
+		if p.pathErr == nil {
+			var fallbacks int64
+			for _, pl := range p.pathPlans.ByProc {
+				if !pl.Instrumented() {
+					fallbacks++
+				}
+			}
+			obs.Default.Add("pipeline.path_fallbacks", fallbacks)
+			sp.End(obs.M("fallbacks", float64(fallbacks)))
+		} else {
+			sp.End()
+		}
+	})
+	return p.pathPlans, p.pathErr
+}
+
+// recoverFunc resolves the active strategy into the per-run counter
+// recovery used by Profile, mutating opts to carry the path
+// instrumentation spec when Ball–Larus is selected.
+func (p *Pipeline) recoverFunc(opts *interp.Options) (func(*interp.Result) (profiler.ProgramProfile, error), error) {
+	plans, err := p.profilePlans()
+	if err != nil {
+		return nil, err
+	}
+	if EffectiveStrategy(p.Plan) == StrategyBallLarus {
+		pp, err := p.pathProfPlans()
+		if err != nil {
+			return nil, err
+		}
+		opts.PathSpec = pp.Spec()
+		return pp.Profile, nil
+	}
+	return plans.Profile, nil
+}
+
 // Profile executes the program once per seed with optimized counter-based
 // profiling and returns the accumulated per-procedure TOTAL_FREQ profile
 // (the program-database content) together with the last run's result.
@@ -188,7 +251,7 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	plans, err := p.profilePlans()
+	recoverRun, err := p.recoverFunc(&opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -213,7 +276,7 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 	}
 	if interp.EffectiveEngine(eng) == interp.EngineVMBatch && opts.OnNode == nil {
 		if prog, err := p.compiledVM(); err == nil {
-			return p.profileBatch(prog, plans, opts, seeds, workers)
+			return p.profileBatch(prog, recoverRun, opts, seeds, workers)
 		}
 	}
 
@@ -242,7 +305,7 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 		}
 		runs[i] = run
 		sp = p.Trace.Start("profile.recover")
-		profs[i], errs[i] = plans.Profile(run)
+		profs[i], errs[i] = recoverRun(run)
 		sp.End()
 	}
 	if workers <= 1 {
@@ -314,8 +377,8 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 // retained, for the returned Result. The merge is identical to the
 // per-seed path — seeds are independent, so lane sharding cannot change
 // any per-seed outcome and the accumulated profile stays bit-identical.
-func (p *Pipeline) profileBatch(prog *vm.Program, plans profiler.Plans, opts interp.Options,
-	seeds []uint64, lanes int) (profiler.ProgramProfile, *interp.Result, error) {
+func (p *Pipeline) profileBatch(prog *vm.Program, recoverRun func(*interp.Result) (profiler.ProgramProfile, error),
+	opts interp.Options, seeds []uint64, lanes int) (profiler.ProgramProfile, *interp.Result, error) {
 	overall := p.Trace.Start("profile")
 	sp := p.Trace.Start("profile.batch")
 	profs := make([]profiler.ProgramProfile, len(seeds))
@@ -328,7 +391,7 @@ func (p *Pipeline) profileBatch(prog *vm.Program, plans profiler.Plans, opts int
 			return false
 		}
 		rsp := p.Trace.Start("profile.recover")
-		profs[idx], errs[idx] = plans.Profile(run)
+		profs[idx], errs[idx] = recoverRun(run)
 		rsp.End()
 		if idx == lastIdx && errs[idx] == nil {
 			// Exactly one lane owns the last index; the write is published
@@ -362,6 +425,23 @@ func (p *Pipeline) profileBatch(prog *vm.Program, plans profiler.Plans, opts int
 		}
 	}
 	return acc, last, nil
+}
+
+// HotPaths runs one seed under Ball–Larus path instrumentation and
+// returns the top-k most frequently completed acyclic paths per
+// procedure (see pathprof.Plans.HotPaths). It works under any Plan
+// setting: the path plans are built on demand.
+func (p *Pipeline) HotPaths(opts interp.Options, k int) ([]pathprof.HotPath, error) {
+	pp, err := p.pathProfPlans()
+	if err != nil {
+		return nil, err
+	}
+	opts.PathSpec = pp.Spec()
+	run, err := p.runSingle(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pp.HotPaths(run, k)
 }
 
 // CostTables computes COST(u) for every procedure under a cost model.

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Strategy selects the counter-placement strategy used by Profile: the
+// paper's optimized single-counter placement (Sarkar) or Ball–Larus path
+// profiling with exact edge recovery. Both strategies recover identical
+// TOTAL_FREQ profiles on completed runs; they differ in counter economy
+// and in what extra information the raw counters expose (path profiles).
+type Strategy int
+
+const (
+	// StrategyDefault defers the choice: the REPRO_PLAN environment
+	// variable if set to a valid value, otherwise Sarkar.
+	StrategyDefault Strategy = iota
+	// StrategySarkar is the paper's optimized counter placement.
+	StrategySarkar
+	// StrategyBallLarus numbers acyclic paths per procedure and recovers
+	// edge frequencies from path counts.
+	StrategyBallLarus
+)
+
+// ErrUnknownStrategy is the sentinel wrapped by ParseStrategy for any
+// value other than "", "sarkar" or "ball-larus".
+var ErrUnknownStrategy = errors.New("unknown plan (want sarkar|ball-larus)")
+
+// ParseStrategy parses a -plan flag value.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "":
+		return StrategyDefault, nil
+	case "sarkar":
+		return StrategySarkar, nil
+	case "ball-larus":
+		return StrategyBallLarus, nil
+	}
+	return StrategyDefault, fmt.Errorf("%w: %q", ErrUnknownStrategy, s)
+}
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategySarkar:
+		return "sarkar"
+	case StrategyBallLarus:
+		return "ball-larus"
+	}
+	return "default"
+}
+
+var (
+	defaultStrategyOnce sync.Once
+	defaultStrategy     Strategy
+)
+
+// EffectiveStrategy resolves StrategyDefault: the REPRO_PLAN environment
+// variable when it parses to an explicit strategy, otherwise Sarkar. The
+// environment is read once per process, like EffectiveEngine.
+func EffectiveStrategy(s Strategy) Strategy {
+	if s != StrategyDefault {
+		return s
+	}
+	defaultStrategyOnce.Do(func() {
+		defaultStrategy = StrategySarkar
+		if v, err := ParseStrategy(os.Getenv("REPRO_PLAN")); err == nil && v != StrategyDefault {
+			defaultStrategy = v
+		}
+	})
+	return defaultStrategy
+}

@@ -142,6 +142,11 @@ func (e Engine) String() string {
 // VMBased reports whether the engine executes on the bytecode VM.
 func (e Engine) VMBased() bool { return e == EngineVM || e == EngineVMBatch }
 
+// ErrUnknownEngine is the sentinel wrapped by ParseEngine for any value
+// outside tree|vm|vm-batch, so CLIs can detect bad -engine flags with
+// errors.Is instead of string matching.
+var ErrUnknownEngine = errors.New("unknown engine (want tree|vm|vm-batch)")
+
 // ParseEngine parses an -engine flag value.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
@@ -154,7 +159,7 @@ func ParseEngine(s string) (Engine, error) {
 	case "vm-batch":
 		return EngineVMBatch, nil
 	}
-	return EngineDefault, fmt.Errorf("unknown engine %q (want tree, vm or vm-batch)", s)
+	return EngineDefault, fmt.Errorf("%w: %q", ErrUnknownEngine, s)
 }
 
 // vmRun is installed by internal/vm's init; nil until that package is
@@ -274,6 +279,11 @@ type Options struct {
 	// first (use vm.Compile + Program.Run, or core.Pipeline, to amortize
 	// compilation over many seeds).
 	Engine Engine
+	// PathSpec, when non-nil, adds Ball–Larus path instrumentation (see
+	// path.go): the run maintains a per-activation path register and
+	// records path-completion counts into Result.Paths. All engines
+	// produce bit-identical path counts.
+	PathSpec *PathSpec
 }
 
 // Counts holds per-procedure execution counts.
@@ -295,6 +305,10 @@ type Result struct {
 	Cost float64
 	// ByProc maps unit name to its execution counts.
 	ByProc map[string]*Counts
+	// Paths maps unit name to its path-profiling counters; nil unless the
+	// run was started with Options.PathSpec, and holds entries only for
+	// instrumented procedures.
+	Paths map[string]*PathCounts
 	// Stopped records whether the run ended via STOP (vs falling off the
 	// main program's END).
 	Stopped bool
@@ -396,6 +410,14 @@ func Run(res *lower.Result, opt Options) (*Result, error) {
 		for id := cfg.NodeID(1); id <= p.G.MaxID(); id++ {
 			m.result.ByProc[name].Edge[id] = make([]int64, len(p.G.OutEdges(id)))
 		}
+		if opt.PathSpec != nil {
+			if ps := opt.PathSpec.Procs[name]; ps != nil {
+				if m.result.Paths == nil {
+					m.result.Paths = make(map[string]*PathCounts)
+				}
+				m.result.Paths[name] = NewPathCounts(ps, opt.PathSpec.MultiIter)
+			}
+		}
 		if opt.Model != nil {
 			if m.costs == nil {
 				m.costs = make(map[string][]float64)
@@ -491,6 +513,15 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 	counts.Activations++
 	costs := m.costs[p.G.Name]
 	g := p.G
+	// Path-instrumented activations run a separate copy of the dispatch
+	// loop: keeping the Ball–Larus state and per-edge bookkeeping out of
+	// the common loop keeps the uninstrumented hot path at its original
+	// register pressure (folding them in costs ~30% tree throughput).
+	if m.opt.PathSpec != nil {
+		if ps := m.opt.PathSpec.Procs[p.G.Name]; ps != nil {
+			return m.loopPaths(p, f, counts, costs, ps)
+		}
+	}
 	pc := g.Entry
 	for {
 		m.steps++
@@ -535,6 +566,82 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 				Msg: fmt.Sprintf("no out-edge labelled %s from node %d", label, pc)}
 		}
 		counts.Edge[pc][taken]++
+		pc = g.OutEdges(pc)[taken].To
+	}
+}
+
+// loopPaths is the dispatch loop of a path-instrumented activation: the
+// common loop plus the Ball–Larus path register. It must stay a
+// line-for-line copy of machine.call's loop — steps, costs, hooks, counts
+// and error behaviour included — so instrumentation never perturbs
+// execution.
+func (m *machine) loopPaths(p *lower.Proc, f *frame, counts *Counts, costs []float64, ps *PathProcSpec) error {
+	// The path register and previous completed path id are per-activation
+	// locals, so they recurse correctly through OpCall.
+	pcnt := m.result.Paths[p.G.Name]
+	var (
+		preg  int64
+		pprev int64 = -1
+	)
+	g := p.G
+	pc := g.Entry
+	for {
+		m.steps++
+		if m.steps > m.max {
+			return &RuntimeError{Unit: p.G.Name, Line: m.lineOf(p, pc), Msg: "step limit exceeded"}
+		}
+		counts.Node[pc]++
+		if costs != nil {
+			m.result.Cost += costs[pc]
+			if m.opt.OnNodeCost != nil {
+				m.opt.OnNodeCost(p, pc, m.result.Cost)
+			}
+		}
+		op, _ := g.Node(pc).Payload.(lower.Op)
+		if m.opt.OnNode != nil {
+			trip := int64(-1)
+			if di, ok := op.(lower.OpDoInit); ok {
+				t, err := m.tripCount(f, di.L)
+				if err != nil {
+					return err
+				}
+				trip = t
+			}
+			m.opt.OnNode(p, pc, trip)
+		}
+		label, done, err := m.exec(f, pc, op)
+		if err != nil {
+			// A STOP unwinding through this activation cuts its current
+			// path short: record the (node, register) prefix — the STOP
+			// node itself here, the CALL node in suspended callers.
+			if errors.Is(err, errStop) {
+				pcnt.Partials = append(pcnt.Partials, PathPartial{Node: pc, Reg: preg})
+			}
+			return err
+		}
+		if done {
+			// END completes the activation's final path.
+			pcnt.Bump(pprev, preg)
+			return nil
+		}
+		taken := -1
+		for k, e := range g.OutEdges(pc) {
+			if e.Label == label {
+				taken = k
+				break
+			}
+		}
+		if taken < 0 {
+			return &RuntimeError{Unit: p.G.Name, Line: m.lineOf(p, pc),
+				Msg: fmt.Sprintf("no out-edge labelled %s from node %d", label, pc)}
+		}
+		counts.Edge[pc][taken]++
+		preg += ps.Inc[pc][taken]
+		if ps.Bump[pc][taken] {
+			pcnt.Bump(pprev, preg)
+			pprev = preg
+			preg = ps.Reset[pc][taken]
+		}
 		pc = g.OutEdges(pc)[taken].To
 	}
 }

@@ -1,0 +1,200 @@
+package interp
+
+import "repro/internal/cfg"
+
+// Ball–Larus path profiling: engine-facing instrumentation spec and counter
+// storage. The numbering itself (dummy-edge construction, increment values,
+// decode back to edge frequencies) lives in internal/pathprof; this file
+// only defines the contract both execution engines implement so that a
+// path-instrumented run is bit-identical across the tree-walker, the VM and
+// the batched VM.
+//
+// The runtime protocol per activation: a path register r starts at 0; taking
+// the k-th out-edge of node n adds Inc[n][k]; when Bump[n][k] is set (back
+// edges) the counter for path id r is bumped and r restarts at Reset[n][k]
+// (the entry-dummy value of the loop header); executing END bumps the
+// counter for the final r. A STOP unwinding through live activations records
+// one (node, r) partial per instrumented frame, innermost first — the node
+// is the STOP node for the stopping frame and the CALL node for each
+// suspended caller — so recovery stays exact on stopped runs.
+
+// PathDenseLimit is the NumPaths bound below which engines use a dense
+// counter array; larger numberings fall back to a sparse map keyed by path
+// id. 4096 keeps per-seed zeroing cheap in batch lanes while covering the
+// generated corpus almost entirely.
+const PathDenseLimit = 4096
+
+// PathProcSpec instruments one procedure. Inc/Bump/Reset are indexed
+// [node][k] parallel to Counts.Edge (the k-th out-edge of node in OutEdges
+// order), so both engines apply them exactly where they already count edges.
+type PathProcSpec struct {
+	// NumPaths is the number of acyclic paths (valid counter ids are
+	// 0..NumPaths-1).
+	NumPaths int64
+	// Inc is the Ball–Larus increment of each out-edge.
+	Inc [][]int64
+	// Bump marks back edges: taking one completes the current path (bump
+	// counter r+Inc) and restarts the register at Reset.
+	Bump [][]bool
+	// Reset is the restart value after a Bump edge (the header's
+	// entry-dummy value); 0 elsewhere.
+	Reset [][]int64
+}
+
+// PathSpec is the whole-program instrumentation handed to a run via
+// Options.PathSpec. Procedures absent from Procs (or mapped to nil) run
+// uninstrumented — the planner falls back per procedure when a numbering
+// overflows.
+type PathSpec struct {
+	Procs map[string]*PathProcSpec
+	// MultiIter enables the multiple-loop-iteration extension (D'Elia &
+	// Demetrescu): counters are keyed by consecutive (previous, current)
+	// path-id pairs per activation instead of single ids, exposing
+	// cross-iteration chains. Recovery uses only the current component, so
+	// exactness is unaffected.
+	MultiIter bool
+}
+
+// PathPair keys a multi-iteration counter: the previous completed path of
+// the same activation (-1 when none) and the current one.
+type PathPair struct {
+	Prev, Cur int64
+}
+
+// PathPartial records a path prefix cut short by STOP: the node the frame
+// was suspended at and the path register value there.
+type PathPartial struct {
+	Node cfg.NodeID
+	Reg  int64
+}
+
+// PathCounts is the per-procedure counter state of one run. Exactly one of
+// Dense, Sparse or Pairs is non-nil, fixed by the spec at run start.
+type PathCounts struct {
+	NumPaths int64
+	// Dense[id] counts completions of path id (NumPaths ≤ PathDenseLimit).
+	Dense []int64
+	// Sparse holds the same keyed by id for large numberings.
+	Sparse map[int64]int64
+	// Pairs holds (prev, cur) pair counts under PathSpec.MultiIter.
+	Pairs map[PathPair]int64
+	// Partials lists prefixes cut short by STOP, innermost frame first.
+	Partials []PathPartial
+}
+
+// NewPathCounts builds empty counter storage for one instrumented procedure.
+func NewPathCounts(ps *PathProcSpec, multiIter bool) *PathCounts {
+	pc := &PathCounts{NumPaths: ps.NumPaths}
+	switch {
+	case multiIter:
+		pc.Pairs = make(map[PathPair]int64)
+	case ps.NumPaths <= PathDenseLimit:
+		pc.Dense = make([]int64, ps.NumPaths)
+	default:
+		pc.Sparse = make(map[int64]int64)
+	}
+	return pc
+}
+
+// Reset zeroes every counter and drops recorded partials, reusing the
+// underlying storage — the batch engine's per-seed clear.
+func (pc *PathCounts) Reset() {
+	switch {
+	case pc.Pairs != nil:
+		clear(pc.Pairs)
+	case pc.Dense != nil:
+		for i := range pc.Dense {
+			pc.Dense[i] = 0
+		}
+	default:
+		clear(pc.Sparse)
+	}
+	pc.Partials = pc.Partials[:0]
+}
+
+// Bump records one completed path. prev is the activation's previously
+// completed path id (-1 when none); it is only consulted in pair mode.
+func (pc *PathCounts) Bump(prev, id int64) {
+	switch {
+	case pc.Pairs != nil:
+		pc.Pairs[PathPair{Prev: prev, Cur: id}]++
+	case pc.Dense != nil:
+		pc.Dense[id]++
+	default:
+		pc.Sparse[id]++
+	}
+}
+
+// Total returns the completion count of path id, summing over pair keys in
+// multi-iteration mode.
+func (pc *PathCounts) Total(id int64) int64 {
+	switch {
+	case pc.Pairs != nil:
+		var n int64
+		for k, c := range pc.Pairs {
+			if k.Cur == id {
+				n += c
+			}
+		}
+		return n
+	case pc.Dense != nil:
+		if id >= 0 && id < int64(len(pc.Dense)) {
+			return pc.Dense[id]
+		}
+		return 0
+	default:
+		return pc.Sparse[id]
+	}
+}
+
+// Each calls f once per path id with a nonzero completion count, aggregating
+// pair keys by their current component. Iteration order is unspecified for
+// sparse and pair storage.
+func (pc *PathCounts) Each(f func(id, count int64)) {
+	switch {
+	case pc.Pairs != nil:
+		agg := make(map[int64]int64, len(pc.Pairs))
+		for k, c := range pc.Pairs {
+			agg[k.Cur] += c
+		}
+		for id, c := range agg {
+			f(id, c)
+		}
+	case pc.Dense != nil:
+		for id, c := range pc.Dense {
+			if c != 0 {
+				f(int64(id), c)
+			}
+		}
+	default:
+		for id, c := range pc.Sparse {
+			f(id, c)
+		}
+	}
+}
+
+// Bumps returns the total number of counter bumps recorded (completed
+// paths; partials excluded) and the number of distinct counters touched.
+func (pc *PathCounts) Bumps() (bumps, touched int64) {
+	add := func(c int64) {
+		if c != 0 {
+			bumps += c
+			touched++
+		}
+	}
+	switch {
+	case pc.Pairs != nil:
+		for _, c := range pc.Pairs {
+			add(c)
+		}
+	case pc.Dense != nil:
+		for _, c := range pc.Dense {
+			add(c)
+		}
+	default:
+		for _, c := range pc.Sparse {
+			add(c)
+		}
+	}
+	return bumps, touched
+}

@@ -94,6 +94,11 @@ func Registry() []Invariant {
 			Check: checkEngineEquiv,
 		},
 		{
+			Name:  "plan-equiv",
+			Desc:  "Ball–Larus path recovery equals the exact totals on every run, and agrees with the Sarkar recovery on completed runs",
+			Check: checkPlanEquiv,
+		},
+		{
 			Name:  "checker-clean",
 			Desc:  "every generated program passes the internal/check static passes with no error-severity findings, and the rank proof certifies its counter plans",
 			Check: checkCheckerClean,
@@ -384,6 +389,71 @@ func checkMetaSplitBlock(ctx *evalCtx) error {
 // more as a single lane-sharded batch through the VM's batch runner, which
 // must also match seed for seed. A compile bailout on a generated program
 // is itself a failure: progen emits only the supported subset.
+// checkPlanEquiv recovers every profiled run under the Ball–Larus path
+// strategy and checks (a) the path recovery equals the exact totals on
+// every run, stopped or not (partials keep it exact), and (b) on completed
+// runs the Sarkar recovery agrees with the path recovery. Stopped runs are
+// excluded from (b): Sarkar's doConstTrip rule statically assumes a
+// constant-trip DO completes once entered, so a STOP unwinding out of a
+// loop body makes its recovery an over-estimate there by design.
+func checkPlanEquiv(ctx *evalCtx) error {
+	pp, err := ctx.pathProfPlans()
+	if err != nil {
+		return fmt.Errorf("path plans: %w", err)
+	}
+	spec := pp.Spec()
+	for i, seed := range ctx.c.ProfileSeeds {
+		run := ctx.runs[i]
+		if run.Paths == nil {
+			// The case profiled under Sarkar: re-run instrumented. Path
+			// instrumentation never changes execution, so this is the same
+			// trace with path counters attached.
+			r, rerr := interp.Run(ctx.res, interp.Options{
+				Seed: seed, Model: &ctx.model, MaxSteps: ctx.c.MaxSteps,
+				Engine: ctx.c.Engine, PathSpec: spec,
+			})
+			if rerr != nil {
+				return fmt.Errorf("seed %d: instrumented re-run: %w", seed, rerr)
+			}
+			run = r
+		}
+		pathProf, err := pp.Profile(run)
+		if err != nil {
+			return fmt.Errorf("seed %d: path recovery: %w", seed, err)
+		}
+		sarkarProf, err := ctx.plans.Profile(run)
+		if err != nil {
+			return fmt.Errorf("seed %d: sarkar recovery: %w", seed, err)
+		}
+		for name, a := range ctx.an.Procs {
+			exact := profiler.ExactTotals(a, run)
+			got := pathProf[name]
+			for c, w := range exact {
+				if g := got[c]; g != w {
+					return fmt.Errorf("seed %d proc %s: path recovery TOTAL%v = %g, exact %g",
+						seed, name, c, g, w)
+				}
+			}
+			for c := range got {
+				if _, ok := exact[c]; !ok {
+					return fmt.Errorf("seed %d proc %s: path recovery invented condition %v",
+						seed, name, c)
+				}
+			}
+			if !run.Stopped {
+				sk := sarkarProf[name]
+				for c, w := range got {
+					if g := sk[c]; !near(g, w) {
+						return fmt.Errorf("seed %d proc %s: sarkar TOTAL%v = %g, path recovery %g",
+							seed, name, c, g, w)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
 func checkEngineEquiv(ctx *evalCtx) error {
 	prog, err := vm.Compile(ctx.res)
 	if err != nil {

@@ -42,6 +42,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/lower"
+	"repro/internal/pathprof"
 	"repro/internal/profiler"
 	"repro/internal/progen"
 )
@@ -90,6 +91,10 @@ type Case struct {
 	// (EngineDefault resolves as in interp). The engine-equiv invariant
 	// additionally re-runs every seed on the opposite engine.
 	Engine interp.Engine
+	// Plan selects the counter-placement strategy the case's profile is
+	// recovered with (StrategyDefault resolves as in core). The plan-equiv
+	// invariant additionally checks both strategies against each other.
+	Plan core.Strategy
 	// Src is the program text; filled by Generate, or set directly to
 	// check an externally supplied source.
 	Src string
@@ -121,7 +126,10 @@ type evalCtx struct {
 	res   *lower.Result
 	an    *analysis.Program
 	plans profiler.Plans
-	runs  []*interp.Result
+	// pathPlans caches the Ball–Larus numberings, built on first use (by
+	// the plan-equiv invariant, or eagerly under StrategyBallLarus).
+	pathPlans *pathprof.Plans
+	runs      []*interp.Result
 	// profile accumulates the smart-recovered totals over all runs.
 	profile map[string]freq.Totals
 	// exact accumulates profiler.ExactTotals over all runs.
@@ -174,14 +182,29 @@ func (c *Case) eval(src string, m cost.Model) (*evalCtx, error) {
 	if err != nil {
 		return nil, &PipelineError{Stage: "plan", Err: err}
 	}
+	// Under the Ball–Larus strategy every run carries path instrumentation
+	// and the profile is recovered from path counts instead of the Sarkar
+	// counter readings; every invariant then gates the path pipeline.
+	var spec *interp.PathSpec
+	if core.EffectiveStrategy(c.Plan) == core.StrategyBallLarus {
+		if _, err := ctx.pathProfPlans(); err != nil {
+			return nil, &PipelineError{Stage: "plan", Err: err}
+		}
+		spec = ctx.pathPlans.Spec()
+	}
 	for _, seed := range c.ProfileSeeds {
-		run, err := interp.Run(ctx.res, interp.Options{Seed: seed, Model: &m, MaxSteps: c.MaxSteps, Engine: c.Engine})
+		run, err := interp.Run(ctx.res, interp.Options{Seed: seed, Model: &m, MaxSteps: c.MaxSteps, Engine: c.Engine, PathSpec: spec})
 		if err != nil {
 			return nil, &PipelineError{Stage: "run", Err: err}
 		}
 		ctx.runs = append(ctx.runs, run)
 		ctx.measured = append(ctx.measured, run.Cost)
-		prof, err := ctx.plans.Profile(run)
+		var prof profiler.ProgramProfile
+		if spec != nil {
+			prof, err = ctx.pathPlans.Profile(run)
+		} else {
+			prof, err = ctx.plans.Profile(run)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("recover: %w", err)
 		}
@@ -207,6 +230,20 @@ func (c *Case) eval(src string, m cost.Model) (*evalCtx, error) {
 		return nil, fmt.Errorf("estimate: %w", err)
 	}
 	return ctx, nil
+}
+
+// pathProfPlans returns the case's Ball–Larus plans, building them on
+// first use over the Sarkar plans (which double as overflow fallbacks).
+// Cases are evaluated single-threaded, so no locking is needed.
+func (ctx *evalCtx) pathProfPlans() (*pathprof.Plans, error) {
+	if ctx.pathPlans == nil {
+		pp, err := pathprof.BuildPlansWith(ctx.an, ctx.plans, pathprof.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ctx.pathPlans = pp
+	}
+	return ctx.pathPlans, nil
 }
 
 // PipelineError marks a failure of the pipeline itself (program outside the
@@ -271,6 +308,8 @@ type Config struct {
 	Workers int
 	// Engine selects the execution substrate every case runs on.
 	Engine interp.Engine
+	// Plan selects the counter-placement strategy every case profiles with.
+	Plan core.Strategy
 	// Invariants filters the registry by name (empty = all).
 	Invariants []string
 	// Minimize shrinks failing cases to the smallest size/depth that still
@@ -304,6 +343,7 @@ func (cfg *Config) caseFor(i int) *Case {
 	}
 	c := NewCase(seed, size, depth, kind, cfg.ProfileRuns)
 	c.Engine = cfg.Engine
+	c.Plan = cfg.Plan
 	return c
 }
 
@@ -448,6 +488,7 @@ func Minimize(c *Case, invariant string) (*Case, error) {
 	fails := func(size, depth int) (*Case, error) {
 		mc := NewCase(c.Seed, size, depth, c.Kind, len(c.ProfileSeeds))
 		mc.Engine = c.Engine
+		mc.Plan = c.Plan
 		var err error
 		if invariant == "pipeline" {
 			_, err = mc.eval(mc.Src, baseModel)

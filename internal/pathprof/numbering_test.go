@@ -1,0 +1,331 @@
+package pathprof
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+// buildGraph wires a test CFG from an edge list; entry is node 1 and exit
+// the highest node id.
+func buildGraph(t *testing.T, nodes int, edges []cfg.Edge) *cfg.Graph {
+	t.Helper()
+	g := cfg.New("T")
+	for i := 0; i < nodes; i++ {
+		g.AddNode(cfg.Other, fmt.Sprintf("n%d", i+1))
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e.From, e.To, e.Label)
+	}
+	g.Entry = 1
+	g.Exit = cfg.NodeID(nodes)
+	return g
+}
+
+// roundTrip checks that every path id decodes, re-encodes to itself, and
+// that the decoded paths are pairwise distinct; it also round-trips every
+// proper prefix of every decoded path through DecodePartial.
+func roundTrip(t *testing.T, n *Numbering) {
+	t.Helper()
+	seen := make(map[string]int64)
+	for id := int64(0); id < n.NumPaths; id++ {
+		p, err := n.DecodePath(id)
+		if err != nil {
+			t.Fatalf("DecodePath(%d): %v", id, err)
+		}
+		if got := n.EncodePath(p); got != id {
+			t.Fatalf("EncodePath(DecodePath(%d)) = %d", id, got)
+		}
+		key := fmt.Sprintf("%v|%v|%v|%v", p.FromEntry, p.Header, p.Edges, p.Back)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("ids %d and %d decode to the same path %s", prev, id, key)
+		}
+		seen[key] = id
+		// Every prefix of the path must decode from its (node, register)
+		// pair exactly as the engines would record it at a STOP.
+		reg := int64(0)
+		if !p.FromEntry {
+			reg = n.entryVal[p.Header]
+		}
+		for i, node := range p.Nodes {
+			pp, err := n.DecodePartial(node, reg)
+			if err != nil {
+				t.Fatalf("DecodePartial(%d, %d) of id %d: %v", node, reg, id, err)
+			}
+			if len(pp.Edges) != i || pp.FromEntry != p.FromEntry {
+				t.Fatalf("DecodePartial(%d, %d) of id %d: got %d edges from-entry=%v, want %d, %v",
+					node, reg, id, len(pp.Edges), pp.FromEntry, i, p.FromEntry)
+			}
+			for j := range pp.Edges {
+				if pp.Edges[j] != p.Edges[j] {
+					t.Fatalf("DecodePartial(%d, %d) edge %d = %v, want %v", node, reg, j, pp.Edges[j], p.Edges[j])
+				}
+			}
+			if i < len(p.Edges) {
+				e := p.Edges[i]
+				reg += n.Inc[e.From][e.K]
+			}
+		}
+	}
+}
+
+func TestNumberingStraightLine(t *testing.T) {
+	g := buildGraph(t, 3, []cfg.Edge{
+		{From: 1, To: 2, Label: cfg.Uncond},
+		{From: 2, To: 3, Label: cfg.Uncond},
+	})
+	n, err := New(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPaths != 1 {
+		t.Fatalf("NumPaths = %d, want 1", n.NumPaths)
+	}
+	roundTrip(t, n)
+}
+
+func TestNumberingDiamond(t *testing.T) {
+	g := buildGraph(t, 4, []cfg.Edge{
+		{From: 1, To: 2, Label: cfg.True},
+		{From: 1, To: 3, Label: cfg.False},
+		{From: 2, To: 4, Label: cfg.Uncond},
+		{From: 3, To: 4, Label: cfg.Uncond},
+	})
+	n, err := New(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPaths != 2 {
+		t.Fatalf("NumPaths = %d, want 2", n.NumPaths)
+	}
+	roundTrip(t, n)
+}
+
+func TestNumberingSingleLoop(t *testing.T) {
+	// 1 -> 2; 2 -T-> 3 -> 2 (back); 2 -F-> 4.
+	g := buildGraph(t, 4, []cfg.Edge{
+		{From: 1, To: 2, Label: cfg.Uncond},
+		{From: 2, To: 3, Label: cfg.True},
+		{From: 2, To: 4, Label: cfg.False},
+		{From: 3, To: 2, Label: cfg.Uncond},
+	})
+	back := []cfg.Edge{{From: 3, To: 2, Label: cfg.Uncond}}
+	n, err := New(g, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry paths: 1-2-3-(back), 1-2-4; header paths: 2-3-(back), 2-4.
+	if n.NumPaths != 4 {
+		t.Fatalf("NumPaths = %d, want 4", n.NumPaths)
+	}
+	// The back edge must bump and reset to the header's entry-dummy value.
+	ref := n.backRef[back[0]]
+	if !n.Bump[ref.From][ref.K] {
+		t.Fatal("back edge not marked Bump")
+	}
+	if n.Reset[ref.From][ref.K] != n.entryVal[2] {
+		t.Fatalf("back edge reset = %d, want entry value %d", n.Reset[ref.From][ref.K], n.entryVal[2])
+	}
+	roundTrip(t, n)
+}
+
+func TestNumberingNestedLoops(t *testing.T) {
+	// Outer header 2, inner header 3:
+	// 1->2; 2-T->3; 3-T->4; 4->3 (back, inner); 3-F->5; 5->2 (back, outer);
+	// 2-F->6.
+	g := buildGraph(t, 6, []cfg.Edge{
+		{From: 1, To: 2, Label: cfg.Uncond},
+		{From: 2, To: 3, Label: cfg.True},
+		{From: 2, To: 6, Label: cfg.False},
+		{From: 3, To: 4, Label: cfg.True},
+		{From: 3, To: 5, Label: cfg.False},
+		{From: 4, To: 3, Label: cfg.Uncond},
+		{From: 5, To: 2, Label: cfg.Uncond},
+	})
+	back := []cfg.Edge{
+		{From: 5, To: 2, Label: cfg.Uncond},
+		{From: 4, To: 3, Label: cfg.Uncond},
+	}
+	n, err := New(g, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, n)
+}
+
+func TestNumberingSelfLoopAndMultiBack(t *testing.T) {
+	// Node 2 loops on itself twice (T and F of a branch) and falls through
+	// via a computed default; both self edges are back edges to the same
+	// header, sharing one entry dummy but owning distinct exit dummies.
+	g := buildGraph(t, 3, []cfg.Edge{
+		{From: 1, To: 2, Label: cfg.Uncond},
+		{From: 2, To: 2, Label: cfg.True},
+		{From: 2, To: 2, Label: cfg.False},
+		{From: 2, To: 3, Label: cfg.Uncond},
+	})
+	back := []cfg.Edge{
+		{From: 2, To: 2, Label: cfg.True},
+		{From: 2, To: 2, Label: cfg.False},
+	}
+	n, err := New(g, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry: 1-2-(T back), 1-2-(F back), 1-2-3; header: same three from 2.
+	if n.NumPaths != 6 {
+		t.Fatalf("NumPaths = %d, want 6", n.NumPaths)
+	}
+	refT := n.backRef[back[0]]
+	refF := n.backRef[back[1]]
+	if n.Inc[refT.From][refT.K] == n.Inc[refF.From][refF.K] {
+		t.Fatal("distinct back edges must own distinct exit-dummy values")
+	}
+	roundTrip(t, n)
+}
+
+func TestNumberingEntryHeader(t *testing.T) {
+	// The entry itself is a loop header: ENTRY->h dummies must not alias
+	// the real-entry edge.
+	g := buildGraph(t, 2, []cfg.Edge{
+		{From: 1, To: 1, Label: cfg.True},
+		{From: 1, To: 2, Label: cfg.False},
+	})
+	back := []cfg.Edge{{From: 1, To: 1, Label: cfg.True}}
+	n, err := New(g, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPaths != 4 {
+		t.Fatalf("NumPaths = %d, want 4", n.NumPaths)
+	}
+	roundTrip(t, n)
+}
+
+func TestNumberingOverflow(t *testing.T) {
+	// A chain of diamonds doubles the path count per stage; a tight cap
+	// must refuse with ErrTooManyPaths.
+	var edges []cfg.Edge
+	nodes := 1
+	for i := 0; i < 8; i++ {
+		b := cfg.NodeID(nodes)
+		edges = append(edges,
+			cfg.Edge{From: b, To: b + 1, Label: cfg.True},
+			cfg.Edge{From: b, To: b + 2, Label: cfg.False},
+			cfg.Edge{From: b + 1, To: b + 3, Label: cfg.Uncond},
+			cfg.Edge{From: b + 2, To: b + 3, Label: cfg.Uncond},
+		)
+		nodes += 3
+	}
+	g := buildGraph(t, nodes, edges)
+	if _, err := New(g, nil, 16); !isOverflow(err) {
+		t.Fatalf("New with cap 16 = %v, want ErrTooManyPaths", err)
+	}
+	n, err := New(g, nil, 0)
+	if err != nil {
+		t.Fatalf("New uncapped: %v", err)
+	}
+	if n.NumPaths != 256 {
+		t.Fatalf("NumPaths = %d, want 256", n.NumPaths)
+	}
+}
+
+func TestNumberingRejectsCyclicSkeleton(t *testing.T) {
+	g := buildGraph(t, 3, []cfg.Edge{
+		{From: 1, To: 2, Label: cfg.Uncond},
+		{From: 2, To: 3, Label: cfg.True},
+		{From: 3, To: 2, Label: cfg.Uncond},
+		{From: 2, To: 2, Label: cfg.False},
+	})
+	// Only one of the two cycles is declared a back edge.
+	back := []cfg.Edge{{From: 2, To: 2, Label: cfg.False}}
+	if _, err := New(g, back, 0); err == nil {
+		t.Fatal("New accepted a cyclic skeleton")
+	}
+}
+
+func TestNumberingRejectsUnknownBackEdge(t *testing.T) {
+	g := buildGraph(t, 2, []cfg.Edge{{From: 1, To: 2, Label: cfg.Uncond}})
+	if _, err := New(g, []cfg.Edge{{From: 2, To: 1, Label: cfg.Uncond}}, 0); err == nil {
+		t.Fatal("New accepted a back edge absent from the graph")
+	}
+}
+
+// FuzzPathNumbering builds a random acyclic-with-back-edges CFG from the
+// fuzz input and checks the encode/decode round trip: every id decodes to
+// a unique path that re-encodes to the same id, and every prefix decodes
+// through DecodePartial.
+func FuzzPathNumbering(f *testing.F) {
+	f.Add([]byte{4, 1, 0x13, 0x24})
+	f.Add([]byte{6, 2, 0x12, 0x23, 0x34, 0x45, 0x56, 0x42, 0x53})
+	f.Add([]byte{3, 0, 0x12, 0x23, 0x13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		nodes := 2 + int(data[0]%10)
+		nBack := int(data[1] % 4)
+		rest := data[2:]
+		g := cfg.New("F")
+		for i := 0; i < nodes; i++ {
+			g.AddNode(cfg.Other, fmt.Sprintf("n%d", i+1))
+		}
+		g.Entry = 1
+		g.Exit = cfg.NodeID(nodes)
+		labels := []cfg.Label{cfg.Uncond, cfg.True, cfg.False}
+		// Forward edges keep the skeleton acyclic by construction: each
+		// byte encodes from (high nibble) and to (low nibble), coerced to
+		// from < to. Back edges (the trailing nBack entries) are coerced
+		// the other way and passed to New as the back-edge set.
+		var back []cfg.Edge
+		for i, b := range rest {
+			u := 1 + int(b>>4)%nodes
+			v := 1 + int(b&0xf)%nodes
+			if u == v {
+				v = v%nodes + 1
+			}
+			if u == v {
+				continue
+			}
+			isBack := i >= len(rest)-nBack
+			if (u > v) != isBack {
+				u, v = v, u
+			}
+			lab := labels[(int(b)+i)%len(labels)]
+			if err := g.AddEdge(cfg.NodeID(u), cfg.NodeID(v), lab); err != nil {
+				continue // duplicate edge
+			}
+			if isBack {
+				back = append(back, cfg.Edge{From: cfg.NodeID(u), To: cfg.NodeID(v), Label: lab})
+			}
+		}
+		n, err := New(g, back, 1<<16)
+		if err != nil {
+			// Overflow and malformed inputs are legitimate rejections;
+			// the invariant under test is only about accepted numberings.
+			return
+		}
+		if n.NumPaths < 1 {
+			t.Fatalf("accepted numbering has NumPaths = %d", n.NumPaths)
+		}
+		limit := n.NumPaths
+		if limit > 2048 {
+			limit = 2048
+		}
+		seen := make(map[string]int64)
+		for id := int64(0); id < limit; id++ {
+			p, err := n.DecodePath(id)
+			if err != nil {
+				t.Fatalf("DecodePath(%d): %v", id, err)
+			}
+			if got := n.EncodePath(p); got != id {
+				t.Fatalf("EncodePath(DecodePath(%d)) = %d", id, got)
+			}
+			key := fmt.Sprintf("%v|%v|%v|%v", p.FromEntry, p.Header, p.Edges, p.Back)
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("ids %d and %d decode to the same path", prev, id)
+			}
+			seen[key] = id
+		}
+	})
+}

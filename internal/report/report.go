@@ -62,6 +62,39 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
+// HotPath is one row of a hot-path report: a procedure's Ball–Larus
+// acyclic path, its completion count, and the decoded node sequence.
+// FromEntry and ToExit distinguish the dummy entry/exit paths that a
+// split back edge introduces from full entry-to-exit paths.
+type HotPath struct {
+	Proc      string `json:"proc"`
+	ID        int64  `json:"id"`
+	Count     int64  `json:"count"`
+	Nodes     []int  `json:"nodes"`
+	FromEntry bool   `json:"from_entry"`
+	ToExit    bool   `json:"to_exit"`
+}
+
+// String renders the hot path as a one-liner: "PROC: path 3 ×42 [entry 1→4→7 exit]".
+func (h HotPath) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: path %d ×%d [", h.Proc, h.ID, h.Count)
+	if h.FromEntry {
+		b.WriteString("entry ")
+	}
+	for i, n := range h.Nodes {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	if h.ToExit {
+		b.WriteString(" exit")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
 // Span is one aggregated pipeline phase in a trace: all observations of the
 // same phase name merge into a single row. Wall is the summed busy time of
 // every observation; Elapsed is last-end minus first-start, so on a worker
@@ -92,6 +125,8 @@ type Document struct {
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	Errors      int          `json:"errors"`
 	Warnings    int          `json:"warnings"`
+	// HotPaths is the optional hot-path report (ptranlint -hot-paths).
+	HotPaths []HotPath `json:"hot_paths,omitempty"`
 	// Spans are the pipeline phase timings of a traced run (obs.Trace).
 	Spans []Span `json:"spans,omitempty"`
 	// Metrics is a point-in-time snapshot of the process metrics registry.

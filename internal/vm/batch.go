@@ -63,6 +63,7 @@ func (ls *laneState) build() {
 		rs.counts[i] = ct
 		rs.edges[i] = flat
 	}
+	rs.initPaths()
 }
 
 // reset clears the reusable per-seed state so the next seed starts from the
@@ -83,6 +84,11 @@ func (ls *laneState) reset(seed uint64) {
 		clearInt64(ct.Node)
 		ct.Activations = 0
 		clearInt64(rs.edges[i])
+	}
+	for _, pcn := range rs.paths {
+		if pcn != nil {
+			pcn.Reset()
+		}
 	}
 }
 

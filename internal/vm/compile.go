@@ -260,7 +260,9 @@ func (c *procComp) compileOp(id cfg.NodeID, op lower.Op) error {
 		c.emit(instr{op: opEnd})
 		return nil
 	case lower.OpStop:
-		c.emit(instr{op: opStop})
+		// a = the STOP node's CFG id, read by the path-profiling partial
+		// recorder; not a branch target, so no fixup.
+		c.emit(instr{op: opStop, a: int32(id)})
 		return nil
 	case lower.OpAssign:
 		if err := c.assign(o.S); err != nil {
@@ -442,7 +444,10 @@ func (c *procComp) call(s *lang.CallStmt) error {
 			return err
 		}
 	}
-	c.emit(instr{op: opCall, a: int32(c.byName[s.Name]), b: int32(len(s.Args)), c: int32(s.Line)})
+	// d = the CALL node's CFG id: a STOP unwinding through this frame
+	// records its path partial against the call node (not a branch target,
+	// so no fixup).
+	c.emit(instr{op: opCall, a: int32(c.byName[s.Name]), b: int32(len(s.Args)), c: int32(s.Line), d: int32(c.curNode)})
 	return nil
 }
 

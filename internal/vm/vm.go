@@ -218,6 +218,61 @@ type Program struct {
 	// immutable after insertion and shared by concurrent runs.
 	costMu    sync.Mutex
 	costCache map[cost.Model][][]float64
+
+	// pathCache memoizes flattened Ball–Larus tables per PathSpec (by
+	// identity — specs are built once per Plans and shared), mirroring
+	// costCache: flatten once, run every seed.
+	pathMu    sync.Mutex
+	pathCache map[*interp.PathSpec][]*pathRT
+}
+
+// pathRT is one procedure's Ball–Larus instrumentation flattened onto the
+// VM's flat edge-counter indexing: inc/bump/reset[edgeOff[node]+k] mirror
+// the spec's [node][k] tables, so the exec loop applies them with the same
+// index it already uses to count the edge. Immutable after construction.
+type pathRT struct {
+	spec  *interp.PathProcSpec
+	inc   []int64
+	bump  []bool
+	reset []int64
+}
+
+// pathTables returns the per-proc flattened path tables for spec, building
+// them on first use. A nil entry means the procedure is uninstrumented.
+func (p *Program) pathTables(spec *interp.PathSpec) []*pathRT {
+	p.pathMu.Lock()
+	defer p.pathMu.Unlock()
+	if rts, ok := p.pathCache[spec]; ok {
+		return rts
+	}
+	rts := make([]*pathRT, len(p.procs))
+	for i, pc := range p.procs {
+		ps := spec.Procs[pc.name]
+		if ps == nil {
+			continue
+		}
+		rt := &pathRT{
+			spec:  ps,
+			inc:   make([]int64, pc.numEdges),
+			bump:  make([]bool, pc.numEdges),
+			reset: make([]int64, pc.numEdges),
+		}
+		g := pc.proc.G
+		for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+			off := int(pc.edgeOff[id])
+			for k := range g.OutEdges(id) {
+				rt.inc[off+k] = ps.Inc[id][k]
+				rt.bump[off+k] = ps.Bump[id][k]
+				rt.reset[off+k] = ps.Reset[id][k]
+			}
+		}
+		rts[i] = rt
+	}
+	if p.pathCache == nil {
+		p.pathCache = make(map[*interp.PathSpec][]*pathRT)
+	}
+	p.pathCache[spec] = rts
+	return rts
 }
 
 // NumInstructions returns the total instruction count across procedures
@@ -287,6 +342,48 @@ type callSite struct {
 // errStop unwinds all frames on STOP, like the tree-walker's sentinel.
 var errStop = errors.New("stop")
 
+// pathTracer is one activation's Ball–Larus state: the path register, the
+// previously completed path id (pair mode), and the procedure's flattened
+// tables. A zero tracer (rt nil) is inert, so uninstrumented procedures —
+// and whole runs without a PathSpec — pay one predictable nil check per
+// taken edge and nothing else.
+type pathTracer struct {
+	rt   *pathRT
+	cnt  *interp.PathCounts
+	reg  int64
+	prev int64
+}
+
+// edge applies one taken edge by flat index. The split keeps the inert
+// check small enough to inline at every exec edge site; the register math
+// only runs for instrumented activations.
+func (pt *pathTracer) edge(flat int32) {
+	if pt.rt == nil {
+		return
+	}
+	pt.edgeSlow(flat)
+}
+
+func (pt *pathTracer) edgeSlow(flat int32) {
+	rt := pt.rt
+	pt.reg += rt.inc[flat]
+	if rt.bump[flat] {
+		// A back edge completes the current path: bump its counter and
+		// restart the register at the header's entry-dummy value.
+		pt.cnt.Bump(pt.prev, pt.reg)
+		pt.prev = pt.reg
+		pt.reg = rt.reset[flat]
+	}
+}
+
+// pathSave is one suspended caller's tracer on the explicit call stack,
+// parallel to callSite. node is the caller's CALL node, recorded so a STOP
+// unwinding through the frame can log an exact (node, register) partial.
+type pathSave struct {
+	pt   pathTracer
+	node int32
+}
+
 // runState is the per-run mutable state shared by all activations.
 type runState struct {
 	prog   *Program
@@ -299,10 +396,19 @@ type runState struct {
 	args   []argSlot
 	calls  []callSite
 	parts  []any
-	rng    uint64
-	steps  int64
-	max    int64
-	depth  int
+	// pathRTs/paths are the per-proc Ball–Larus tables and counters; nil
+	// unless Options.PathSpec is set. pt is the live activation's tracer
+	// (kept here rather than in an exec local so the dispatch loop carries
+	// no extra live registers); pathCalls mirrors calls with the suspended
+	// callers' tracers (see exec).
+	pathRTs   []*pathRT
+	paths     []*interp.PathCounts
+	pt        pathTracer
+	pathCalls []pathSave
+	rng       uint64
+	steps     int64
+	max       int64
+	depth     int
 	// lane, when non-nil, supplies frames from the batch lane's arena
 	// instead of the shared per-procedure sync.Pools (see batch.go).
 	lane *laneArena
@@ -351,6 +457,7 @@ func (p *Program) Run(opt interp.Options) (*interp.Result, error) {
 	if opt.Model != nil {
 		rs.costs = p.costTables(opt.Model)
 	}
+	rs.initPaths()
 	err := rs.runProc(p.mainIdx, nil, 0)
 	if errors.Is(err, errStop) {
 		rs.result.Stopped = true
@@ -358,6 +465,32 @@ func (p *Program) Run(opt interp.Options) (*interp.Result, error) {
 	}
 	rs.result.Steps = rs.steps
 	return rs.result, err
+}
+
+// initPaths builds the run's path-profiling state from Options.PathSpec:
+// flattened tables plus one PathCounts per instrumented procedure, exposed
+// on the Result exactly like the tree-walker's.
+func (rs *runState) initPaths() {
+	spec := rs.opt.PathSpec
+	if spec == nil {
+		return
+	}
+	rts := rs.prog.pathTables(spec)
+	rs.pathRTs = rts
+	rs.paths = make([]*interp.PathCounts, len(rs.prog.procs))
+	for i, rt := range rts {
+		if rt == nil {
+			continue
+		}
+		// Lazy map creation matches the tree-walker: a spec with no
+		// instrumented procedures leaves Result.Paths nil.
+		if rs.result.Paths == nil {
+			rs.result.Paths = make(map[string]*interp.PathCounts)
+		}
+		pcn := interp.NewPathCounts(rt.spec, spec.MultiIter)
+		rs.paths[i] = pcn
+		rs.result.Paths[rs.prog.procs[i].name] = pcn
+	}
 }
 
 // runProc executes one activation of proc pi with the staged args.
@@ -382,7 +515,16 @@ func (rs *runState) runProc(pi int, args []argSlot, callLine int) error {
 			f.refs[pb.slot] = args[i].cell
 		}
 	}
-	err := rs.exec(pc, f, pi)
+	// Path-instrumented runs dispatch through execPaths, a twin of the
+	// exec loop with the per-edge Ball–Larus hooks compiled in; keeping
+	// exec itself hook-free preserves uninstrumented vm/vm-batch
+	// throughput (see exec_paths.go).
+	var err error
+	if rs.pathRTs != nil {
+		err = rs.execPaths(pc, f, pi)
+	} else {
+		err = rs.exec(pc, f, pi)
+	}
 	if rs.lane != nil {
 		rs.lane.putFrame(pi, f)
 	} else {
