@@ -1,13 +1,17 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck fuzz-smoke
+.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck dataflow-selfcheck fuzz-smoke
+
+# STATICCHECK_VERSION pins the analyzer CI installs; keep in sync with
+# .github/workflows/ci.yml.
+STATICCHECK_VERSION = 2025.1.1
 
 # check is the tier-1 gate: formatting, vet, lint, build, race-enabled
 # tests (the engine differential sweeps included), plus the self-lint,
 # oracle sweeps (both counter-placement strategies) and a fuzzing smoke
 # pass.
-check: fmt vet lint build test selfcheck oracle oracle-bl fuzz-smoke
+check: fmt vet lint build test selfcheck dataflow-selfcheck oracle oracle-bl fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -16,13 +20,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs staticcheck when it is installed; CI installs it, local runs
-# without it just skip (no network access assumed).
+# lint runs staticcheck when it is installed; CI installs the pinned
+# $(STATICCHECK_VERSION), local runs without it just skip (no network
+# access assumed). A version-drifted local install gets a warning so the
+# pinned CI verdict stays the source of truth.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
+		got=$$(staticcheck -version 2>/dev/null); \
+		case "$$got" in *$(STATICCHECK_VERSION)*) ;; \
+		*) echo "lint: warning: local $$got, CI pins $(STATICCHECK_VERSION)";; esac; \
 		staticcheck ./...; \
 	else \
-		echo "lint: staticcheck not installed, skipping"; \
+		echo "lint: staticcheck not installed, skipping ($(STATICCHECK_VERSION) pinned in CI)"; \
 	fi
 
 build:
@@ -59,6 +68,16 @@ bench-json:
 selfcheck:
 	$(GO) run ./cmd/ptranlint examples/figure1.f
 	$(GO) run ./cmd/ptranlint examples/loops.f
+
+# dataflow-selfcheck runs the monotone dataflow passes (with fact
+# reporting) over the shipped examples and replays every committed fuzz
+# corpus input through the analyses; any crash or error-severity finding
+# fails the build.
+dataflow-selfcheck:
+	@for f in examples/*.f; do \
+		$(GO) run ./cmd/ptranlint -dataflow $$f || exit 1; \
+	done
+	$(GO) test ./internal/oracle -run TestFuzzCorpusDataflow -v
 
 # oracle sweeps 200 generated programs through every registry invariant and
 # fails on the first violation (JSON report on stdout).

@@ -7,7 +7,7 @@
 //
 //	oracle -seeds 200 [-start 1] [-size 8] [-depth 3] [-runs 3]
 //	       [-workers N] [-invariants name,name,...] [-branchfree-every 4]
-//	       [-detloop-every 6] [-engine tree|vm|vm-batch]
+//	       [-detloop-every 6] [-constfacts-every 3] [-engine tree|vm|vm-batch]
 //	       [-plan sarkar|ball-larus] [-no-minimize] [-quiet]
 //
 // The exit status is 0 when every invariant passes and 1 otherwise, so the
@@ -39,6 +39,7 @@ func main() {
 	invariants := flag.String("invariants", "", "comma-separated invariant names (default: all)")
 	branchFreeEvery := flag.Int("branchfree-every", 4, "every k-th case uses the branch-free program family (0 = never)")
 	detLoopEvery := flag.Int("detloop-every", 6, "every k-th case uses the branch-free-plus-constant-trip-DO family (0 = never)")
+	constFactsEvery := flag.Int("constfacts-every", 3, "every k-th random case carries the progen dataflow gadget block (0 = never)")
 	engine := flag.String("engine", "", "execution engine for profiled runs: tree|vm|vm-batch (default: REPRO_ENGINE, else tree)")
 	plan := flag.String("plan", "", "counter-placement strategy for profiled runs: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	noMinimize := flag.Bool("no-minimize", false, "skip shrinking failing cases")
@@ -75,6 +76,7 @@ func main() {
 		ProfileRuns:     *runs,
 		BranchFreeEvery: *branchFreeEvery,
 		DetLoopEvery:    *detLoopEvery,
+		ConstFactsEvery: *constFactsEvery,
 		Workers:         *workers,
 		Minimize:        !*noMinimize,
 	}

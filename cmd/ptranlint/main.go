@@ -8,7 +8,14 @@
 //
 //	ptranlint [-json] [-Werror] [-passes name,name] [-workers N] [-src] prog.f
 //	ptranlint -hot-paths K [-hot-seed N] prog.f
+//	ptranlint -dataflow prog.f
 //	ptranlint -list
+//
+// With -dataflow the report additionally carries each procedure's monotone
+// dataflow facts: reachability and per-analysis fact counts, the proven
+// infeasible edges, decided branches and constant trip counts. These are
+// the facts the counter planner and the estimator consume; the oracle's
+// dataflow-sound invariant checks every one of them dynamically.
 //
 // With -hot-paths K the program additionally runs once under Ball–Larus
 // path instrumentation and the report carries each procedure's top-K most
@@ -27,10 +34,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
+	"repro/internal/cfg"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/obs"
@@ -44,6 +54,7 @@ func main() {
 	werror := flag.Bool("Werror", false, "treat warnings as errors")
 	passes := flag.String("passes", "", "comma-separated pass names (default: all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
+	dflow := flag.Bool("dataflow", false, "report each procedure's dataflow facts (infeasible edges, decided branches, constant trips)")
 	hotPaths := flag.Int("hot-paths", 0, "report each procedure's top-K hot acyclic paths from one profiled run (0: off)")
 	hotSeed := flag.Uint64("hot-seed", 1, "random seed of the -hot-paths profiling run")
 	list := flag.Bool("list", false, "list registry passes and exit")
@@ -83,6 +94,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
 	}
+	var flow []flowReport
+	if *dflow && pipe != nil {
+		flow = flowReports(pipe)
+	}
 	var hot []report.HotPath
 	if *hotPaths > 0 && pipe != nil {
 		hps, err := pipe.HotPaths(interp.Options{Seed: *hotSeed, MaxSteps: 50_000_000}, *hotPaths)
@@ -96,7 +111,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
 	}
-	emit(*src, diags, hot, *jsonOut, *werror)
+	emit(*src, diags, hot, flow, *jsonOut, *werror)
+}
+
+// flowReport is one procedure's dataflow fact summary, ordered for output.
+type flowReport struct {
+	Proc    string         `json:"proc"`
+	Stats   dataflow.Stats `json:"stats"`
+	Edges   []string       `json:"infeasible_edges,omitempty"`
+	Decided []string       `json:"decided_branches,omitempty"`
+	Trips   []string       `json:"const_trips,omitempty"`
+}
+
+// flowReports assembles the per-procedure dataflow summaries in sorted
+// procedure order.
+func flowReports(pipe *core.Pipeline) []flowReport {
+	names := make([]string, 0, len(pipe.An.Procs))
+	for name := range pipe.An.Procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]flowReport, 0, len(names))
+	for _, name := range names {
+		f := pipe.An.Procs[name].Flow
+		if f == nil {
+			continue
+		}
+		fr := flowReport{Proc: name, Stats: f.Stats()}
+		for _, e := range f.Infeasible {
+			fr.Edges = append(fr.Edges, e.String())
+		}
+		decided := make([]cfg.NodeID, 0, len(f.ConstBranch))
+		for n := range f.ConstBranch {
+			decided = append(decided, n)
+		}
+		sort.Slice(decided, func(i, j int) bool { return decided[i] < decided[j] })
+		for _, n := range decided {
+			fr.Decided = append(fr.Decided, fmt.Sprintf("node %d always %s", n, f.ConstBranch[n]))
+		}
+		tests := make([]cfg.NodeID, 0, len(f.ConstTrips))
+		for n := range f.ConstTrips {
+			tests = append(tests, n)
+		}
+		sort.Slice(tests, func(i, j int) bool { return tests[i] < tests[j] })
+		for _, n := range tests {
+			fr.Trips = append(fr.Trips, fmt.Sprintf("DO test %d trips %d", n, f.ConstTrips[n]))
+		}
+		out = append(out, fr)
+	}
+	return out
 }
 
 // toReportHotPaths converts the pathprof rows into the shared report
@@ -149,7 +212,7 @@ func lint(text string, opts check.Options, workers int, tr *obs.Trace) ([]report
 }
 
 // emit prints the findings and exits with the verdict.
-func emit(path string, diags []report.Diagnostic, hot []report.HotPath, jsonOut, werror bool) {
+func emit(path string, diags []report.Diagnostic, hot []report.HotPath, flow []flowReport, jsonOut, werror bool) {
 	fail := report.Count(diags, report.Error) > 0
 	if werror && report.Count(diags, report.Warning) > 0 {
 		fail = true
@@ -157,6 +220,9 @@ func emit(path string, diags []report.Diagnostic, hot []report.HotPath, jsonOut,
 	if jsonOut {
 		doc := report.NewDocument("ptranlint", diags)
 		doc.HotPaths = hot
+		if len(flow) > 0 {
+			doc.Dataflow = flow
+		}
 		if err := doc.Encode(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ptranlint:", err)
 			os.Exit(2)
@@ -167,6 +233,20 @@ func emit(path string, diags []report.Diagnostic, hot []report.HotPath, jsonOut,
 		}
 		if len(diags) == 0 {
 			fmt.Printf("%s: clean (%d passes)\n", path, len(check.Registry()))
+		}
+		for _, fr := range flow {
+			st := fr.Stats
+			fmt.Printf("%s: dataflow %s: %d/%d nodes reached, %d infeasible edges, %d decided branches, %d const trips, %d dead, %d dead stores, %d use-before-def\n",
+				path, fr.Proc, st.ReachedNodes, st.Nodes, st.Infeasible, st.ConstBranch, st.ConstTrips, st.DeadNodes, st.DeadStores, st.UseBeforeDef)
+			for _, e := range fr.Edges {
+				fmt.Printf("%s: dataflow %s: infeasible %s\n", path, fr.Proc, e)
+			}
+			for _, d := range fr.Decided {
+				fmt.Printf("%s: dataflow %s: %s\n", path, fr.Proc, d)
+			}
+			for _, tr := range fr.Trips {
+				fmt.Printf("%s: dataflow %s: %s\n", path, fr.Proc, tr)
+			}
 		}
 		for _, h := range hot {
 			fmt.Printf("%s: hot: %s\n", path, h)

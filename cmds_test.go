@@ -128,6 +128,78 @@ func TestCommandLineTools(t *testing.T) {
 		}
 	})
 
+	t.Run("ptranlint-exit-codes", func(t *testing.T) {
+		bin := filepath.Join(dir, "ptranlint")
+		broken := filepath.Join(dir, "broken2.f")
+		if err := os.WriteFile(broken, []byte("      PROGRAM P\n      X = \n      END\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Every failure class maps to a documented status: 0 = no
+		// error-severity findings, 1 = findings fail the run, 2 = usage or
+		// internal errors. -Werror must promote warnings from any pass.
+		cases := []struct {
+			name string
+			args []string
+			want int
+		}{
+			{"clean", []string{src}, 0},
+			{"clean-werror", []string{"-Werror", src}, 0},
+			{"clean-dataflow", []string{"-dataflow", src}, 0},
+			{"warnings", []string{"internal/check/testdata/bad.f"}, 0},
+			{"warnings-werror", []string{"-Werror", "internal/check/testdata/bad.f"}, 1},
+			{"warnings-werror-json", []string{"-Werror", "-json", "internal/check/testdata/bad.f"}, 1},
+			{"flow-lints-only-werror", []string{"-Werror", "-passes", "deadcode,deadstore,defassign", "internal/check/testdata/bad.f"}, 1},
+			{"parse-error", []string{broken}, 1},
+			{"parse-error-werror", []string{"-Werror", broken}, 1},
+			{"missing-file", []string{filepath.Join(dir, "no-such.f")}, 2},
+			{"no-args", nil, 2},
+			{"two-positional", []string{src, src}, 2},
+			{"bad-flag", []string{"-definitely-not-a-flag", src}, 2},
+			{"unknown-pass", []string{"-passes", "nope", src}, 2},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				out, err := exec.Command(bin, tc.args...).CombinedOutput()
+				got := 0
+				if ee, ok := err.(*exec.ExitError); ok {
+					got = ee.ExitCode()
+				} else if err != nil {
+					t.Fatalf("run: %v\n%s", err, out)
+				}
+				if got != tc.want {
+					t.Errorf("ptranlint %v: exit %d, want %d\n%s", tc.args, got, tc.want, out)
+				}
+			})
+		}
+	})
+
+	t.Run("ptranlint-dataflow", func(t *testing.T) {
+		bin := filepath.Join(dir, "ptranlint")
+		out := runCmd(t, bin, "-dataflow", "examples/loops.f")
+		for _, want := range []string{"dataflow DOTPRD", "const trips", "DO test"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("missing %q in -dataflow output:\n%s", want, out)
+			}
+		}
+		jout := runCmd(t, bin, "-dataflow", "-json", "examples/loops.f")
+		var doc struct {
+			Dataflow []struct {
+				Proc  string `json:"proc"`
+				Stats struct {
+					Nodes      int `json:"Nodes"`
+					ConstTrips int `json:"ConstTrips"`
+				} `json:"stats"`
+				Trips []string `json:"const_trips"`
+			} `json:"dataflow"`
+		}
+		if err := json.Unmarshal([]byte(jout), &doc); err != nil {
+			t.Fatalf("-dataflow -json: %v\n%s", err, jout)
+		}
+		if len(doc.Dataflow) == 0 || doc.Dataflow[0].Proc != "DOTPRD" || doc.Dataflow[0].Stats.ConstTrips != 2 {
+			t.Errorf("unexpected dataflow document: %+v", doc.Dataflow)
+		}
+	})
+
 	t.Run("check-flag", func(t *testing.T) {
 		out := runCmd(t, filepath.Join(dir, "ptranc"), "-src", src, "-check", "-dump", "plan", "-proc", "EXMPL")
 		if !strings.Contains(out, "smart counters") {

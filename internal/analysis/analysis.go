@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cdg"
+	"repro/internal/dataflow"
 	"repro/internal/ecfg"
 	"repro/internal/interval"
 	"repro/internal/lower"
@@ -36,6 +37,9 @@ type Proc struct {
 	CDG *cdg.Graph
 	// FCDG is the forward control dependence graph.
 	FCDG *cdg.Graph
+	// Flow holds the monotone dataflow facts (constants, feasibility,
+	// liveness, definite assignment) over the original lowered CFG.
+	Flow *dataflow.Facts
 }
 
 // Program is the analyzed whole program.
@@ -90,6 +94,10 @@ func analyzeProcTraced(p *lower.Proc, tr *obs.Trace) (*Proc, error) {
 	}
 	sp.End(obs.M("conditions", float64(len(fwd.Conditions()))))
 	a.FCDG = fwd
+	sp = tr.Start("dataflow")
+	a.Flow = dataflow.Analyze(p)
+	st := a.Flow.Stats()
+	sp.End(obs.M("infeasible_edges", float64(st.Infeasible)))
 	return a, nil
 }
 

@@ -35,6 +35,9 @@ func Registry() []Pass {
 		{Name: "fcdg", Desc: "FCDG is a rooted DAG whose region nesting mirrors HDR_PARENT", Run: checkFCDG},
 		{Name: "plan", Desc: "counter plan determines every FREQ(u,l) uniquely (rank proof)", Run: checkPlan},
 		{Name: "lints", Desc: "source lints: constant branches, zero-trip DO loops, dead code", Run: checkLints},
+		{Name: "deadcode", Desc: "flow lint: statements unreachable under propagated constants", Run: checkDeadCode},
+		{Name: "deadstore", Desc: "flow lint: scalar stores whose value no path reads", Run: checkDeadStore},
+		{Name: "defassign", Desc: "flow lint: locals read before assignment on some path", Run: checkDefAssign},
 		{Name: "vmcompile", Desc: "bytecode compile coverage: constructs forcing tree-walker fallback", Run: checkVMCompile},
 	}
 }

@@ -1,0 +1,52 @@
+package check
+
+import (
+	"repro/internal/analysis"
+)
+
+// The dataflow-backed lint passes surface the flow framework's findings as
+// diagnostics. They complement the syntactic lints of checkLints: those
+// fold single expressions, these reason across statements — a branch
+// decided by a propagated constant, a store no path reads, a read of a
+// never-assigned local. All findings are warnings; the interpreter gives
+// every program a well-defined meaning regardless.
+
+// checkDeadCode reports statements the constant propagation proved
+// unreachable (beyond the syntactically dead code the lowering dropped).
+func checkDeadCode(a *analysis.Proc, r *reporter) {
+	f := a.Flow
+	if f == nil || a.P.Unit == nil {
+		return
+	}
+	for _, n := range f.DeadNodes {
+		s := a.P.Stmt[n]
+		r.warnAt(s.Pos(), s.Column(), "the conditions guarding it are decided at compile time",
+			"dead code: statement %q can never execute", s.Text())
+	}
+}
+
+// checkDeadStore reports scalar assignments whose value no later path
+// reads, from the backward liveness analysis.
+func checkDeadStore(a *analysis.Proc, r *reporter) {
+	if a.Flow == nil || a.P.Unit == nil {
+		return
+	}
+	for _, fd := range a.Flow.DeadStores {
+		r.warnAt(fd.Line, fd.Col, "remove the assignment or use the value",
+			"dead store: %s", fd.Msg)
+	}
+}
+
+// checkDefAssign reports reads of locals not assigned on every path from
+// entry, from the forward definite-assignment analysis. The interpreter
+// zero-initializes locals, so these execute deterministically — but the
+// zero is almost never what the author meant.
+func checkDefAssign(a *analysis.Proc, r *reporter) {
+	if a.Flow == nil || a.P.Unit == nil {
+		return
+	}
+	for _, fd := range a.Flow.UseBeforeDef {
+		r.warnAt(fd.Line, fd.Col, "assign the variable on every path before this use",
+			"use before assignment: %s", fd.Msg)
+	}
+}

@@ -1,0 +1,177 @@
+package check_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// loadSrc runs the full front end over an inline source.
+func loadSrc(t *testing.T, src string) *core.Pipeline {
+	t.Helper()
+	p, err := core.Load(src)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return p
+}
+
+// TestLintUnreachableAfterStop pins the lint on statements following STOP:
+// they can never execute and must be flagged, at warning severity only.
+func TestLintUnreachableAfterStop(t *testing.T) {
+	p := loadSrc(t, `      PROGRAM P
+      REAL X
+      X = 1.0
+      PRINT *, X
+      STOP
+      X = 2.0
+      PRINT *, X
+      END
+`)
+	diags, err := check.Program(p.An, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Severity == report.Error {
+			t.Errorf("unreachable code must not be an error: %s", d)
+		}
+		if d.Line == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding points at the statement after STOP: %v", diags)
+	}
+}
+
+// TestLintEmptyProcedure checks degenerate program units carry no findings:
+// nothing to lint is not a defect.
+func TestLintEmptyProcedure(t *testing.T) {
+	p := loadSrc(t, `      PROGRAM P
+      CALL NOP()
+      END
+      SUBROUTINE NOP()
+      END
+`)
+	diags, err := check.Program(p.An, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("empty units must be clean, got: %s", d)
+	}
+}
+
+// TestLintDiagnosticsDeterministic pins ordering: repeated runs over a
+// program that fires several passes at once produce byte-identical,
+// report.Sort-stable diagnostic lists.
+func TestLintDiagnosticsDeterministic(t *testing.T) {
+	src := `      PROGRAM P
+      INTEGER K, J, N, I
+      REAL X
+      K = 1
+      X = 0.0
+      N = 0
+      IF (K .GT. 5) THEN
+         X = X + 1.0
+      ENDIF
+      DO 10 I = 1, N
+         X = X + 1.0
+10    CONTINUE
+      J = 3
+      X = X + REAL(K)
+      PRINT *, X
+      END
+`
+	p := loadSrc(t, src)
+	base, err := check.Program(p.An, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("the fixture must produce findings (constant IF, zero-trip DO, dead store)")
+	}
+	sorted := append([]report.Diagnostic(nil), base...)
+	report.Sort(sorted)
+	if !reflect.DeepEqual(base, sorted) {
+		t.Errorf("diagnostics not emitted in sorted order:\n%v", base)
+	}
+	for i := 0; i < 5; i++ {
+		q := loadSrc(t, src)
+		again, err := check.Program(q.An, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, again) {
+			t.Fatalf("run %d produced different diagnostics:\nfirst: %v\nagain: %v", i, base, again)
+		}
+	}
+}
+
+// TestFlowLintsFire pins each new flow pass on its smallest trigger.
+func TestFlowLintsFire(t *testing.T) {
+	cases := []struct {
+		name string
+		pass string
+		src  string
+	}{
+		{"deadcode", "deadcode", `      PROGRAM P
+      INTEGER K
+      REAL X
+      K = 1
+      X = 0.0
+      IF (K .GT. 5) THEN
+         X = X + 1.0
+      ENDIF
+      PRINT *, X
+      END
+`},
+		{"deadstore", "deadstore", `      PROGRAM P
+      INTEGER K
+      REAL X
+      K = 9
+      K = 2
+      X = REAL(K)
+      PRINT *, X
+      END
+`},
+		{"defassign", "defassign", `      PROGRAM P
+      INTEGER K
+      REAL X
+      IF (RAND() .GT. 0.5) THEN
+         K = 4
+      ENDIF
+      X = REAL(K)
+      PRINT *, X
+      END
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadSrc(t, tc.src)
+			diags, err := check.Program(p.An, check.Options{Passes: []string{tc.pass}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) == 0 {
+				t.Fatalf("pass %s produced no findings", tc.pass)
+			}
+			for _, d := range diags {
+				if d.Pass != tc.pass {
+					t.Errorf("finding from pass %q, want %q: %s", d.Pass, tc.pass, d)
+				}
+				if d.Severity != report.Warning {
+					t.Errorf("flow lints are warnings, got %s: %s", d.Severity, d)
+				}
+				if d.Line == 0 {
+					t.Errorf("finding carries no source line: %s", d)
+				}
+			}
+		})
+	}
+}

@@ -10,10 +10,11 @@ import (
 	"repro/internal/report"
 )
 
-// checkPlan builds the optimized counter placement for the procedure and
-// statically proves it sound via VerifyPlan.
+// checkPlan builds the optimized counter placement for the procedure —
+// the same flow-aware placement BuildPlans deploys — and statically proves
+// it sound via VerifyPlan.
 func checkPlan(a *analysis.Proc, r *reporter) {
-	plan, err := profiler.PlanSmart(a)
+	plan, err := profiler.PlanFlow(a)
 	if err != nil {
 		r.errorf(0, "no solvable counter plan: %v", err)
 		return

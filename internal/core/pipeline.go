@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cdg"
 	"repro/internal/cfg"
 	"repro/internal/cost"
 	"repro/internal/freq"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pathprof"
 	"repro/internal/profiler"
+	"repro/internal/staticfreq"
 	"repro/internal/vm"
 )
 
@@ -479,10 +481,32 @@ func (p *Pipeline) EstimateWithProfile(profile profiler.ProgramProfile, m cost.M
 // withPlanDetTests merges the counter plans' doConstTrip proofs into the
 // estimator options, so DO tests the planner proved deterministic are
 // priced as deterministic even if the static frequency analysis alone
-// could not fold them. Plans are cached, so this is cheap after the first
-// Profile call; a plan build failure is ignored here — estimation can run
-// on the static proofs alone, and the failure resurfaces on Profile.
+// could not fold them, and pins the dataflow framework's exact 0/1
+// condition frequencies (staticfreq.Exact) so conditions proven infeasible
+// estimate at frequency 0 even when no profiled seed exercises the node.
+// Plans are cached, so this is cheap after the first Profile call; a plan
+// build failure is ignored here — estimation can run on the static proofs
+// alone, and the failure resurfaces on Profile.
 func (p *Pipeline) withPlanDetTests(opt Options) Options {
+	static := make(map[string]map[cdg.Condition]float64, len(p.An.Procs))
+	for name, a := range p.An.Procs {
+		exact := staticfreq.Exact(a)
+		if len(exact) == 0 {
+			continue
+		}
+		// Caller-supplied static frequencies take precedence.
+		for c, v := range opt.StaticFreq[name] {
+			exact[c] = v
+		}
+		static[name] = exact
+	}
+	for name, m := range opt.StaticFreq {
+		if _, ok := static[name]; !ok {
+			static[name] = m
+		}
+	}
+	opt.StaticFreq = static
+
 	plans, err := p.profilePlans()
 	if err != nil {
 		return opt

@@ -1,0 +1,372 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// Env maps scalar names to their proven-constant runtime value at a program
+// point. Absence means "varying"; a nil Env means the point is unreached.
+// Besides source scalars the map carries one pseudo variable per DO loop —
+// the hidden trip register the interpreter keys by the test node — under a
+// name TripKey produces (never a legal identifier).
+type Env map[string]interp.Value
+
+// tripKeyPrefix starts every pseudo-variable name; '\x00' cannot occur in a
+// Fortran identifier.
+const tripKeyPrefix = "\x00trip@"
+
+// TripKey names the pseudo variable tracking the hidden trip register of
+// the DO loop whose test node is test.
+func TripKey(test cfg.NodeID) string { return fmt.Sprintf("%s%d", tripKeyPrefix, test) }
+
+// IsTripKey reports whether name denotes a trip pseudo variable rather than
+// a source scalar (callers observing real frames must skip these).
+func IsTripKey(name string) bool { return strings.HasPrefix(name, tripKeyPrefix) }
+
+// constProp is the conditional constant propagation state: an SCCP-style
+// client of the framework that interleaves constant tracking with edge
+// feasibility, so constants are only merged over edges that can execute.
+type constProp struct {
+	p *lower.Proc
+	// env[n] is the constant environment at node entry; nil = unreached.
+	env []Env
+	// feasible[n][k] marks the k-th out-edge of n (OutEdges order) as
+	// executable under the facts proven so far.
+	feasible [][]bool
+}
+
+// runConstProp computes the SCCP fixpoint for p. The iteration order is the
+// same deterministic reverse-postorder priority the generic solver uses;
+// the edge-level worklist is what makes the propagation *conditional*:
+// successors are only (re)visited through edges proven executable.
+func runConstProp(p *lower.Proc) *constProp {
+	g := p.G
+	c := &constProp{
+		p:        p,
+		env:      make([]Env, g.MaxID()+1),
+		feasible: make([][]bool, g.MaxID()+1),
+	}
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		c.feasible[id] = make([]bool, len(g.OutEdges(id)))
+	}
+	wl := newWorklist(priorities(g, Forward))
+	c.env[g.Entry] = c.boundary()
+	wl.push(g.Entry)
+	for {
+		n, ok := wl.pop()
+		if !ok {
+			return c
+		}
+		in := c.env[n]
+		out := c.transfer(n, in)
+		labels := c.feasibleLabels(n, in)
+		for k, e := range g.OutEdges(n) {
+			if labels != nil && !hasLabel(labels, e.Label) {
+				continue
+			}
+			newlyFeasible := !c.feasible[n][k]
+			c.feasible[n][k] = true
+			t := e.To
+			merged, changed := meetEnv(c.env[t], out)
+			if changed || newlyFeasible {
+				c.env[t] = merged
+				wl.push(t)
+			}
+		}
+	}
+}
+
+// boundary is the environment the interpreter guarantees at activation
+// entry: every scalar local is zero-initialized (machine.call allocates
+// &Value{T: sym.Type}), parameters are bound by reference to caller state
+// and therefore unknown, arrays are not tracked.
+func (c *constProp) boundary() Env {
+	env := make(Env)
+	if c.p.Unit == nil { // hand-built test graphs carry no symbol table
+		return env
+	}
+	for name, sym := range c.p.Unit.Symbols {
+		if sym.Kind == lang.SymScalar && !sym.IsParam {
+			env[name] = interp.Value{T: sym.Type}
+		}
+	}
+	return env
+}
+
+// lookup adapts an Env to interp.ConstEnv.
+func (e Env) lookup(name string) (interp.Value, bool) {
+	v, ok := e[name]
+	return v, ok
+}
+
+// transfer computes the node-exit environment, mirroring machine.exec's
+// state effects (including the Convert each store applies). The input map
+// is never mutated; an unchanged environment is returned as-is.
+func (c *constProp) transfer(n cfg.NodeID, in Env) Env {
+	op, _ := c.p.G.Node(n).Payload.(lower.Op)
+	switch o := op.(type) {
+	case lower.OpAssign:
+		lhs, ok := o.S.LHS.(*lang.Var)
+		if !ok {
+			return in // array element stores are not tracked
+		}
+		if v, ok := c.eval(in, o.S.RHS); ok {
+			if cv, ok := c.stored(lhs.Name, v); ok {
+				return in.with(lhs.Name, cv)
+			}
+		}
+		return in.without(lhs.Name)
+	case lower.OpDoInit:
+		out := in
+		if lo, ok := c.eval(in, o.L.Lo); ok {
+			// machine.exec stores Int(lo.I) through setScalar's Convert.
+			if cv, ok := c.stored(o.L.Var, interp.Int(lo.I)); ok {
+				out = out.with(o.L.Var, cv)
+			} else {
+				out = out.without(o.L.Var)
+			}
+		} else {
+			out = out.without(o.L.Var)
+		}
+		if trip, ok := c.trip(in, o.L); ok {
+			return out.with(TripKey(o.Test), interp.Int(trip))
+		}
+		return out.without(TripKey(o.Test))
+	case lower.OpDoIncr:
+		out := in
+		cur, okCur := in[o.L.Var]
+		step, okStep := c.step(in, o.L)
+		if okCur && okStep {
+			if cv, ok := c.stored(o.L.Var, interp.Int(cur.I+step)); ok {
+				out = out.with(o.L.Var, cv)
+			} else {
+				out = out.without(o.L.Var)
+			}
+		} else {
+			out = out.without(o.L.Var)
+		}
+		key := TripKey(o.Test)
+		if t, ok := out[key]; ok {
+			return out.with(key, interp.Int(t.I-1))
+		}
+		return out
+	case lower.OpCall:
+		// Scalar variables passed as bare arguments are bound by reference;
+		// the callee may overwrite them. Everything else is a copy (or an
+		// untracked array).
+		out := in
+		for _, arg := range o.S.Args {
+			if v, ok := arg.(*lang.Var); ok {
+				if sym := c.sym(v.Name); sym != nil && sym.Kind == lang.SymScalar {
+					out = out.without(v.Name)
+				}
+			}
+		}
+		return out
+	}
+	return in
+}
+
+// feasibleLabels returns the out-edge labels node n can take under the
+// environment in, or nil when every label remains possible. It mirrors the
+// dispatch of machine.exec for each multi-way op.
+func (c *constProp) feasibleLabels(n cfg.NodeID, in Env) []cfg.Label {
+	op, _ := c.p.G.Node(n).Payload.(lower.Op)
+	switch o := op.(type) {
+	case lower.OpBranch:
+		if v, ok := c.eval(in, o.Cond); ok {
+			if v.B {
+				return []cfg.Label{cfg.True}
+			}
+			return []cfg.Label{cfg.False}
+		}
+	case lower.OpArithIf:
+		if v, ok := c.eval(in, o.E); ok {
+			x := v.Float()
+			switch {
+			case x < 0:
+				return []cfg.Label{lower.LabelNeg}
+			case x == 0:
+				return []cfg.Label{lower.LabelZero}
+			default:
+				return []cfg.Label{lower.LabelPos}
+			}
+		}
+	case lower.OpComputedGoto:
+		if v, ok := c.eval(in, o.E); ok {
+			if v.I >= 1 && v.I <= int64(o.N) {
+				return []cfg.Label{lower.GotoCase(int(v.I))}
+			}
+			return []cfg.Label{lower.LabelDefault}
+		}
+	case lower.OpDoTest:
+		if t, ok := in[TripKey(o.Key)]; ok {
+			if t.I > 0 {
+				return []cfg.Label{cfg.True}
+			}
+			return []cfg.Label{cfg.False}
+		}
+	}
+	return nil
+}
+
+func (c *constProp) eval(in Env, e lang.Expr) (interp.Value, bool) {
+	return interp.EvalConst(c.p.Unit, e, in.lookup)
+}
+
+// stored applies the conversion a runtime store to name performs. Stores to
+// by-reference parameters land in a caller cell whose type is not visible
+// here, so no constant survives them.
+func (c *constProp) stored(name string, v interp.Value) (interp.Value, bool) {
+	sym := c.sym(name)
+	if sym == nil || sym.Kind != lang.SymScalar || sym.IsParam {
+		return interp.Value{}, false
+	}
+	return interp.Convert(v, sym.Type), true
+}
+
+// sym looks name up in the unit's symbol table, tolerating hand-built
+// procedures without one.
+func (c *constProp) sym(name string) *lang.Symbol {
+	if c.p.Unit == nil {
+		return nil
+	}
+	return c.p.Unit.Symbols[name]
+}
+
+// step folds the DO step expression (nil means 1), mirroring the .I read
+// machine.exec performs.
+func (c *constProp) step(in Env, l *lang.DoLoop) (int64, bool) {
+	if l.Step == nil {
+		return 1, true
+	}
+	v, ok := c.eval(in, l.Step)
+	if !ok {
+		return 0, false
+	}
+	return v.I, true
+}
+
+// trip folds the F77 trip count of l under in, mirroring machine.tripCount:
+// MAX(0, (hi.I-lo.I+step)/step). A zero step is a runtime error, so no trip
+// is claimed for it.
+func (c *constProp) trip(in Env, l *lang.DoLoop) (int64, bool) {
+	lo, okLo := c.eval(in, l.Lo)
+	hi, okHi := c.eval(in, l.Hi)
+	step, okStep := c.step(in, l)
+	if !okLo || !okHi || !okStep || step == 0 {
+		return 0, false
+	}
+	trip := (hi.I - lo.I + step) / step
+	if trip < 0 {
+		trip = 0
+	}
+	return trip, true
+}
+
+// with returns e extended/updated with name=v, copying on write.
+func (e Env) with(name string, v interp.Value) Env {
+	if old, ok := e[name]; ok && valueEq(old, v) {
+		return e
+	}
+	out := make(Env, len(e)+1)
+	for k, val := range e {
+		out[k] = val
+	}
+	out[name] = v
+	return out
+}
+
+// without returns e with name removed, copying on write.
+func (e Env) without(name string) Env {
+	if _, ok := e[name]; !ok {
+		return e
+	}
+	out := make(Env, len(e))
+	for k, val := range e {
+		if k != name {
+			out[k] = val
+		}
+	}
+	return out
+}
+
+// meetEnv intersects two environments, keeping only bindings present and
+// equal in both. A nil old environment (unreached) adopts the incoming one.
+func meetEnv(old, in Env) (Env, bool) {
+	if old == nil {
+		if in == nil {
+			in = Env{}
+		}
+		return in, true
+	}
+	changed := false
+	out := old
+	for k, v := range old {
+		nv, ok := in[k]
+		if !ok || !valueEq(nv, v) {
+			if !changed {
+				out = make(Env, len(old))
+				for k2, v2 := range old {
+					out[k2] = v2
+				}
+				changed = true
+			}
+			delete(out, k)
+		}
+	}
+	return out, changed
+}
+
+// valueEq is runtime value identity with NaN treated as equal to itself
+// (two executions computing NaN through the same expression agree bit-wise
+// for this interpreter's operations; Go's == would needlessly drop them).
+func valueEq(a, b interp.Value) bool {
+	if a.T != b.T {
+		return false
+	}
+	if a.T == lang.TReal && a.R != a.R && b.R != b.R {
+		return a.I == b.I && a.B == b.B
+	}
+	return a == b
+}
+
+func hasLabel(labels []cfg.Label, l cfg.Label) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// ConstsAt returns the proven (name, value) pairs of env in sorted name
+// order, trip pseudo variables excluded.
+func ConstsAt(env Env) []Const {
+	out := make([]Const, 0, len(env))
+	for name, v := range env {
+		if IsTripKey(name) {
+			continue
+		}
+		out = append(out, Const{Name: name, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Const is one proven constant binding.
+type Const struct {
+	Name string
+	Val  interp.Value
+}
+
+// ValueEq reports whether a statically proven value matches an observed
+// runtime value (exact identity; NaN matches NaN).
+func ValueEq(a, b interp.Value) bool { return valueEq(a, b) }

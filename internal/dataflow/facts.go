@@ -1,0 +1,280 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// Finding is one lint-grade fact about a source variable at a node.
+type Finding struct {
+	Node cfg.NodeID
+	Var  string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Facts are the combined per-procedure results of the client analyses. All
+// slices are in deterministic (node ID, then variable name) order. Every
+// claim here is dynamically checkable: the oracle's dataflow-sound invariant
+// asserts each one against profiled runs.
+type Facts struct {
+	Proc *lower.Proc
+
+	// Env[n] is the constant environment at entry to node n; nil marks a
+	// node the conditional constant propagation proved unreachable.
+	Env []Env
+	// Reached[n] reports whether n is reachable under propagated constants.
+	Reached []bool
+
+	// Infeasible lists the CFG edges proven never taken.
+	Infeasible []cfg.Edge
+	// ConstBranch maps each reached multi-way node with exactly one
+	// feasible out-edge to that edge's label.
+	ConstBranch map[cfg.NodeID]cfg.Label
+	// ConstTrips maps a DO loop's test node to its proven constant trip
+	// count: every execution of the loop's DoInit computes this many trips.
+	// Node-split DoInit copies sharing a test must agree or the test is
+	// dropped.
+	ConstTrips map[cfg.NodeID]int64
+
+	// DeadNodes are flow-unreached nodes with source statements, restricted
+	// to the frontier (at least one reached predecessor) to avoid cascades.
+	DeadNodes []cfg.NodeID
+	// DeadStores flags scalar assignments whose value no later path reads.
+	DeadStores []Finding
+	// UseBeforeDef flags reads of locals not assigned on every path from
+	// entry (the interpreter zero-initializes them, so these are warnings).
+	UseBeforeDef []Finding
+}
+
+// Analyze runs all client analyses over p's lowered CFG and assembles their
+// facts. It is deterministic: identical procedures yield identical Facts.
+func Analyze(p *lower.Proc) *Facts {
+	c := runConstProp(p)
+	f := &Facts{
+		Proc:        p,
+		Env:         c.env,
+		Reached:     make([]bool, len(c.env)),
+		ConstBranch: make(map[cfg.NodeID]cfg.Label),
+		ConstTrips:  make(map[cfg.NodeID]int64),
+	}
+	for n := range c.env {
+		f.Reached[n] = c.env[n] != nil
+	}
+	f.deriveEdges(c)
+	f.deriveTrips(c)
+	f.deriveDeadNodes()
+	v := newVars(p)
+	f.deriveDeadStores(v)
+	f.deriveUseBeforeDef(v)
+	return f
+}
+
+// deriveEdges collects infeasible edges and single-successor branches from
+// the SCCP feasibility bitmap, in node-ID then out-edge order.
+func (f *Facts) deriveEdges(c *constProp) {
+	g := f.Proc.G
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		out := g.OutEdges(id)
+		feasibleCount := 0
+		var only cfg.Label
+		for k, e := range out {
+			if c.feasible[id][k] {
+				feasibleCount++
+				only = e.Label
+			} else {
+				f.Infeasible = append(f.Infeasible, e)
+			}
+		}
+		if f.Reached[id] && len(out) >= 2 && feasibleCount == 1 {
+			f.ConstBranch[id] = only
+		}
+	}
+}
+
+// deriveTrips folds each reached DoInit's trip count under its entry
+// environment; node-split copies sharing a test node must all fold to the
+// same value or the test is dropped.
+func (f *Facts) deriveTrips(c *constProp) {
+	bad := make(map[cfg.NodeID]bool)
+	g := f.Proc.G
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		o, ok := g.Node(id).Payload.(lower.OpDoInit)
+		if !ok || !f.Reached[id] {
+			continue
+		}
+		trip, folded := c.trip(c.env[id], o.L)
+		if bad[o.Test] || !folded {
+			bad[o.Test] = true
+			delete(f.ConstTrips, o.Test)
+			continue
+		}
+		if prev, seen := f.ConstTrips[o.Test]; seen && prev != trip {
+			bad[o.Test] = true
+			delete(f.ConstTrips, o.Test)
+			continue
+		}
+		f.ConstTrips[o.Test] = trip
+	}
+}
+
+// deriveDeadNodes lists flow-unreached statement nodes on the reachability
+// frontier. Node splitting may duplicate a statement; its source is only
+// dead when no copy is reached, and is reported once.
+func (f *Facts) deriveDeadNodes() {
+	g := f.Proc.G
+	reachedStmt := make(map[lang.Stmt]bool)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if f.Reached[id] && f.Proc.Stmt[id] != nil {
+			reachedStmt[f.Proc.Stmt[id]] = true
+		}
+	}
+	seen := make(map[lang.Stmt]bool)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		s := f.Proc.Stmt[id]
+		if f.Reached[id] || g.Node(id) == nil || s == nil || reachedStmt[s] || seen[s] {
+			continue
+		}
+		frontier := false
+		for _, e := range g.InEdges(id) {
+			if f.Reached[e.From] {
+				frontier = true
+				break
+			}
+		}
+		if frontier {
+			seen[s] = true
+			f.DeadNodes = append(f.DeadNodes, id)
+		}
+	}
+}
+
+// deriveDeadStores runs the backward liveness analysis and flags reached
+// source-level scalar assignments whose target is dead after the store. A
+// node-split statement is flagged only when the store is dead at every
+// reached copy, and reported once.
+func (f *Facts) deriveDeadStores(v *vars) {
+	sol := Solve(f.Proc.G, liveness{v: v})
+	g := f.Proc.G
+	liveStmt := make(map[lang.Stmt]bool)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if !f.Reached[id] || !v.lintable[id] {
+			continue
+		}
+		// sol.In is the fact flowing into the node along the analysis
+		// direction; for a backward analysis that is the live-out set.
+		if i := v.defVar[id]; i >= 0 && sol.In[id][i] {
+			liveStmt[f.Proc.Stmt[id]] = true
+		}
+	}
+	seen := make(map[lang.Stmt]bool)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if !f.Reached[id] || !v.lintable[id] {
+			continue
+		}
+		i := v.defVar[id]
+		s := f.Proc.Stmt[id]
+		if i < 0 || sol.In[id][i] || liveStmt[s] || seen[s] {
+			continue
+		}
+		seen[s] = true
+		f.DeadStores = append(f.DeadStores, f.finding(id, v.names[i],
+			fmt.Sprintf("value assigned to %s is never read", v.names[i])))
+	}
+}
+
+// deriveUseBeforeDef runs the forward definite-assignment analysis and flags
+// reads of locals not assigned on every path from entry, once per
+// (statement, variable) pair.
+func (f *Facts) deriveUseBeforeDef(v *vars) {
+	sol := Solve(f.Proc.G, defassign{v: v})
+	g := f.Proc.G
+	type key struct {
+		s lang.Stmt
+		i int
+	}
+	seen := make(map[key]bool)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if !f.Reached[id] {
+			continue
+		}
+		for i, used := range v.use[id] {
+			if !used || !v.local[i] || sol.In[id][i] {
+				continue
+			}
+			k := key{f.Proc.Stmt[id], i}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			f.UseBeforeDef = append(f.UseBeforeDef, f.finding(id, v.names[i],
+				fmt.Sprintf("%s may be used before being assigned (reads as zero)", v.names[i])))
+		}
+	}
+}
+
+func (f *Facts) finding(n cfg.NodeID, name, msg string) Finding {
+	fd := Finding{Node: n, Var: name, Msg: msg}
+	if s := f.Proc.Stmt[n]; s != nil {
+		fd.Line = s.Pos()
+		fd.Col = s.Column()
+	}
+	return fd
+}
+
+// ConstsAtNode returns the proven constants at entry to node n in sorted
+// name order (empty for unreached nodes), trip pseudo variables excluded.
+func (f *Facts) ConstsAtNode(n cfg.NodeID) []Const {
+	if int(n) >= len(f.Env) || f.Env[n] == nil {
+		return nil
+	}
+	return ConstsAt(f.Env[n])
+}
+
+// InfeasibleSet returns the infeasible edges keyed for O(1) lookup.
+func (f *Facts) InfeasibleSet() map[cfg.Edge]bool {
+	m := make(map[cfg.Edge]bool, len(f.Infeasible))
+	for _, e := range f.Infeasible {
+		m[e] = true
+	}
+	return m
+}
+
+// Stats summarizes the facts for reporting.
+type Stats struct {
+	Nodes        int
+	ReachedNodes int
+	Infeasible   int
+	ConstBranch  int
+	ConstTrips   int
+	DeadNodes    int
+	DeadStores   int
+	UseBeforeDef int
+}
+
+// Stats counts the facts.
+func (f *Facts) Stats() Stats {
+	st := Stats{
+		Infeasible:   len(f.Infeasible),
+		ConstBranch:  len(f.ConstBranch),
+		ConstTrips:   len(f.ConstTrips),
+		DeadNodes:    len(f.DeadNodes),
+		DeadStores:   len(f.DeadStores),
+		UseBeforeDef: len(f.UseBeforeDef),
+	}
+	g := f.Proc.G
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		if g.Node(id) == nil {
+			continue
+		}
+		st.Nodes++
+		if f.Reached[id] {
+			st.ReachedNodes++
+		}
+	}
+	return st
+}

@@ -1,0 +1,245 @@
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// varSet is a dense bit-vector fact over the procedure's tracked scalars.
+type varSet []bool
+
+// vars enumerates a procedure's tracked scalar names in sorted order and
+// per-node use/def events. Uses are may-uses; defs are must-defs (a CALL
+// never defs for liveness — the callee might not write — and array element
+// stores never def the array).
+type vars struct {
+	p     *lower.Proc
+	names []string
+	index map[string]int
+	param []bool
+	local []bool
+	use   []varSet // per node
+	def   []varSet // per node
+	// defVar[n] is the single scalar a node must-defs, or -1. Only
+	// OpAssign defs are source-level stores (candidates for the dead-store
+	// lint); DO machinery defs are marked but not lintable.
+	defVar   []int
+	lintable []bool
+}
+
+func newVars(p *lower.Proc) *vars {
+	v := &vars{p: p, index: make(map[string]int)}
+	if p.Unit != nil {
+		for name, sym := range p.Unit.Symbols {
+			if sym.Kind == lang.SymScalar {
+				v.names = append(v.names, name)
+			}
+		}
+	}
+	sort.Strings(v.names)
+	v.param = make([]bool, len(v.names))
+	v.local = make([]bool, len(v.names))
+	for i, name := range v.names {
+		v.index[name] = i
+		sym := p.Unit.Symbols[name]
+		v.param[i] = sym.IsParam
+		v.local[i] = !sym.IsParam
+	}
+	g := p.G
+	v.use = make([]varSet, g.MaxID()+1)
+	v.def = make([]varSet, g.MaxID()+1)
+	v.defVar = make([]int, g.MaxID()+1)
+	v.lintable = make([]bool, g.MaxID()+1)
+	for id := cfg.NodeID(1); id <= g.MaxID(); id++ {
+		v.defVar[id] = -1
+		v.use[id] = make(varSet, len(v.names))
+		v.def[id] = make(varSet, len(v.names))
+		v.events(id)
+	}
+	return v
+}
+
+// events fills the use/def sets of node n from its op payload.
+func (v *vars) events(n cfg.NodeID) {
+	op, _ := v.p.G.Node(n).Payload.(lower.Op)
+	useExpr := func(e lang.Expr) { exprVars(e, func(name string) { v.mark(v.use[n], name) }) }
+	switch o := op.(type) {
+	case lower.OpAssign:
+		useExpr(o.S.RHS)
+		switch lhs := o.S.LHS.(type) {
+		case *lang.Var:
+			if i, ok := v.scalar(lhs.Name); ok {
+				v.def[n][i] = true
+				v.defVar[n] = i
+				v.lintable[n] = true
+			}
+		case *lang.Index:
+			for _, s := range lhs.Subs {
+				useExpr(s)
+			}
+		}
+	case lower.OpBranch:
+		useExpr(o.Cond)
+	case lower.OpArithIf:
+		useExpr(o.E)
+	case lower.OpComputedGoto:
+		useExpr(o.E)
+	case lower.OpDoInit:
+		useExpr(o.L.Lo)
+		useExpr(o.L.Hi)
+		if o.L.Step != nil {
+			useExpr(o.L.Step)
+		}
+		if i, ok := v.scalar(o.L.Var); ok {
+			v.def[n][i] = true
+			v.defVar[n] = i
+		}
+	case lower.OpDoIncr:
+		if o.L.Step != nil {
+			useExpr(o.L.Step)
+		}
+		// The increment reads the loop variable before writing it.
+		v.mark(v.use[n], o.L.Var)
+		if i, ok := v.scalar(o.L.Var); ok {
+			v.def[n][i] = true
+			v.defVar[n] = i
+		}
+	case lower.OpCall:
+		for _, arg := range o.S.Args {
+			useExpr(arg)
+		}
+	case lower.OpPrint:
+		for _, e := range o.S.Items {
+			useExpr(e)
+		}
+	}
+}
+
+func (v *vars) scalar(name string) (int, bool) {
+	i, ok := v.index[name]
+	return i, ok
+}
+
+func (v *vars) mark(set varSet, name string) {
+	if i, ok := v.index[name]; ok {
+		set[i] = true
+	}
+}
+
+// exprVars calls fn for every lang.Var leaf of e (array subscripts
+// included; whole-array references pass through fn and are filtered by the
+// scalar index).
+func exprVars(e lang.Expr, fn func(string)) {
+	switch x := e.(type) {
+	case *lang.Var:
+		fn(x.Name)
+	case *lang.Index:
+		fn(x.Name)
+		for _, s := range x.Subs {
+			exprVars(s, fn)
+		}
+	case *lang.Un:
+		exprVars(x.X, fn)
+	case *lang.Bin:
+		exprVars(x.L, fn)
+		exprVars(x.R, fn)
+	case *lang.Intrinsic:
+		for _, a := range x.Args {
+			exprVars(a, fn)
+		}
+	}
+}
+
+// liveness is the backward may-live analysis: a scalar is live at a point
+// when some path from it reaches a use before a must-def. The boundary
+// keeps parameters live (stores through a by-reference parameter are
+// visible to the caller).
+type liveness struct{ v *vars }
+
+func (l liveness) Direction() Direction { return Backward }
+
+func (l liveness) Top() varSet { return make(varSet, len(l.v.names)) }
+
+func (l liveness) Boundary() varSet {
+	out := make(varSet, len(l.v.names))
+	copy(out, l.v.param)
+	return out
+}
+
+func (l liveness) Meet(a, b varSet) varSet {
+	out := make(varSet, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}
+
+func (l liveness) Transfer(n cfg.NodeID, out varSet) varSet {
+	in := make(varSet, len(out))
+	for i := range out {
+		in[i] = l.v.use[n][i] || (out[i] && !l.v.def[n][i])
+	}
+	return in
+}
+
+func (l liveness) Equal(a, b varSet) bool { return setEq(a, b) }
+
+// defassign is the forward definite-assignment analysis: the set of locals
+// assigned on every path from entry. Meet is intersection, so Top is the
+// full universe. A scalar passed bare to a CALL counts as assigned — the
+// callee may write it, and warning on later reads would be noise.
+type defassign struct{ v *vars }
+
+func (d defassign) Direction() Direction { return Forward }
+
+func (d defassign) Top() varSet {
+	out := make(varSet, len(d.v.names))
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func (d defassign) Boundary() varSet { return make(varSet, len(d.v.names)) }
+
+func (d defassign) Meet(a, b varSet) varSet {
+	out := make(varSet, len(a))
+	for i := range a {
+		out[i] = a[i] && b[i]
+	}
+	return out
+}
+
+func (d defassign) Transfer(n cfg.NodeID, in varSet) varSet {
+	out := make(varSet, len(in))
+	copy(out, in)
+	for i := range out {
+		if d.v.def[n][i] {
+			out[i] = true
+		}
+	}
+	if op, ok := d.v.p.G.Node(n).Payload.(lower.OpCall); ok {
+		for _, arg := range op.S.Args {
+			if vr, ok := arg.(*lang.Var); ok {
+				if i, ok := d.v.scalar(vr.Name); ok {
+					out[i] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (d defassign) Equal(a, b varSet) bool { return setEq(a, b) }
+
+func setEq(a, b varSet) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -208,7 +208,7 @@ func RegisterVMBatchEngine(run func(*lower.Result, Options, []uint64, int, Batch
 // with identical sink observations. Each seed's res/err are bit-identical
 // to Run with the same Options and that seed.
 func RunBatch(res *lower.Result, opt Options, seeds []uint64, lanes int, sink BatchSink) (BatchStats, error) {
-	if EffectiveEngine(opt.Engine) == EngineVMBatch && opt.OnNode == nil && vmRunBatch != nil {
+	if EffectiveEngine(opt.Engine) == EngineVMBatch && opt.OnNode == nil && opt.OnNodeVals == nil && vmRunBatch != nil {
 		return vmRunBatch(res, opt, seeds, lanes, sink)
 	}
 	stats := BatchStats{Seeds: len(seeds), Lanes: 1}
@@ -274,6 +274,15 @@ type Options struct {
 	// model cost accumulated so far, the node's own cost included.
 	// Requires Model to be set; silently never fires otherwise.
 	OnNodeCost func(p *lower.Proc, n cfg.NodeID, costSoFar float64)
+	// OnNodeVals, if set, is invoked before each node executes with a
+	// getter for the current values of the activation's scalar variables
+	// (locals and by-reference parameters; arrays and DO trip registers are
+	// not addressable). Like OnNode it forces the tree-walker: the VM keeps
+	// no name-addressable frame. Hook-carrying activations run a dedicated
+	// copy of the dispatch path (callVals/loopVals) so the closure over the
+	// frame's bindings never taints the uninstrumented activation's escape
+	// analysis. Incompatible with PathSpec; Run rejects the combination.
+	OnNodeVals func(p *lower.Proc, n cfg.NodeID, get func(name string) (Value, bool))
 	// Engine selects the execution substrate. Both engines produce
 	// bit-identical Results; EngineVM compiles the program to bytecode
 	// first (use vm.Compile + Program.Run, or core.Pipeline, to amortize
@@ -384,10 +393,14 @@ func Run(res *lower.Result, opt Options) (*Result, error) {
 	if res.Main == nil {
 		return nil, fmt.Errorf("interp: program has no main unit")
 	}
+	if opt.OnNodeVals != nil && opt.PathSpec != nil {
+		return nil, fmt.Errorf("interp: OnNodeVals cannot be combined with PathSpec")
+	}
 	// The VM supports Out and OnNodeCost but not OnNode (whose OpDoInit
-	// trip argument needs the tree-walker's evaluation order); runs that
-	// need it stay on the reference engine.
-	if EffectiveEngine(opt.Engine).VMBased() && opt.OnNode == nil && vmRun != nil {
+	// trip argument needs the tree-walker's evaluation order) or OnNodeVals
+	// (which needs name-addressable frames); runs that need either stay on
+	// the reference engine.
+	if EffectiveEngine(opt.Engine).VMBased() && opt.OnNode == nil && opt.OnNodeVals == nil && vmRun != nil {
 		return vmRun(res, opt)
 	}
 	m := &machine{
@@ -443,6 +456,14 @@ func Run(res *lower.Result, opt Options) (*Result, error) {
 // call runs one procedure activation. args/argStmt describe the CALL site
 // bindings (nil for main).
 func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) error {
+	// Hook-carrying activations run a twin of this function. The frame
+	// below must never be mentioned by any value-capturing construct in
+	// this function: escape analysis is not path-sensitive, so a single
+	// closure over f (or f.vars) would push every activation's frame and
+	// binding map to the heap, hook set or not.
+	if m.opt.OnNodeVals != nil {
+		return m.callVals(p, caller, callStmt)
+	}
 	m.depth++
 	defer func() { m.depth-- }()
 	if m.depth > 10000 {
@@ -453,6 +474,76 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 		vars:  make(map[string]*binding, len(p.Unit.Symbols)),
 		trips: make([]int64, p.G.MaxID()+1),
 	}
+	if err := m.bindFrame(f, p, caller, callStmt); err != nil {
+		return err
+	}
+
+	counts := m.result.ByProc[p.G.Name]
+	counts.Activations++
+	costs := m.costs[p.G.Name]
+	g := p.G
+	// Path-instrumented activations run a separate copy of the dispatch
+	// loop: keeping the Ball–Larus state and per-edge bookkeeping out of
+	// the common loop keeps the uninstrumented hot path at its original
+	// register pressure (folding them in costs ~30% tree throughput).
+	if m.opt.PathSpec != nil {
+		if ps := m.opt.PathSpec.Procs[p.G.Name]; ps != nil {
+			return m.loopPaths(p, f, counts, costs, ps)
+		}
+	}
+	pc := g.Entry
+	for {
+		m.steps++
+		if m.steps > m.max {
+			return &RuntimeError{Unit: p.G.Name, Line: m.lineOf(p, pc), Msg: "step limit exceeded"}
+		}
+		counts.Node[pc]++
+		if costs != nil {
+			m.result.Cost += costs[pc]
+			if m.opt.OnNodeCost != nil {
+				m.opt.OnNodeCost(p, pc, m.result.Cost)
+			}
+		}
+		op, _ := g.Node(pc).Payload.(lower.Op)
+		if m.opt.OnNode != nil {
+			trip := int64(-1)
+			if di, ok := op.(lower.OpDoInit); ok {
+				t, err := m.tripCount(f, di.L)
+				if err != nil {
+					return err
+				}
+				trip = t
+			}
+			m.opt.OnNode(p, pc, trip)
+		}
+		label, done, err := m.exec(f, pc, op)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		taken := -1
+		for k, e := range g.OutEdges(pc) {
+			if e.Label == label {
+				taken = k
+				break
+			}
+		}
+		if taken < 0 {
+			return &RuntimeError{Unit: p.G.Name, Line: m.lineOf(p, pc),
+				Msg: fmt.Sprintf("no out-edge labelled %s from node %d", label, pc)}
+		}
+		counts.Edge[pc][taken]++
+		pc = g.OutEdges(pc)[taken].To
+	}
+}
+
+// bindFrame populates a fresh activation frame: parameters bound by
+// reference to the CALL site, locals allocated, and passed arrays
+// reinterpreted with the callee's declared shape. It must not retain f
+// anywhere — both activation paths rely on the frame staying local.
+func (m *machine) bindFrame(f *frame, p *lower.Proc, caller *frame, callStmt *lang.CallStmt) error {
 	// Bind parameters by reference.
 	if callStmt != nil {
 		for i, name := range p.Unit.Params {
@@ -508,20 +599,39 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 			f.vars[name] = &binding{arr: &Array{Type: b.arr.Type, Dims: dims, Elems: b.arr.Elems}}
 		}
 	}
+	return nil
+}
 
+// callVals is machine.call's twin for OnNodeVals-instrumented runs: the
+// same activation protocol, but the frame is built here — in a different
+// function — so the hook's closure over the binding map only taints this
+// path's escape analysis, and it dispatches to loopVals. PathSpec never
+// reaches here (Run rejects the combination).
+func (m *machine) callVals(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) error {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > 10000 {
+		return &RuntimeError{Unit: p.G.Name, Line: 0, Msg: "call stack overflow (runaway recursion?)"}
+	}
+	f := &frame{
+		proc:  p,
+		vars:  make(map[string]*binding, len(p.Unit.Symbols)),
+		trips: make([]int64, p.G.MaxID()+1),
+	}
+	if err := m.bindFrame(f, p, caller, callStmt); err != nil {
+		return err
+	}
 	counts := m.result.ByProc[p.G.Name]
 	counts.Activations++
-	costs := m.costs[p.G.Name]
+	return m.loopVals(p, f, counts, m.costs[p.G.Name], varsGetter(f.vars))
+}
+
+// loopVals is the dispatch loop of an OnNodeVals-instrumented activation.
+// It must stay a line-for-line copy of machine.call's loop — steps, costs,
+// hooks, counts and error behaviour included — so observing variable
+// values never perturbs execution.
+func (m *machine) loopVals(p *lower.Proc, f *frame, counts *Counts, costs []float64, getVal func(name string) (Value, bool)) error {
 	g := p.G
-	// Path-instrumented activations run a separate copy of the dispatch
-	// loop: keeping the Ball–Larus state and per-edge bookkeeping out of
-	// the common loop keeps the uninstrumented hot path at its original
-	// register pressure (folding them in costs ~30% tree throughput).
-	if m.opt.PathSpec != nil {
-		if ps := m.opt.PathSpec.Procs[p.G.Name]; ps != nil {
-			return m.loopPaths(p, f, counts, costs, ps)
-		}
-	}
 	pc := g.Entry
 	for {
 		m.steps++
@@ -547,6 +657,7 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 			}
 			m.opt.OnNode(p, pc, trip)
 		}
+		m.opt.OnNodeVals(p, pc, getVal)
 		label, done, err := m.exec(f, pc, op)
 		if err != nil {
 			return err
@@ -643,6 +754,22 @@ func (m *machine) loopPaths(p *lower.Proc, f *frame, counts *Counts, costs []flo
 			preg = ps.Reset[pc][taken]
 		}
 		pc = g.OutEdges(pc)[taken].To
+	}
+}
+
+// varsGetter builds the per-activation scalar accessor OnNodeVals
+// receives: one closure per activation, not per node. It captures the
+// binding map, never the frame, and is only ever called from callVals —
+// mentioning it from machine.call would leak every activation's frame or
+// binding map to the heap, hook set or not (escape analysis is not
+// path-sensitive), and uninstrumented tree throughput pays for that in
+// allocation and GC pressure.
+func varsGetter(vars map[string]*binding) func(name string) (Value, bool) {
+	return func(name string) (Value, bool) {
+		if b, ok := vars[name]; ok && b.cell != nil {
+			return *b.cell, true
+		}
+		return Value{}, false
 	}
 }
 

@@ -1,0 +1,148 @@
+package oracle
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/lang"
+	"repro/internal/lower"
+)
+
+// TestFuzzCorpusDataflow replays every committed fuzz corpus input through
+// the dataflow analyses (the `make dataflow-selfcheck` hook): each source
+// the front end accepts must analyze without panicking, and each program
+// the full pipeline accepts must satisfy the dataflow-sound invariant.
+func TestFuzzCorpusDataflow(t *testing.T) {
+	sources := corpusStrings(t, "testdata/fuzz/FuzzParsePipeline")
+	if len(sources) == 0 {
+		t.Fatal("no FuzzParsePipeline corpus inputs found")
+	}
+	for name, src := range sources {
+		t.Run("parse/"+name, func(t *testing.T) {
+			prog, err := lang.Parse(src)
+			if err != nil {
+				return // rejecting the input is fine; panicking is not
+			}
+			res, err := lower.Lower(prog)
+			if err != nil {
+				return
+			}
+			for _, p := range res.Procs {
+				f := dataflow.Analyze(p)
+				if f.Stats().Nodes == 0 {
+					t.Errorf("proc %s: analysis saw no nodes", p.G.Name)
+				}
+			}
+			c := &Case{Seed: 1, Size: 1, Depth: 1, ProfileSeeds: []uint64{1, 2},
+				MaxSteps: 200_000, Src: src}
+			if err := c.Check([]string{"dataflow-sound"}); err != nil {
+				var pe *PipelineError
+				if errors.As(err, &pe) {
+					return // the pipeline may reject what the front end accepts
+				}
+				t.Errorf("dataflow-sound: %v\n%s", err, src)
+			}
+		})
+	}
+	for name, args := range corpusProgenArgs(t, "testdata/fuzz/FuzzProgenOracle") {
+		t.Run("progen/"+name, func(t *testing.T) {
+			size, depth := 1+int(uint(args.size)%6), 1+int(uint(args.depth)%3)
+			kind := KindRandom
+			if args.branchFree {
+				kind = KindBranchFree
+			}
+			c := NewCaseOpts(args.seed, size, depth, kind, 2, true)
+			c.MaxSteps = 1_000_000
+			if err := c.Check([]string{"dataflow-sound"}); err != nil {
+				t.Errorf("dataflow-sound: %v\n%s", err, c.Src)
+			}
+		})
+	}
+}
+
+// corpusStrings reads every `go test fuzz v1` file with a single string
+// argument under dir, keyed by file name.
+func corpusStrings(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	for _, e := range entries {
+		lines := corpusLines(t, filepath.Join(dir, e.Name()))
+		if len(lines) != 1 || !strings.HasPrefix(lines[0], "string(") {
+			t.Fatalf("%s: want one string argument, got %v", e.Name(), lines)
+		}
+		s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(lines[0], "string("), ")"))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		out[e.Name()] = s
+	}
+	return out
+}
+
+type progenArgs struct {
+	seed        uint64
+	size, depth int
+	branchFree  bool
+}
+
+// corpusProgenArgs reads the FuzzProgenOracle corpus (uint64, int, int,
+// bool per file), keyed by file name.
+func corpusProgenArgs(t *testing.T, dir string) map[string]progenArgs {
+	t.Helper()
+	out := make(map[string]progenArgs)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	for _, e := range entries {
+		lines := corpusLines(t, filepath.Join(dir, e.Name()))
+		if len(lines) != 4 {
+			t.Fatalf("%s: want 4 arguments, got %v", e.Name(), lines)
+		}
+		var a progenArgs
+		a.seed = uint64(corpusInt(t, lines[0]))
+		a.size = int(corpusInt(t, lines[1]))
+		a.depth = int(corpusInt(t, lines[2]))
+		a.branchFree = strings.Contains(lines[3], "true")
+		out[e.Name()] = a
+	}
+	return out
+}
+
+// corpusLines returns a corpus file's argument lines, header dropped.
+func corpusLines(t *testing.T, path string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 1 || !strings.HasPrefix(lines[0], "go test fuzz") {
+		t.Fatalf("%s: not a fuzz corpus file", path)
+	}
+	return lines[1:]
+}
+
+// corpusInt extracts the numeric literal from a `type(value)` corpus line.
+func corpusInt(t *testing.T, line string) int64 {
+	t.Helper()
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		t.Fatalf("malformed corpus line %q", line)
+	}
+	v, err := strconv.ParseInt(line[open+1:close], 10, 64)
+	if err != nil {
+		t.Fatalf("corpus line %q: %v", line, err)
+	}
+	return v
+}

@@ -99,6 +99,11 @@ func Registry() []Invariant {
 			Check: checkPlanEquiv,
 		},
 		{
+			Name:  "dataflow-sound",
+			Desc:  "every dataflow fact holds dynamically: infeasible edges have frequency 0, decided branches always take their label, unreachable nodes never execute, constant trips match iteration counts, and proven-constant variables hold exactly their value at run time",
+			Check: checkDataflowSound,
+		},
+		{
 			Name:  "checker-clean",
 			Desc:  "every generated program passes the internal/check static passes with no error-severity findings, and the rank proof certifies its counter plans",
 			Check: checkCheckerClean,

@@ -95,6 +95,11 @@ type Case struct {
 	// recovered with (StrategyDefault resolves as in core). The plan-equiv
 	// invariant additionally checks both strategies against each other.
 	Plan core.Strategy
+	// ConstFacts asks progen for its dataflow gadget block: conditions and
+	// loop bounds decided only by propagated constants, a dead store and a
+	// zero-initialized read, so the dataflow-sound invariant has real facts
+	// to check. Only meaningful for KindRandom cases.
+	ConstFacts bool
 	// Src is the program text; filled by Generate, or set directly to
 	// check an externally supplied source.
 	Src string
@@ -103,7 +108,15 @@ type Case struct {
 // NewCase generates the program for (seed, size, depth, kind) with the
 // given number of profile runs.
 func NewCase(seed uint64, size, depth int, kind Kind, profileRuns int) *Case {
-	c := &Case{Seed: seed, Size: size, Depth: depth, Kind: kind, MaxSteps: 20_000_000}
+	return NewCaseOpts(seed, size, depth, kind, profileRuns, false)
+}
+
+// NewCaseOpts is NewCase plus the ConstFacts generator knob (ignored for
+// the non-random families, which must stay fully deterministic).
+func NewCaseOpts(seed uint64, size, depth int, kind Kind, profileRuns int, constFacts bool) *Case {
+	constFacts = constFacts && kind == KindRandom
+	c := &Case{Seed: seed, Size: size, Depth: depth, Kind: kind,
+		ConstFacts: constFacts, MaxSteps: 20_000_000}
 	if profileRuns < 1 {
 		profileRuns = 1
 	}
@@ -113,6 +126,7 @@ func NewCase(seed uint64, size, depth int, kind Kind, profileRuns int) *Case {
 	c.Src = progen.GenerateOpts(seed, size, depth, progen.Opts{
 		BranchFree: kind == KindBranchFree || kind == KindDetLoop,
 		ConstLoops: kind == KindDetLoop,
+		ConstFacts: constFacts,
 	})
 	return c
 }
@@ -304,6 +318,11 @@ type Config struct {
 	// (0 disables). When a case index matches both knobs, det-loop wins —
 	// it is the stricter family.
 	DetLoopEvery int
+	// ConstFactsEvery makes every k-th random case carry the progen
+	// dataflow gadget block — flow-only-provable dead branches, constant
+	// trips, a dead store and a zero-initialized read (0 disables; the
+	// branch-free families are never affected).
+	ConstFactsEvery int
 	// Workers bounds concurrent case evaluation (≤0 = GOMAXPROCS).
 	Workers int
 	// Engine selects the execution substrate every case runs on.
@@ -341,7 +360,8 @@ func (cfg *Config) caseFor(i int) *Case {
 	if depth < 1 {
 		depth = 3
 	}
-	c := NewCase(seed, size, depth, kind, cfg.ProfileRuns)
+	constFacts := cfg.ConstFactsEvery > 0 && i%cfg.ConstFactsEvery == cfg.ConstFactsEvery-1
+	c := NewCaseOpts(seed, size, depth, kind, cfg.ProfileRuns, constFacts)
 	c.Engine = cfg.Engine
 	c.Plan = cfg.Plan
 	return c
@@ -486,7 +506,7 @@ func newFailure(invariant string, c *Case, err error, minimize bool) Failure {
 // (nil, nil) if no smaller configuration reproduces the failure.
 func Minimize(c *Case, invariant string) (*Case, error) {
 	fails := func(size, depth int) (*Case, error) {
-		mc := NewCase(c.Seed, size, depth, c.Kind, len(c.ProfileSeeds))
+		mc := NewCaseOpts(c.Seed, size, depth, c.Kind, len(c.ProfileSeeds), c.ConstFacts)
 		mc.Engine = c.Engine
 		mc.Plan = c.Plan
 		var err error

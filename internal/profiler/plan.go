@@ -36,6 +36,7 @@ import (
 	"repro/internal/ecfg"
 	"repro/internal/lang"
 	"repro/internal/lower"
+	"repro/internal/staticfreq"
 )
 
 // CounterKind distinguishes the instrumentation a counter needs.
@@ -114,6 +115,10 @@ type Plan struct {
 	Naive bool
 	// Blocks lists the basic block leaders (naive plans).
 	Blocks []cfg.NodeID
+	// flowTrips are dataflow-proven constant trip counts per DO-test node,
+	// consulted by doLoopRule when syntactic folding of the bounds fails.
+	// Only flow-aware placements (PlanFlow) set it.
+	flowTrips map[cfg.NodeID]int64
 }
 
 // NumCounters returns the number of counter variables the plan maintains.
@@ -141,7 +146,7 @@ func PlanSmart(a *analysis.Proc) (*Plan, error) { return PlanLevel(a, LevelFull)
 
 // PlanLevel computes a placement applying the optimizations up to level.
 func PlanLevel(a *analysis.Proc, level Level) (*Plan, error) {
-	return planImpl(a, level, nil)
+	return planImpl(a, level, nil, nil)
 }
 
 // PlanStatic computes the fully optimized placement and additionally drops
@@ -149,11 +154,25 @@ func PlanLevel(a *analysis.Proc, level Level) (*Plan, error) {
 // staticfreq): the paper's complementary program analysis. static maps
 // conditions to their compile-time FREQ.
 func PlanStatic(a *analysis.Proc, static map[cdg.Condition]float64) (*Plan, error) {
-	return planImpl(a, LevelFull, static)
+	return planImpl(a, LevelFull, static, nil)
 }
 
-func planImpl(a *analysis.Proc, level Level, static map[cdg.Condition]float64) (*Plan, error) {
-	p := &Plan{A: a}
+// PlanFlow computes the fully optimized placement additionally informed by
+// the procedure's dataflow facts (a.Flow): counters for conditions pinned
+// to an exact 0/1 frequency by feasibility analysis are dropped, and DO
+// loops whose trip count only the constant propagation can fold are priced
+// as constant-trip loops (no TripAdd counter). This is the placement
+// BuildPlans uses; PlanSmart remains the purely profile-driven baseline.
+func PlanFlow(a *analysis.Proc) (*Plan, error) {
+	var trips map[cfg.NodeID]int64
+	if a.Flow != nil {
+		trips = a.Flow.ConstTrips
+	}
+	return planImpl(a, LevelFull, staticfreq.Exact(a), trips)
+}
+
+func planImpl(a *analysis.Proc, level Level, static map[cdg.Condition]float64, flowTrips map[cfg.NodeID]int64) (*Plan, error) {
+	p := &Plan{A: a, flowTrips: flowTrips}
 	for _, c := range a.FCDG.Conditions() {
 		if c.Label.IsPseudo() {
 			continue
@@ -369,6 +388,9 @@ func (p *Plan) doLoopRule(h cfg.NodeID) (rule, bool) {
 		if trip < 0 {
 			trip = 0
 		}
+		return rule{kind: doConstTrip, node: h, trip: trip}, true
+	}
+	if trip, ok := p.flowTrips[h]; ok {
 		return rule{kind: doConstTrip, node: h, trip: trip}, true
 	}
 	return rule{kind: doAddTrip, node: h}, true

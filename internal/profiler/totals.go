@@ -138,11 +138,12 @@ type ProgramProfile map[string]freq.Totals
 // across concurrent runs.
 type Plans map[string]*Plan
 
-// BuildPlans computes the smart placement of every procedure once.
+// BuildPlans computes the flow-aware smart placement of every procedure
+// once (PlanFlow: the smart scheme plus dataflow-derived counter drops).
 func BuildPlans(prog *analysis.Program) (Plans, error) {
 	out := make(Plans, len(prog.Procs))
 	for name, a := range prog.Procs {
-		plan, err := PlanSmart(a)
+		plan, err := PlanFlow(a)
 		if err != nil {
 			return nil, err
 		}

@@ -41,6 +41,15 @@ type Opts struct {
 	// must still report VAR(START) = 0 exactly. Only meaningful together
 	// with BranchFree.
 	ConstLoops bool
+	// ConstFacts prepends a gadget block that the dataflow framework — but
+	// not syntactic constant folding — can resolve: an IF decided by a
+	// propagated constant (one arm dead), a DO loop whose trip count only
+	// flow analysis proves constant, a dead store, and a read of a
+	// never-assigned (zero-initialized) local. The oracle corpus uses it to
+	// exercise the dataflow-sound invariant and the flow lints. With the
+	// knob off the output is bit-identical to prior versions (no extra rng
+	// draws).
+	ConstFacts bool
 }
 
 // Generate returns a random program. Larger size yields more statements;
@@ -64,8 +73,14 @@ func GenerateOpts(seed uint64, size, maxDepth int, o Opts) string {
 	b.WriteString("      PROGRAM RANDP\n")
 	b.WriteString("      INTEGER I1, I2, I3, I4, K, KG1, KG2, KG3, KG4\n")
 	b.WriteString("      REAL X1, X2, X3\n")
+	if o.ConstFacts {
+		b.WriteString("      INTEGER KC1, KC2, KC3, KC4, KCI\n")
+	}
 	b.WriteString("      X1 = 1.0\n      X2 = 2.0\n      X3 = 0.5\n      K = 0\n")
 	g.subs = nsubs
+	if o.ConstFacts {
+		g.constFacts(&b)
+	}
 	g.block(&b, size, 0, 3)
 	b.WriteString("      PRINT *, X1, X2, K\n")
 	b.WriteString("      END\n")
@@ -163,6 +178,40 @@ func (g *gen) block(b *strings.Builder, n, depth, indent int) {
 			fmt.Fprintf(b, "%s   IF (X1 .GT. %d.0) X1 = X1*0.75\n", pad, 1+g.r.intn(50))
 		}
 	}
+}
+
+// constFacts emits the dataflow gadget block: facts only flow analysis can
+// prove, over the reserved KC* scalars no other generator rule touches.
+// The IF condition and DO bound read variables, so syntactic folding
+// (lang.FoldLogical/FoldInt) cannot decide them; constant propagation can.
+func (g *gen) constFacts(b *strings.Builder) {
+	// A branch decided by a propagated constant. Half the time the taken
+	// arm is the THEN (condition provably true, ELSE dead), half the F
+	// fall-through (THEN dead).
+	c := 2 + g.r.intn(7)
+	d := 1 + g.r.intn(5)
+	fmt.Fprintf(b, "      KC1 = %d\n", c)
+	if g.r.chance(0.5) {
+		fmt.Fprintf(b, "      IF (KC1 .GT. %d) THEN\n", c+d)
+		b.WriteString("         X1 = X1 + 123.0\n")
+		b.WriteString("      ENDIF\n")
+	} else {
+		fmt.Fprintf(b, "      IF (KC1 .LE. %d) THEN\n", c+d)
+		b.WriteString("         X1 = X1 + 0.125\n")
+		b.WriteString("      ELSE\n")
+		b.WriteString("         X1 = X1 + 123.0\n")
+		b.WriteString("      ENDIF\n")
+	}
+	// A DO loop whose trip count only the flow analysis proves constant.
+	lab := g.newLabel()
+	fmt.Fprintf(b, "      KC2 = %d\n", 2+g.r.intn(5))
+	fmt.Fprintf(b, "      DO %d KCI = 1, KC2\n", lab)
+	b.WriteString("         X2 = X2 + 0.25\n")
+	fmt.Fprintf(b, "%4d CONTINUE\n", lab)
+	// A dead store (KC3 is never read) and a read of a never-assigned
+	// local (KC4, which the interpreter zero-initializes).
+	fmt.Fprintf(b, "      KC3 = %d\n", 10+g.r.intn(90))
+	b.WriteString("      K = K + KC4\n")
 }
 
 // branchFreeStmt emits one statement of the straight-line family:

@@ -69,3 +69,31 @@ func TestGenerateOptsDefaultMatchesGenerate(t *testing.T) {
 		t.Error("GenerateOpts with zero Opts must equal Generate")
 	}
 }
+
+// TestConstFactsKnobOffIsIdentical pins the ConstFacts gadget behind its
+// knob: with the knob off, no rng draw or declaration changes, so output is
+// bit-identical to the knobless generator.
+func TestConstFactsKnobOffIsIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		if GenerateOpts(seed, 6, 3, Opts{}) != GenerateOpts(seed, 6, 3, Opts{ConstFacts: false}) {
+			t.Fatalf("seed %d: ConstFacts=false changed the output", seed)
+		}
+	}
+}
+
+// TestConstFactsProgramsParse checks every ConstFacts program parses and
+// carries the gadget's reserved scalars, which no other generator rule may
+// touch (the dataflow analyses must be the only way to decide them).
+func TestConstFactsProgramsParse(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		src := GenerateOpts(seed, 1+int(seed%8), 1+int(seed%4), Opts{ConstFacts: true})
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		for _, token := range []string{"KC1 =", "KC2 =", "KC3 =", "KC4", "KCI"} {
+			if !strings.Contains(src, token) {
+				t.Fatalf("seed %d: ConstFacts program lacks %q:\n%s", seed, token, src)
+			}
+		}
+	}
+}

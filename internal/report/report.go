@@ -127,6 +127,9 @@ type Document struct {
 	Warnings    int          `json:"warnings"`
 	// HotPaths is the optional hot-path report (ptranlint -hot-paths).
 	HotPaths []HotPath `json:"hot_paths,omitempty"`
+	// Dataflow is the optional per-procedure dataflow fact report
+	// (ptranlint -dataflow); the element type lives with the tool.
+	Dataflow any `json:"dataflow,omitempty"`
 	// Spans are the pipeline phase timings of a traced run (obs.Trace).
 	Spans []Span `json:"spans,omitempty"`
 	// Metrics is a point-in-time snapshot of the process metrics registry.

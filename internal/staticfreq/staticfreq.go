@@ -13,7 +13,11 @@
 //     condition's FREQ is trip+1 header executions per entry, and the
 //     test's T/F branch probabilities are trip/(trip+1) and 1/(trip+1);
 //   - IF conditions (block or logical) that fold to .TRUE. or .FALSE.;
-//   - arithmetic IFs and computed GOTOs over constant expressions.
+//   - arithmetic IFs and computed GOTOs over constant expressions;
+//   - conditions the dataflow framework (internal/dataflow) resolves
+//     beyond syntactic folding: branches decided by propagated constants,
+//     edges proven infeasible, and DO loops whose bounds become constant
+//     only through the flow of proven-constant scalars.
 //
 // The result is a partial FREQ assignment over the procedure's control
 // conditions; freq.ComputeOpts accepts it alongside profile totals, and
@@ -107,6 +111,49 @@ func Analyze(a *analysis.Proc) map[cdg.Condition]float64 {
 			set(cdg.Condition{Node: n.ID, Label: lower.LabelDefault}, p)
 		}
 	}
+
+	// Dataflow facts sharpen the syntactic cases: an infeasible edge's
+	// condition has frequency 0, and a branch with a single feasible label
+	// takes it on every execution.
+	if a.Flow != nil {
+		for _, e := range a.Flow.Infeasible {
+			set(cdg.Condition{Node: e.From, Label: e.Label}, 0)
+		}
+		for n, lbl := range a.Flow.ConstBranch {
+			set(cdg.Condition{Node: n, Label: lbl}, 1)
+		}
+	}
+	return out
+}
+
+// Exact returns the subset of static frequencies that hold exactly on
+// every run, including runs cut short by STOP: conditions pinned to 0 by
+// proven edge infeasibility and to 1 by a branch with a single feasible
+// label. A branch node's execution and its edge taking are recorded
+// atomically by the interpreter, so FREQ(c) = 0 or 1 times exec(node) can
+// never be off even for truncated runs — the counter planner may therefore
+// drop counters for these conditions unconditionally. Trip-derived
+// fractional frequencies are deliberately excluded (they are exact only
+// for runs that complete).
+func Exact(a *analysis.Proc) map[cdg.Condition]float64 {
+	out := make(map[cdg.Condition]float64)
+	if a.Flow == nil {
+		return out
+	}
+	known := map[cdg.Condition]bool{}
+	for _, c := range a.FCDG.Conditions() {
+		known[c] = true
+	}
+	for _, e := range a.Flow.Infeasible {
+		if c := (cdg.Condition{Node: e.From, Label: e.Label}); known[c] {
+			out[c] = 0
+		}
+	}
+	for n, lbl := range a.Flow.ConstBranch {
+		if c := (cdg.Condition{Node: n, Label: lbl}); known[c] {
+			out[c] = 1
+		}
+	}
 	return out
 }
 
@@ -133,22 +180,12 @@ func ConstTripTests(a *analysis.Proc) map[cfg.NodeID]int64 {
 }
 
 // constTrip reports whether the DO test at node id belongs to an exit-free
-// loop with compile-time-constant bounds, and the trip count if so.
+// loop whose trip count is known at compile time — by syntactic constant
+// folding of the bounds, or failing that by the dataflow framework's
+// flow-proven constant trips — and the trip count if so.
 func constTrip(a *analysis.Proc, id cfg.NodeID, op lower.OpDoTest) (int64, bool) {
-	if !a.Intervals.IsHeader(id) {
+	if !a.Intervals.IsHeader(id) || !exitFree(a, id) {
 		return 0, false
-	}
-	// Exit-free: every postexit of this interval is fed only by the test
-	// itself ("no conditional loop exits").
-	for _, pe := range a.Ext.Postexits {
-		if a.Ext.ExitedInterval[pe] != id {
-			continue
-		}
-		for _, e := range a.Ext.G.InEdges(pe) {
-			if !e.Pseudo() && e.From != id {
-				return 0, false
-			}
-		}
 	}
 	l := op.L
 	lo, okLo := lang.FoldInt(a.P.Unit, l.Lo)
@@ -158,14 +195,35 @@ func constTrip(a *analysis.Proc, id cfg.NodeID, op lower.OpDoTest) (int64, bool)
 	if l.Step != nil {
 		step, okStep = lang.FoldInt(a.P.Unit, l.Step)
 	}
-	if !okLo || !okHi || !okStep || step == 0 {
-		return 0, false
+	if okLo && okHi && okStep && step != 0 {
+		trip := (hi - lo + step) / step
+		if trip < 0 {
+			trip = 0
+		}
+		return trip, true
 	}
-	trip := (hi - lo + step) / step
-	if trip < 0 {
-		trip = 0
+	if a.Flow != nil {
+		if trip, ok := a.Flow.ConstTrips[id]; ok {
+			return trip, true
+		}
 	}
-	return trip, true
+	return 0, false
+}
+
+// exitFree reports whether every postexit of the interval headed by id is
+// fed only by the test itself ("no conditional loop exits").
+func exitFree(a *analysis.Proc, id cfg.NodeID) bool {
+	for _, pe := range a.Ext.Postexits {
+		if a.Ext.ExitedInterval[pe] != id {
+			continue
+		}
+		for _, e := range a.Ext.G.InEdges(pe) {
+			if !e.Pseudo() && e.From != id {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Program analyzes every procedure of an analyzed program.
