@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck dataflow-selfcheck fuzz-smoke
+.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck dataflow-selfcheck serve-smoke loadgen-smoke fuzz-smoke
 
 # STATICCHECK_VERSION pins the analyzer CI installs; keep in sync with
 # .github/workflows/ci.yml.
@@ -11,7 +11,7 @@ STATICCHECK_VERSION = 2025.1.1
 # tests (the engine differential sweeps included), plus the self-lint,
 # oracle sweeps (both counter-placement strategies) and a fuzzing smoke
 # pass.
-check: fmt vet lint build test selfcheck dataflow-selfcheck oracle oracle-bl fuzz-smoke
+check: fmt vet lint build test selfcheck dataflow-selfcheck serve-smoke oracle oracle-bl fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -88,6 +88,18 @@ oracle:
 # invariant (plan-equiv included) also holds under path profiling.
 oracle-bl:
 	$(GO) run ./cmd/oracle -seeds 200 -plan ball-larus -quiet
+
+# serve-smoke exercises the analysis daemon end to end over a loopback
+# listener: health probe, cold analyze, warm cache-hit analyze, metrics
+# scrape. Any failure (or a cache miss on the warm request) exits non-zero.
+serve-smoke:
+	$(GO) run ./cmd/ptrand -smoke
+
+# loadgen-smoke drives a short concurrent load through the in-process
+# service and writes the latency numbers (p50/p99, cold vs hot, hit rate)
+# as a bench/v1 snapshot; CI uploads it as an artifact.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -n 400 -c 200 -pad 40 -out BENCH_loadgen_ci.json
 
 # fuzz-smoke gives each native fuzz target a short budget; any panic or
 # invariant violation found becomes a crasher in testdata/fuzz.

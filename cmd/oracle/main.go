@@ -40,6 +40,7 @@ func main() {
 	branchFreeEvery := flag.Int("branchfree-every", 4, "every k-th case uses the branch-free program family (0 = never)")
 	detLoopEvery := flag.Int("detloop-every", 6, "every k-th case uses the branch-free-plus-constant-trip-DO family (0 = never)")
 	constFactsEvery := flag.Int("constfacts-every", 3, "every k-th random case carries the progen dataflow gadget block (0 = never)")
+	stopsEvery := flag.Int("stops-every", 0, "every k-th random case generates with the stopping family (0 = never); pair with -invariants of the takings-level checks")
 	engine := flag.String("engine", "", "execution engine for profiled runs: tree|vm|vm-batch (default: REPRO_ENGINE, else tree)")
 	plan := flag.String("plan", "", "counter-placement strategy for profiled runs: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	noMinimize := flag.Bool("no-minimize", false, "skip shrinking failing cases")
@@ -77,6 +78,7 @@ func main() {
 		BranchFreeEvery: *branchFreeEvery,
 		DetLoopEvery:    *detLoopEvery,
 		ConstFactsEvery: *constFactsEvery,
+		StopsEvery:      *stopsEvery,
 		Workers:         *workers,
 		Minimize:        !*noMinimize,
 	}

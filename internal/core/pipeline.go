@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -107,6 +108,13 @@ func LoadWorkers(src string, workers int) (*Pipeline, error) {
 // LoadOpts is the general entry point: parse, lower, and analyze with the
 // given options.
 func LoadOpts(src string, opts LoadOptions) (*Pipeline, error) {
+	return LoadCtx(context.Background(), src, opts)
+}
+
+// LoadCtx is LoadOpts under a cancellation context, checked between the
+// front-end phases (parse, lower, analyze): a caller whose deadline expires
+// mid-load gets ctx.Err() back instead of paying for the remaining phases.
+func LoadCtx(ctx context.Context, src string, opts LoadOptions) (*Pipeline, error) {
 	tr := opts.Trace
 	sp := tr.Start("parse")
 	prog, err := lang.Parse(src)
@@ -114,10 +122,16 @@ func LoadOpts(src string, opts LoadOptions) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp = tr.Start("lower")
 	res, err := lower.Lower(prog)
 	sp.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	an, err := analysis.AnalyzeProgramOpts(res, analysis.Options{
@@ -155,7 +169,11 @@ func (p *Pipeline) compiledVM() (*vm.Program, error) {
 // runSingle executes one seed under the resolved engine. VM runs go
 // through the cached compiled program; a compile bailout or an OnNode hook
 // forces the tree-walker (forcing EngineTree rather than leaving the
-// option at EngineVM keeps interp.Run from recompiling per call).
+// option at EngineVM keeps interp.Run from recompiling per call). A
+// bailout-forced run is not silent: each one bumps the
+// pipeline.engine_fallbacks_total metric (the one-time compile failure
+// itself is pipeline.vm_bailout), and EngineFallback exposes the cause so
+// callers can attach a warning diagnostic to their reports.
 func (p *Pipeline) runSingle(o interp.Options) (*interp.Result, error) {
 	eng := o.Engine
 	if eng == interp.EngineDefault {
@@ -165,9 +183,25 @@ func (p *Pipeline) runSingle(o interp.Options) (*interp.Result, error) {
 		if prog, err := p.compiledVM(); err == nil {
 			return prog.Run(o)
 		}
+		obs.Default.Add("pipeline.engine_fallbacks_total", 1)
 	}
 	o.Engine = interp.EngineTree
 	return interp.Run(p.Res, o)
+}
+
+// EngineFallback reports whether the pipeline's resolved engine asked for
+// the bytecode VM but the compiler bailed, silently downgrading runs to
+// the tree-walker — and the bailout error when so. Results are still
+// bit-identical; the degradation is purely throughput, which is exactly
+// why it deserves a warning rather than silence.
+func (p *Pipeline) EngineFallback() (bool, error) {
+	if !interp.EffectiveEngine(p.Engine).VMBased() {
+		return false, nil
+	}
+	if _, err := p.compiledVM(); err != nil {
+		return true, err
+	}
+	return false, nil
 }
 
 // profilePlans returns the per-procedure counter plans, computing them on
@@ -220,6 +254,11 @@ func (p *Pipeline) pathProfPlans() (*pathprof.Plans, error) {
 	return p.pathPlans, p.pathErr
 }
 
+// Plans exposes the cached per-procedure counter plans (building them on
+// first use) — the analysis service reports each procedure's placement
+// without rebuilding what Profile already computed.
+func (p *Pipeline) Plans() (profiler.Plans, error) { return p.profilePlans() }
+
 // recoverFunc resolves the active strategy into the per-run counter
 // recovery used by Profile, mutating opts to carry the path
 // instrumentation spec when Ball–Larus is selected.
@@ -250,8 +289,21 @@ func (p *Pipeline) recoverFunc(opts *interp.Options) (func(*interp.Result) (prof
 // carry an output writer or per-node hooks, which must observe runs one at
 // a time.
 func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.ProgramProfile, *interp.Result, error) {
+	return p.ProfileCtx(context.Background(), opts, seeds...)
+}
+
+// ProfileCtx is Profile under a cancellation context, checked before every
+// per-seed run: a caller whose deadline expires mid-profile stops paying
+// after the seed in flight. Individual engine runs are bounded by
+// opts.MaxSteps, so cancellation latency is at most one seed's step
+// budget — the engines' fused dispatch loops stay free of cancellation
+// checks by design (see the twin-loop note in DESIGN §14).
+func (p *Pipeline) ProfileCtx(ctx context.Context, opts interp.Options, seeds ...uint64) (profiler.ProgramProfile, *interp.Result, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	recoverRun, err := p.recoverFunc(&opts)
 	if err != nil {
@@ -292,6 +344,10 @@ func (p *Pipeline) Profile(opts interp.Options, seeds ...uint64) (profiler.Progr
 	oneSeed := func(i int) {
 		t0 := time.Now()
 		defer func() { busyNanos.Add(int64(time.Since(t0))) }()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		o := opts
 		o.Seed = seeds[i]
 		// Sub-spans split the per-seed work into the engine's hot loop
@@ -458,8 +514,17 @@ func (p *Pipeline) CostTables(m cost.Model) map[string]cost.Table {
 // Estimate profiles with the given seeds and estimates under the cost
 // model: the full paper pipeline in one call.
 func (p *Pipeline) Estimate(m cost.Model, opt Options, seeds ...uint64) (*ProgramEstimate, error) {
-	profile, _, err := p.Profile(interp.Options{}, seeds...)
+	return p.EstimateCtx(context.Background(), m, opt, seeds...)
+}
+
+// EstimateCtx is Estimate under a cancellation context (see ProfileCtx for
+// the cancellation granularity).
+func (p *Pipeline) EstimateCtx(ctx context.Context, m cost.Model, opt Options, seeds ...uint64) (*ProgramEstimate, error) {
+	profile, _, err := p.ProfileCtx(ctx, interp.Options{}, seeds...)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sp := p.Trace.Start("estimate")

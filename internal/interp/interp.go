@@ -321,6 +321,31 @@ type Result struct {
 	// Stopped records whether the run ended via STOP (vs falling off the
 	// main program's END).
 	Stopped bool
+	// StopFrames describes every activation the STOP unwound through,
+	// innermost-first: the stopping frame frozen at the STOP node itself,
+	// then each suspended caller frozen at its CALL node. Nil unless
+	// Stopped. A real instrumented binary dumps the same record from its
+	// STOP handler: the return-address chain plus the live DO registers.
+	StopFrames []StopFrame
+}
+
+// StopFrame is one activation frozen mid-flight by a STOP.
+type StopFrame struct {
+	// Proc is the unit name of the frozen activation.
+	Proc string
+	// Node is where the activation froze: the STOP statement node for the
+	// innermost frame, the CALL node for suspended callers.
+	Node cfg.NodeID
+	// Trips holds the frame's live (positive) DO trip registers in
+	// ascending test-node order. Remaining counts the iterations that had
+	// not completed when the run froze, the in-flight iteration included.
+	Trips []TripReg
+}
+
+// TripReg is one live DO-loop trip register of a stopped frame.
+type TripReg struct {
+	Test      cfg.NodeID
+	Remaining int64
 }
 
 // LabelCount returns how often an edge labelled l was taken from node n in
@@ -364,6 +389,20 @@ func (r *Result) NodeCount(p *lower.Proc, n cfg.NodeID) int64 {
 
 // errStop unwinds all frames on STOP.
 var errStop = errors.New("stop")
+
+// recordStopFrame captures the frozen position and live DO registers of an
+// activation a STOP is unwinding through; frames land innermost-first. The
+// frame's trips array is dense by test-node ID, so the scan yields
+// ascending test-node order — the order every engine must match.
+func (m *machine) recordStopFrame(p *lower.Proc, f *frame, pc cfg.NodeID) {
+	sf := StopFrame{Proc: p.G.Name, Node: pc}
+	for test, rem := range f.trips {
+		if rem > 0 {
+			sf.Trips = append(sf.Trips, TripReg{Test: cfg.NodeID(test), Remaining: rem})
+		}
+	}
+	m.result.StopFrames = append(m.result.StopFrames, sf)
+}
 
 // RuntimeError is an execution failure with source position context.
 type RuntimeError struct {
@@ -518,6 +557,9 @@ func (m *machine) call(p *lower.Proc, caller *frame, callStmt *lang.CallStmt) er
 		}
 		label, done, err := m.exec(f, pc, op)
 		if err != nil {
+			if errors.Is(err, errStop) {
+				m.recordStopFrame(p, f, pc)
+			}
 			return err
 		}
 		if done {
@@ -660,6 +702,9 @@ func (m *machine) loopVals(p *lower.Proc, f *frame, counts *Counts, costs []floa
 		m.opt.OnNodeVals(p, pc, getVal)
 		label, done, err := m.exec(f, pc, op)
 		if err != nil {
+			if errors.Is(err, errStop) {
+				m.recordStopFrame(p, f, pc)
+			}
 			return err
 		}
 		if done {
@@ -727,6 +772,7 @@ func (m *machine) loopPaths(p *lower.Proc, f *frame, counts *Counts, costs []flo
 			// node itself here, the CALL node in suspended callers.
 			if errors.Is(err, errStop) {
 				pcnt.Partials = append(pcnt.Partials, PathPartial{Node: pc, Reg: preg})
+				m.recordStopFrame(p, f, pc)
 			}
 			return err
 		}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): every counter as a `counter` family and every
+// gauge as a `gauge` family, names prefixed with "repro_" and sanitized to
+// the metric-name alphabet (dots and other separators become underscores).
+// Families are emitted in sorted name order so scrapes are diffable.
+//
+// The registry's counters are cumulative by construction (Registry.Add is
+// the only writer), which is exactly the Prometheus counter contract;
+// gauges come from SetGauge/MaxGauge and may move both ways.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	type family struct {
+		name string
+		typ  string
+		val  float64
+	}
+	var fams []family
+	r.counters.Range(func(k, v any) bool {
+		fams = append(fams, family{promName(k.(string)), "counter", float64(v.(*atomic.Int64).Load())})
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		fams = append(fams, family{promName(k.(string)), "gauge", floatFrom(v.(*atomic.Uint64).Load())})
+		return true
+	})
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", f.name, f.typ, f.name, f.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry key to a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*, with the repro_ namespace prefix.
+func promName(key string) string {
+	var b strings.Builder
+	b.WriteString("repro_") // the prefix also keeps a leading digit legal
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

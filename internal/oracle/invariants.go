@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 
 	"repro/internal/check"
@@ -95,7 +96,7 @@ func Registry() []Invariant {
 		},
 		{
 			Name:  "plan-equiv",
-			Desc:  "Ball–Larus path recovery equals the exact totals on every run, and agrees with the Sarkar recovery on completed runs",
+			Desc:  "Ball–Larus path recovery equals the exact totals on every run, and agrees with the stop-aware Sarkar recovery on every run, STOP-terminated ones included",
 			Check: checkPlanEquiv,
 		},
 		{
@@ -396,11 +397,12 @@ func checkMetaSplitBlock(ctx *evalCtx) error {
 // is itself a failure: progen emits only the supported subset.
 // checkPlanEquiv recovers every profiled run under the Ball–Larus path
 // strategy and checks (a) the path recovery equals the exact totals on
-// every run, stopped or not (partials keep it exact), and (b) on completed
-// runs the Sarkar recovery agrees with the path recovery. Stopped runs are
-// excluded from (b): Sarkar's doConstTrip rule statically assumes a
-// constant-trip DO completes once entered, so a STOP unwinding out of a
-// loop body makes its recovery an over-estimate there by design.
+// every run, stopped or not (partials keep it exact), and (b) the Sarkar
+// recovery agrees with the path recovery on every run, STOP-terminated
+// ones included: the stop-aware recovery (profiler.Plan.RecoverRun) reads
+// the run's frozen-frame record, caps in-flight DO loops at their observed
+// partial trips and discounts committed-but-never-reached nodes, so the
+// trip rules' run-to-completion assumption no longer inflates the totals.
 func checkPlanEquiv(ctx *evalCtx) error {
 	pp, err := ctx.pathProfPlans()
 	if err != nil {
@@ -445,13 +447,11 @@ func checkPlanEquiv(ctx *evalCtx) error {
 						seed, name, c)
 				}
 			}
-			if !run.Stopped {
-				sk := sarkarProf[name]
-				for c, w := range got {
-					if g := sk[c]; !near(g, w) {
-						return fmt.Errorf("seed %d proc %s: sarkar TOTAL%v = %g, path recovery %g",
-							seed, name, c, g, w)
-					}
+			sk := sarkarProf[name]
+			for c, w := range got {
+				if g := sk[c]; !near(g, w) {
+					return fmt.Errorf("seed %d proc %s: sarkar TOTAL%v = %g, path recovery %g",
+						seed, name, c, g, w)
 				}
 			}
 		}
@@ -524,6 +524,9 @@ func diffRunResults(a, b *interp.Result) string {
 	}
 	if a.Stopped != b.Stopped {
 		return fmt.Sprintf("stopped %v vs %v", a.Stopped, b.Stopped)
+	}
+	if !reflect.DeepEqual(a.StopFrames, b.StopFrames) {
+		return fmt.Sprintf("stop frames %+v vs %+v", a.StopFrames, b.StopFrames)
 	}
 	if len(a.ByProc) != len(b.ByProc) {
 		return fmt.Sprintf("%d procs vs %d", len(a.ByProc), len(b.ByProc))

@@ -100,6 +100,13 @@ type Case struct {
 	// zero-initialized read, so the dataflow-sound invariant has real facts
 	// to check. Only meaningful for KindRandom cases.
 	ConstFacts bool
+	// Stops asks progen for its stopping family (random STOPs plus calls
+	// into a stopping leaf), so runs can terminate mid-flight. Only
+	// meaningful for KindRandom cases. The estimator-level invariants
+	// (time-mean, node-freq, var-*) model completed executions and are not
+	// expected to hold on truncated runs; a stops corpus should select the
+	// takings-level invariants (recovery-exact, engine-equiv, plan-equiv).
+	Stops bool
 	// Src is the program text; filled by Generate, or set directly to
 	// check an externally supplied source.
 	Src string
@@ -123,12 +130,20 @@ func NewCaseOpts(seed uint64, size, depth int, kind Kind, profileRuns int, const
 	for i := 0; i < profileRuns; i++ {
 		c.ProfileSeeds = append(c.ProfileSeeds, seed+uint64(i))
 	}
-	c.Src = progen.GenerateOpts(seed, size, depth, progen.Opts{
-		BranchFree: kind == KindBranchFree || kind == KindDetLoop,
-		ConstLoops: kind == KindDetLoop,
-		ConstFacts: constFacts,
-	})
+	c.Generate()
 	return c
+}
+
+// Generate (re)derives Src from the case's seed and generator knobs.
+// Callers that flip knobs after construction (Stops) call it again; the
+// generation is deterministic in the fields.
+func (c *Case) Generate() {
+	c.Src = progen.GenerateOpts(c.Seed, c.Size, c.Depth, progen.Opts{
+		BranchFree: c.Kind == KindBranchFree || c.Kind == KindDetLoop,
+		ConstLoops: c.Kind == KindDetLoop,
+		ConstFacts: c.ConstFacts,
+		Stops:      c.Stops && c.Kind == KindRandom,
+	})
 }
 
 // evalCtx holds everything the invariants inspect: the analyzed program,
@@ -323,6 +338,11 @@ type Config struct {
 	// trips, a dead store and a zero-initialized read (0 disables; the
 	// branch-free families are never affected).
 	ConstFactsEvery int
+	// StopsEvery makes every k-th random case generate with the progen
+	// stopping family, so some profiled runs STOP mid-flight (0 disables).
+	// Pair with an Invariants selection of the takings-level checks; see
+	// Case.Stops for why the estimator-level invariants don't apply.
+	StopsEvery int
 	// Workers bounds concurrent case evaluation (≤0 = GOMAXPROCS).
 	Workers int
 	// Engine selects the execution substrate every case runs on.
@@ -364,6 +384,10 @@ func (cfg *Config) caseFor(i int) *Case {
 	c := NewCaseOpts(seed, size, depth, kind, cfg.ProfileRuns, constFacts)
 	c.Engine = cfg.Engine
 	c.Plan = cfg.Plan
+	if cfg.StopsEvery > 0 && i%cfg.StopsEvery == cfg.StopsEvery-1 && kind == KindRandom {
+		c.Stops = true
+		c.Generate()
+	}
 	return c
 }
 
@@ -509,6 +533,10 @@ func Minimize(c *Case, invariant string) (*Case, error) {
 		mc := NewCaseOpts(c.Seed, size, depth, c.Kind, len(c.ProfileSeeds), c.ConstFacts)
 		mc.Engine = c.Engine
 		mc.Plan = c.Plan
+		if c.Stops {
+			mc.Stops = true
+			mc.Generate()
+		}
 		var err error
 		if invariant == "pipeline" {
 			_, err = mc.eval(mc.Src, baseModel)

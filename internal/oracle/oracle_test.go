@@ -47,6 +47,38 @@ func TestOracleCorpus(t *testing.T) {
 	}
 }
 
+// TestStopCorpus sweeps a corpus where every random case generates with
+// the stopping family, checking the takings-level invariants: counter
+// recovery, engine equivalence and plan equivalence must stay exact on
+// runs a STOP cuts short mid-flight. The estimator-level invariants are
+// deliberately not selected — TIME/VAR model completed executions.
+func TestStopCorpus(t *testing.T) {
+	cfg := Config{
+		SeedStart:   1,
+		Seeds:       120,
+		Size:        8,
+		Depth:       3,
+		ProfileRuns: 2,
+		StopsEvery:  1,
+		Invariants:  []string{"recovery-exact", "engine-equiv", "plan-equiv"},
+		Minimize:    true,
+	}
+	if testing.Short() {
+		cfg.Seeds = 30
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant %s failed: seed=%d size=%d depth=%d (min %d/%d)\n%s\nminimized program:\n%s",
+			f.Invariant, f.Seed, f.Size, f.Depth, f.MinSize, f.MinDepth, f.Error, f.Source)
+	}
+	if !rep.AllPass {
+		t.Fatal("stop corpus sweep failed")
+	}
+}
+
 // TestEdgeCaseProgramsSatisfyInvariants runs the full registry on the
 // hand-written boundary programs the interval/ecfg edge-case tests use.
 func TestEdgeCaseProgramsSatisfyInvariants(t *testing.T) {

@@ -2,6 +2,7 @@ package pathprof_test
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -25,10 +26,13 @@ import (
 //     order included) are bit-identical across tree, vm and vm-batch;
 //   - edge/node frequencies recovered from path counts equal the exact
 //     interpreter totals on every run (==, no tolerance), stopped or not;
-//   - the Sarkar-plan recovery agrees with the path recovery on completed
-//     runs (stopped runs are excluded: Sarkar's doConstTrip rule assumes a
-//     constant-trip DO completes once entered, so a STOP mid-loop makes it
-//     an over-estimate by design — see plan_test.go).
+//   - the Sarkar-plan recovery agrees with the path recovery bit-for-bit
+//     on every run, STOP-terminated ones included: the stop-aware recovery
+//     (profiler.Plan.RecoverRun) caps in-flight loops at their observed
+//     partial trips and discounts the frozen frames' committed-but-never-
+//     reached nodes, so the doConstTrip completion assumption no longer
+//     leaks into the totals. A third of the corpus generates with
+//     progen.Opts.Stops to keep that path hot.
 const corpusSize = 200
 
 // corpusCase checks one generated program across engines and plans.
@@ -37,6 +41,7 @@ func corpusCase(t *testing.T, seed uint64) {
 	src := progen.GenerateOpts(seed, size, 3, progen.Opts{
 		BranchFree: seed%5 == 4,
 		ConstLoops: seed%10 == 9,
+		Stops:      seed%3 == 1,
 	})
 	prog, err := lang.Parse(src)
 	if err != nil {
@@ -117,7 +122,9 @@ func corpusCase(t *testing.T, seed uint64) {
 }
 
 // checkRecoveries verifies path recovery == exact totals (strict) and
-// Sarkar recovery == path recovery on completed runs, for one run.
+// Sarkar recovery == path recovery, for every run — STOP-terminated runs
+// included: the stop-aware Sarkar recovery caps in-flight loops at their
+// observed partial trips, so both recoveries agree bit-for-bit.
 func checkRecoveries(t *testing.T, seed, ps uint64, engine string,
 	ap *analysis.Program, sk profiler.Plans, bl *pathprof.Plans, run *interp.Result) {
 	t.Helper()
@@ -141,9 +148,6 @@ func checkRecoveries(t *testing.T, seed, ps uint64, engine string,
 					seed, ps, engine, name, c)
 			}
 		}
-	}
-	if run.Stopped {
-		return
 	}
 	skProf, err := sk.Profile(run)
 	if err != nil {
@@ -169,6 +173,11 @@ func comparePathRuns(t *testing.T, seed, ps uint64, engine string, want, got *in
 	if want.Stopped != got.Stopped || want.Steps != got.Steps {
 		t.Errorf("seed %d/%d %s: run diverged: stopped %v/%v steps %d/%d",
 			seed, ps, engine, want.Stopped, got.Stopped, want.Steps, got.Steps)
+		return
+	}
+	if !reflect.DeepEqual(want.StopFrames, got.StopFrames) {
+		t.Errorf("seed %d/%d %s: stop frames diverged: %+v, want %+v",
+			seed, ps, engine, got.StopFrames, want.StopFrames)
 		return
 	}
 	if len(want.Paths) != len(got.Paths) {

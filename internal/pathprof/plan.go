@@ -242,7 +242,7 @@ func (et *edgeTotals) labelCount(g *cfg.Graph, n cfg.NodeID, l cfg.Label) int64 
 func (p *Plan) Recover(run *interp.Result) (freq.Totals, error) {
 	a := p.A
 	if p.N == nil {
-		return p.Fallback.Recover(p.Fallback.SimulateReadings(run))
+		return p.Fallback.RecoverRun(run)
 	}
 	pc := run.Paths[a.P.G.Name]
 	if pc == nil {

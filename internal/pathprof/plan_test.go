@@ -111,12 +111,11 @@ func checkDifferential(t *testing.T, res *lower.Result, ap *analysis.Program, pl
 			if g := got[name][c]; g != e {
 				t.Errorf("%s seed %d: path recovery TOTAL%v = %v, want exact %v", name, seed, c, g, e)
 			}
-			// The Sarkar smart plan's doConstTrip rule statically assumes a
-			// constant-trip DO loop completes once entered, so its recovery
-			// can over-count on runs cut short by STOP; path recovery stays
-			// exact there via partials. Only compare the strategies where
-			// the Sarkar baseline itself is exact.
-			if w := want[name][c]; !run.Stopped && w != e {
+			// The Sarkar recovery is exact on STOP-terminated runs too:
+			// RecoverRun reads the run's frozen-frame record and caps the
+			// trip rules' run-to-completion assumption at the observed
+			// partial trips, matching the path recovery's partials.
+			if w := want[name][c]; w != e {
 				t.Errorf("%s seed %d: sarkar recovery TOTAL%v = %v, want exact %v", name, seed, c, w, e)
 			}
 		}

@@ -22,7 +22,16 @@ func (r Readings) Add(other Readings) {
 // Recover reconstructs TOTAL_FREQ for every control condition of the
 // procedure from the counter readings, applying the plan's inference rules
 // to a fixpoint. The result feeds freq.Compute directly.
+//
+// On readings from a STOP-terminated run the trip rules over-estimate
+// in-flight loops (they assume every entered DO completes); use RecoverRun
+// when the run itself is available — its stop record makes the recovery
+// exact there too.
 func (p *Plan) Recover(readings Readings) (freq.Totals, error) {
+	return p.recoverWith(readings, nil)
+}
+
+func (p *Plan) recoverWith(readings Readings, adj *stopAdjust) (freq.Totals, error) {
 	if p.Naive {
 		return nil, fmt.Errorf("profiler: naive plans count blocks, not conditions; use ExactTotals for analysis")
 	}
@@ -30,6 +39,7 @@ func (p *Plan) Recover(readings Readings) (freq.Totals, error) {
 		return nil, fmt.Errorf("profiler: %d readings for %d counters", len(readings), len(p.Counters))
 	}
 	st := newSolveState(p, readings)
+	st.adj = adj
 	if !st.run(p) {
 		missing := st.missingConds(p)
 		return nil, fmt.Errorf("profiler: recovery incomplete for %s: unresolved %v", p.A.P.G.Name, missing)
@@ -85,6 +95,18 @@ type solveState struct {
 	exec map[cfg.NodeID]float64
 	// tripReadings maps a DO test node to its TripAdd counter reading.
 	tripReadings map[cfg.NodeID]float64
+	// adj holds the stopped-run corrections (nil for completed runs and
+	// for the symbolic solvability check): see stopfix.go.
+	adj *stopAdjust
+}
+
+// pendingAt is the number of frozen frames whose in-condition takings
+// committed to u without reaching it.
+func (st *solveState) pendingAt(u cfg.NodeID) float64 {
+	if st.adj == nil {
+		return 0
+	}
+	return st.adj.pending[u]
 }
 
 func newSolveState(p *Plan, readings Readings) *solveState {
@@ -149,7 +171,7 @@ func (st *solveState) run(p *Plan) bool {
 				sum += v
 			}
 			if known {
-				st.exec[u] = sum
+				st.exec[u] = sum - st.pendingAt(u)
 				changed = true
 			}
 		}
@@ -244,24 +266,36 @@ func (st *solveState) applyRule(p *Plan, r *rule) bool {
 		if !ok {
 			return false
 		}
+		// Frames frozen inside this DO entered it without (yet) completing:
+		// each took the body edge only (trip − remaining + 1) times and
+		// never took the exit edge. On completed runs n and sr are zero and
+		// the rule reduces to the paper's entries×trip identity.
+		var n, sr float64
+		if st.adj != nil {
+			n = st.adj.inflight[r.node]
+			sr = st.adj.remaining[r.node]
+		}
 		var tripSum float64
 		if r.kind == doConstTrip {
-			tripSum = entries * float64(r.trip)
+			tripSum = entries*float64(r.trip) - sr + n
 		} else {
+			// The TripAdd reading already reflects actual body takings: the
+			// STOP-handler dump subtracts each live register's remainder
+			// (see SimulateReadings).
 			ts, ok := st.tripReadings[r.node]
 			if !ok {
 				return false
 			}
 			tripSum = ts
 		}
-		st.cond[loopCond] = tripSum + entries
+		st.cond[loopCond] = tripSum + entries - n
 		bodyCond := cdg.Condition{Node: r.node, Label: cfg.True}
 		if hasCondition(p, bodyCond) {
 			st.cond[bodyCond] = tripSum
 		}
 		exitCond := cdg.Condition{Node: r.node, Label: cfg.False}
 		if hasCondition(p, exitCond) {
-			st.cond[exitCond] = entries
+			st.cond[exitCond] = entries - n
 		}
 		return true
 	}

@@ -45,7 +45,10 @@ func ExactTotals(a *analysis.Proc, run *interp.Result) freq.Totals {
 // to compiling the counters in: a CondCounter increments exactly when its
 // condition's branch is taken, a BlockCounter when its block executes, and
 // a TripAdd adds each computed trip count (= the number of times the test's
-// T edge is taken).
+// T edge is taken). On a STOP-terminated run the TripAdd value models the
+// instrumented binary's dump-time correction — the STOP handler subtracts
+// each live DO register's remainder from its counter, leaving exactly the
+// body takings that actually happened.
 func (p *Plan) SimulateReadings(run *interp.Result) Readings {
 	out := make(Readings, len(p.Counters))
 	for i, c := range p.Counters {
@@ -154,11 +157,12 @@ func BuildPlans(prog *analysis.Program) (Plans, error) {
 
 // Profile recovers full per-procedure totals from the simulated counter
 // readings of one run. The run must come from the same lowered program
-// the plans were built for.
+// the plans were built for. STOP-terminated runs recover exactly: the
+// run's stop record caps in-flight loops at their observed partial trips.
 func (pl Plans) Profile(run *interp.Result) (ProgramProfile, error) {
 	out := make(ProgramProfile, len(pl))
 	for name, plan := range pl {
-		totals, err := plan.Recover(plan.SimulateReadings(run))
+		totals, err := plan.RecoverRun(run)
 		if err != nil {
 			return nil, err
 		}

@@ -41,6 +41,16 @@ type Opts struct {
 	// must still report VAR(START) = 0 exactly. Only meaningful together
 	// with BranchFree.
 	ConstLoops bool
+	// Stops sprinkles terminating STOP gadgets through the non-branch-free
+	// families: a RAND-guarded STOP statement in the statement mix (also
+	// inside loop bodies, where it adds a visible loop exit edge) and a
+	// constant-trip, exit-free DO loop around a call to a stopping leaf
+	// subroutine — the interprocedural shape where the caller's CFG shows
+	// no exit yet the run can freeze mid-loop. The differential suite uses
+	// it to pin the stop-aware Sarkar recovery against path recovery.
+	// Ignored when BranchFree is set (a data-dependent STOP would break
+	// that family's deterministic-trace guarantee).
+	Stops bool
 	// ConstFacts prepends a gadget block that the dataflow framework — but
 	// not syntactic constant folding — can resolve: an IF decided by a
 	// propagated constant (one arm dead), a DO loop whose trip count only
@@ -67,7 +77,7 @@ func GenerateOpts(seed uint64, size, maxDepth int, o Opts) string {
 	if maxDepth < 1 {
 		maxDepth = 1
 	}
-	g := &gen{r: r, maxDepth: maxDepth, branchFree: o.BranchFree, constLoops: o.BranchFree && o.ConstLoops}
+	g := &gen{r: r, maxDepth: maxDepth, branchFree: o.BranchFree, constLoops: o.BranchFree && o.ConstLoops, stops: o.Stops && !o.BranchFree}
 	nsubs := r.intn(3)
 	var b strings.Builder
 	b.WriteString("      PROGRAM RANDP\n")
@@ -84,6 +94,19 @@ func GenerateOpts(seed uint64, size, maxDepth int, o Opts) string {
 	g.block(&b, size, 0, 3)
 	b.WriteString("      PRINT *, X1, X2, K\n")
 	b.WriteString("      END\n")
+	if g.stops {
+		// The stopping leaf: straight-line computation plus a RAND-guarded
+		// STOP, so a caller's loop can freeze mid-trip without any exit
+		// edge showing in the caller's own CFG.
+		b.WriteString(`
+      SUBROUTINE SSTOP(A, B)
+      REAL A, B
+      A = A + B*0.0625
+      IF (RAND() .LT. 0.15) STOP
+      RETURN
+      END
+`)
+	}
 	for s := 1; s <= nsubs; s++ {
 		if g.constLoops {
 			// Deterministic leaf: a constant-trip, exit-free DO and no
@@ -134,6 +157,7 @@ type gen struct {
 	gotoVars   int
 	branchFree bool
 	constLoops bool
+	stops      bool
 }
 
 func (g *gen) newLabel() int {
@@ -150,7 +174,22 @@ func (g *gen) block(b *strings.Builder, n, depth, indent int) {
 			g.branchFreeStmt(b, pad, depth, indent)
 			continue
 		}
-		switch pick := g.r.intn(10); {
+		den := 10
+		if g.stops {
+			den = 12 // widen the mix with the two STOP gadgets below
+		}
+		switch pick := g.r.intn(den); {
+		case pick == 10 && depth < g.maxDepth:
+			// Constant-trip, exit-free DO around a stopping leaf call: the
+			// caller's CFG proves the loop exit-free, yet the callee's STOP
+			// can freeze the loop mid-trip.
+			lab := g.newLabel()
+			v := fmt.Sprintf("I%d", depth+1)
+			fmt.Fprintf(b, "%s   DO %d %s = 1, %d\n", pad, lab, v, 2+g.r.intn(5))
+			fmt.Fprintf(b, "%s      CALL SSTOP(X1, X2)\n", pad)
+			fmt.Fprintf(b, "%s%4d CONTINUE\n", pad, lab)
+		case pick >= 10: // guarded STOP in place (10 at max depth, 11)
+			fmt.Fprintf(b, "%s   IF (RAND() .LT. %.3f) STOP\n", pad, 0.02+0.1*g.r.prob())
 		case pick < 3: // assignment
 			g.assign(b, pad)
 		case pick < 5 && depth < g.maxDepth: // DO loop

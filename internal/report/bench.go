@@ -21,7 +21,7 @@ type BenchEntry struct {
 	WallMs float64 `json:"wall_ms"`
 	// Metrics holds the scenario's measurements (nodes_per_sec,
 	// counters_per_block, ...).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Metrics Metrics `json:"metrics,omitempty"`
 	// Spans is the per-phase trace of the best repetition, in the same
 	// schema -trace emits, so a snapshot shows where the time went.
 	Spans []Span `json:"spans,omitempty"`
@@ -37,8 +37,8 @@ type BenchSnapshot struct {
 	GoVersion string `json:"go_version"`
 	MaxProcs  int    `json:"maxprocs"`
 	// Metrics holds process-wide measurements (process.peak_rss_bytes, ...).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	Entries []BenchEntry       `json:"entries"`
+	Metrics Metrics      `json:"metrics,omitempty"`
+	Entries []BenchEntry `json:"entries"`
 }
 
 // Entry returns the named entry, or nil.

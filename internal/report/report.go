@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -62,6 +64,93 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
+// Metrics is a named-measurement map that survives JSON: encoding/json
+// rejects NaN and ±Inf outright, so a single NaN variance gauge would
+// abort an entire document encode. Metrics marshals those values as the
+// strings "NaN", "+Inf" and "-Inf" (keys sorted, so output is diffable)
+// and unmarshals both the string forms and plain numbers, round-tripping
+// every float64 without loss.
+type Metrics map[string]float64
+
+// MarshalJSON renders the map with sorted keys, spelling non-finite
+// values as quoted strings.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	if m == nil {
+		return []byte("null"), nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		v := m[k]
+		switch {
+		case math.IsNaN(v):
+			b.WriteString(`"NaN"`)
+		case math.IsInf(v, 1):
+			b.WriteString(`"+Inf"`)
+		case math.IsInf(v, -1):
+			b.WriteString(`"-Inf"`)
+		default:
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON accepts numbers and the non-finite string spellings.
+func (m *Metrics) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*m = nil
+		return nil
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(Metrics, len(raw))
+	for k, v := range raw {
+		var f float64
+		if err := json.Unmarshal(v, &f); err == nil {
+			out[k] = f
+			continue
+		}
+		var s string
+		if err := json.Unmarshal(v, &s); err != nil {
+			return fmt.Errorf("report: metric %q: %s is neither number nor string", k, v)
+		}
+		switch s {
+		case "NaN":
+			out[k] = math.NaN()
+		case "+Inf", "Inf":
+			out[k] = math.Inf(1)
+		case "-Inf":
+			out[k] = math.Inf(-1)
+		default:
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("report: metric %q: unrecognized value %q", k, s)
+			}
+			out[k] = f
+		}
+	}
+	*m = out
+	return nil
+}
+
 // HotPath is one row of a hot-path report: a procedure's Ball–Larus
 // acyclic path, its completion count, and the decoded node sequence.
 // FromEntry and ToExit distinguish the dummy entry/exit paths that a
@@ -114,7 +203,7 @@ type Span struct {
 	AllocBytes int64 `json:"alloc_bytes"`
 	// Metrics carries phase-specific measurements (node counts, counters
 	// placed, utilization ratios, ...).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Metrics Metrics `json:"metrics,omitempty"`
 }
 
 // Document is the top-level JSON shape the tools emit: the producing tool,
@@ -133,7 +222,7 @@ type Document struct {
 	// Spans are the pipeline phase timings of a traced run (obs.Trace).
 	Spans []Span `json:"spans,omitempty"`
 	// Metrics is a point-in-time snapshot of the process metrics registry.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Metrics Metrics `json:"metrics,omitempty"`
 }
 
 // NewDocument bundles diagnostics under a tool name, counting severities.

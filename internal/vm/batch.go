@@ -80,6 +80,7 @@ func (ls *laneState) reset(seed uint64) {
 	r.Steps = 0
 	r.Cost = 0
 	r.Stopped = false
+	r.StopFrames = nil
 	for i, ct := range rs.counts {
 		clearInt64(ct.Node)
 		ct.Activations = 0

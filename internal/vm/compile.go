@@ -151,6 +151,10 @@ func compileProc(res *lower.Result, p *lower.Proc, byName map[string]int, loose 
 	}
 	c.patch()
 	c.out.numTrips = len(c.tripSlot)
+	c.out.tripNodes = make([]cfg.NodeID, len(c.tripSlot))
+	for key, slot := range c.tripSlot {
+		c.out.tripNodes[slot] = key
+	}
 	return c.out, nil
 }
 

@@ -1120,6 +1120,7 @@ activation:
 				ip = int(top.ip)
 				continue activation
 			case opStop:
+				rs.recordStopFrame(pc, f, cfg.NodeID(in.a))
 				retErr = errStop
 				break activation
 			default:
@@ -1142,6 +1143,12 @@ activation:
 		top := calls[len(calls)-1]
 		calls = calls[:len(calls)-1]
 		pc, f, pi = top.pc, top.f, int(top.pi)
+		if retErr == errStop {
+			// This caller froze at its CALL (the instruction before the
+			// saved resume point; opCall is never fused, so .d is the CALL
+			// node). Frames land innermost-first, like the tree unwind.
+			rs.recordStopFrame(pc, f, cfg.NodeID(pc.ins[top.ip-1].d))
+		}
 	}
 	rs.calls = calls
 	rs.steps = steps

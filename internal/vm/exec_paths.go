@@ -1179,6 +1179,7 @@ activation:
 					rs.pt.cnt.Partials = append(rs.pt.cnt.Partials,
 						interp.PathPartial{Node: cfg.NodeID(in.a), Reg: rs.pt.reg})
 				}
+				rs.recordStopFrame(pc, f, cfg.NodeID(in.a))
 				retErr = errStop
 				break activation
 			default:
@@ -1211,6 +1212,9 @@ activation:
 			// never reach recovery.
 			rs.pt.cnt.Partials = append(rs.pt.cnt.Partials,
 				interp.PathPartial{Node: cfg.NodeID(ps.node), Reg: rs.pt.reg})
+		}
+		if retErr == errStop {
+			rs.recordStopFrame(pc, f, cfg.NodeID(ps.node))
 		}
 	}
 	rs.calls = calls

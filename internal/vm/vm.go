@@ -21,6 +21,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cfg"
@@ -160,10 +161,13 @@ type procCode struct {
 	numRefs     int
 	numArrays   int
 	numTrips    int
-	params      []paramBind
-	meta        []arrayMeta
-	entry       int32
-	maxStack    int
+	// tripNodes maps a trip slot back to its DO test node (StopFrame
+	// records report registers by test node, like the tree-walker).
+	tripNodes []cfg.NodeID
+	params    []paramBind
+	meta      []arrayMeta
+	entry     int32
+	maxStack  int
 	// fused counts the instructions eliminated by superinstruction fusion.
 	fused int
 	pool  sync.Pool
@@ -412,6 +416,21 @@ type runState struct {
 	// lane, when non-nil, supplies frames from the batch lane's arena
 	// instead of the shared per-procedure sync.Pools (see batch.go).
 	lane *laneArena
+}
+
+// recordStopFrame mirrors the tree-walker's: capture an activation's frozen
+// position and live DO registers as a STOP unwinds through it. VM trip
+// slots are allocated in compile order, so sort by test node to match the
+// tree-walker's dense ascending scan bit-for-bit.
+func (rs *runState) recordStopFrame(pc *procCode, f *frame, node cfg.NodeID) {
+	sf := interp.StopFrame{Proc: pc.name, Node: node}
+	for slot, rem := range f.trips {
+		if rem > 0 {
+			sf.Trips = append(sf.Trips, interp.TripReg{Test: pc.tripNodes[slot], Remaining: rem})
+		}
+	}
+	sort.Slice(sf.Trips, func(i, j int) bool { return sf.Trips[i].Test < sf.Trips[j].Test })
+	rs.result.StopFrames = append(rs.result.StopFrames, sf)
 }
 
 // Run executes the compiled program once under opt. Results are
