@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck dataflow-selfcheck serve-smoke loadgen-smoke fuzz-smoke
+.PHONY: check fmt vet lint build test test-vm test-vm-batch test-bl bench bench-json oracle oracle-bl selfcheck dataflow-selfcheck serve-smoke loadgen-smoke cache-smoke fuzz-smoke
 
 # STATICCHECK_VERSION pins the analyzer CI installs; keep in sync with
 # .github/workflows/ci.yml.
@@ -11,7 +11,7 @@ STATICCHECK_VERSION = 2025.1.1
 # tests (the engine differential sweeps included), plus the self-lint,
 # oracle sweeps (both counter-placement strategies) and a fuzzing smoke
 # pass.
-check: fmt vet lint build test selfcheck dataflow-selfcheck serve-smoke oracle oracle-bl fuzz-smoke
+check: fmt vet lint build test selfcheck dataflow-selfcheck serve-smoke cache-smoke oracle oracle-bl fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -101,6 +101,14 @@ serve-smoke:
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -n 400 -c 200 -pad 40 -out BENCH_loadgen_ci.json
 
+# cache-smoke proves the on-disk artifact cache is transparent end to end:
+# a profiling run populates the cache, estimates are regenerated warm from
+# it, and the result must be byte-identical to an uncached run. The short
+# oracle sweep then re-checks load(save(x)) losslessness (bit-identical
+# plans, profiles and TIME/VAR on all three engines) case by case.
+cache-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && 	REPRO_CACHE_DIR=$$dir/cache $(GO) run ./cmd/profrun -src examples/loops.f -db $$dir/db.json -seeds 1,2,3 && 	REPRO_CACHE_DIR=$$dir/cache $(GO) run ./cmd/estimate -src examples/loops.f -db $$dir/db.json > $$dir/warm.txt && 	$(GO) run ./cmd/estimate -src examples/loops.f -db $$dir/db.json > $$dir/uncached.txt && 	cmp $$dir/uncached.txt $$dir/warm.txt && 	$(GO) run ./cmd/oracle -seeds 40 -invariants artifact-roundtrip -cache-dir $$dir/cache -quiet > /dev/null && 	echo "cache-smoke: warm estimates byte-identical to uncached; 40-case round-trip sweep clean"
+
 # fuzz-smoke gives each native fuzz target a short budget; any panic or
 # invariant violation found becomes a crasher in testdata/fuzz.
 fuzz-smoke:
@@ -108,3 +116,4 @@ fuzz-smoke:
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz FuzzProgenOracle -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pathprof/ -run '^$$' -fuzz FuzzPathNumbering -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/vm/ -run '^$$' -fuzz FuzzFusePipeline -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/artifact/ -run '^$$' -fuzz FuzzArtifactDecode -fuzztime $(FUZZTIME)

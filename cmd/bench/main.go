@@ -48,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/interp"
@@ -84,6 +85,7 @@ func main() {
 	engines := flag.String("engines", "tree,vm,vm-batch", "comma-separated execution engines to sweep: tree|vm|vm-batch")
 	plan := flag.String("plan", "", "counter-placement strategy for the sweep: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and profiling")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -102,6 +104,17 @@ func main() {
 	strat, err := core.ParseStrategy(*plan)
 	if err != nil {
 		fail(err)
+	}
+	// -cache-dir only hosts the cache scenario's per-rep directories (the
+	// throughput sweeps stay uncached so rates keep their meaning); it is
+	// still validated up front so a bad path fails loudly.
+	cacheParent := ""
+	if *cacheDir != "" {
+		store, err := artifact.StoreFromFlag(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		cacheParent = store.Dir()
 	}
 
 	snap := &report.BenchSnapshot{
@@ -128,6 +141,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %-12s %8.1f ms  %10.0f nodes/sec  %12.0f profile-nodes/sec  %.3f counters/block\n",
 				entry.Name, entry.WallMs, entry.Metrics["nodes_per_sec"],
 				entry.Metrics["profile_nodes_per_sec"], entry.Metrics["counters_per_block"])
+			if sz.name == "medium" || sz.name == "large" {
+				cent, err := runCacheScenario(entryName("cache-"+sz.name, eng, strat), cacheParent, sz.size, sz.depth, *workers, *reps, eng, strat)
+				if err != nil {
+					fail(err)
+				}
+				snap.Entries = append(snap.Entries, *cent)
+				fmt.Fprintf(os.Stderr, "bench: %-12s cold %8.1f ms  warm %8.1f ms  %.1fx warm speedup\n",
+					cent.Name, cent.Metrics["cold_load_ms"], cent.Metrics["warm_load_ms"], cent.Metrics["warm_speedup"])
+			}
 		}
 		if *oracleSeeds > 0 {
 			entry, err := runOracleScenario(entryName("oracle-corpus", eng, strat), *oracleSeeds, *workers, eng, strat)
@@ -493,4 +515,66 @@ func newestSnapshot(out string) string {
 		}
 	}
 	return best
+}
+
+// runCacheScenario measures the on-disk artifact cache on one generated
+// program: a cold load into an empty cache directory (full analysis plus
+// the save) against a warm load of the same source (every procedure a
+// cache hit). Each repetition gets a fresh directory so cold stays cold;
+// both sides keep their own best-of-N. parent optionally roots the
+// per-rep directories (the -cache-dir flag); empty means the system temp
+// directory.
+func runCacheScenario(name, parent string, size, depth, workers, reps int, eng interp.Engine, strat core.Strategy) (*report.BenchEntry, error) {
+	src := progen.Generate(7, size, depth)
+	root, err := os.MkdirTemp(orTempDir(parent), "bench-cache-")
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	defer os.RemoveAll(root)
+	bestCold, bestWarm := 0.0, 0.0
+	for rep := 0; rep < reps || rep == 0; rep++ {
+		store, err := artifact.Open(filepath.Join(root, fmt.Sprintf("r%d", rep)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		opts := core.LoadOptions{Workers: workers, Engine: eng, Plan: strat, Cache: store}
+		t0 := time.Now()
+		if _, err := core.LoadOpts(src, opts); err != nil {
+			return nil, fmt.Errorf("%s: cold: %w", name, err)
+		}
+		cold := float64(time.Since(t0)) / float64(time.Millisecond)
+		t1 := time.Now()
+		if _, err := core.LoadOpts(src, opts); err != nil {
+			return nil, fmt.Errorf("%s: warm: %w", name, err)
+		}
+		warm := float64(time.Since(t1)) / float64(time.Millisecond)
+		if bestCold == 0 || cold < bestCold {
+			bestCold = cold
+		}
+		if bestWarm == 0 || warm < bestWarm {
+			bestWarm = warm
+		}
+	}
+	entry := &report.BenchEntry{
+		Name:   name,
+		WallMs: bestCold + bestWarm,
+		Metrics: map[string]float64{
+			"cold_load_ms": bestCold,
+			"warm_load_ms": bestWarm,
+			"maxprocs":     float64(runtime.GOMAXPROCS(0)),
+			"workers":      float64(workers),
+		},
+	}
+	if bestWarm > 0 {
+		entry.Metrics["warm_speedup"] = bestCold / bestWarm
+	}
+	return entry, nil
+}
+
+// orTempDir substitutes the system temp directory for an empty parent.
+func orTempDir(dir string) string {
+	if dir == "" {
+		return os.TempDir()
+	}
+	return dir
 }

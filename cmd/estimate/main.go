@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/artifact"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -37,6 +38,7 @@ func main() {
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	plan := flag.String("plan", "", "counter-placement strategy for pipeline profiling: sarkar|ball-larus (default: REPRO_PLAN, else sarkar); the database's stored profile is strategy-independent")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -70,7 +72,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Plan: strat}
+	store, err := artifact.StoreFromFlag(*cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Plan: strat, Cache: store}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -20,12 +21,19 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure to print: 1, 2, 3 or all")
 	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text (figures 1 and 3)")
+	// figures' fixed paper example is too small for caching to matter, but
+	// the shared flag is still accepted and validated so a REPRO_CACHE_DIR
+	// that works for the other tools never breaks this one.
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
+	}
+	if _, err := artifact.StoreFromFlag(*cacheDir); err != nil {
+		fail(err)
 	}
 	if _, err := obsCLI.Begin(); err != nil {
 		fail(err)

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/report"
 	"repro/internal/service"
 )
@@ -95,15 +96,22 @@ func main() {
 	workers := flag.Int("workers", 0, "in-process service worker slots (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "append a bench snapshot entry to this BENCH_<date>.json (created if missing)")
 	entry := flag.String("entry", "service-loadgen", "bench entry name")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	disk, err := artifact.StoreFromFlag(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
 
 	base := *url
 	if base == "" {
 		// In-process server: the queue must hold the whole in-flight load
 		// minus the workers, or the run would measure shedding, not latency.
 		svc := service.New(service.Config{
-			Workers: *workers,
-			Queue:   *c + 64,
+			Workers:   *workers,
+			Queue:     *c + 64,
+			DiskCache: disk,
 		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -225,6 +233,44 @@ func main() {
 	}
 	if mean(hotProbe) > 0 {
 		metrics["cold_over_hot"] = mean(coldProbe) / mean(hotProbe)
+	}
+
+	// Restart-warm probe: a brand-new in-process service sharing the same
+	// on-disk artifact cache simulates a daemon restart. Its in-memory LRU
+	// starts empty (every probe reports a cache miss), but the disk half
+	// serves the per-procedure artifacts, so the "cold" compile after a
+	// restart should sit far below the true cold compile above.
+	if *url == "" && disk != nil {
+		restart := service.New(service.Config{
+			Workers:   *workers,
+			Queue:     *c + 64,
+			DiskCache: disk,
+		})
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		rsrv := &http.Server{Handler: restart}
+		go rsrv.Serve(rln)
+		defer rsrv.Close()
+		rbase := "http://" + rln.Addr().String()
+		var restartProbe []float64
+		for i, b := range bodies {
+			ms, hit, err := timedAnalyze(client, rbase, b)
+			if err != nil {
+				fatal(fmt.Errorf("restart probe %d: %w", i, err))
+			}
+			if hit {
+				fatal(fmt.Errorf("restart probe %d hit the in-memory cache of a fresh service", i))
+			}
+			restartProbe = append(restartProbe, ms)
+		}
+		metrics["restart_warm_mean_ms"] = mean(restartProbe)
+		if mean(restartProbe) > 0 {
+			metrics["cold_over_restart_warm"] = mean(coldProbe) / mean(restartProbe)
+		}
+		fmt.Printf("  restart-warm (disk cache, fresh service) %.2fms vs cold %.2fms (%.1fx)\n",
+			metrics["restart_warm_mean_ms"], metrics["cold_mean_ms"], metrics["cold_over_restart_warm"])
 	}
 
 	fmt.Printf("loadgen: %d requests, %d in-flight (peak %d), %.0f req/s\n",

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/obs"
@@ -47,6 +48,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary on stderr")
 	diag := flag.Bool("diag", false, "emit the diagnostic document shared with ptranlint instead of the sweep report")
 	list := flag.Bool("list", false, "list registry invariants and exit")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -67,9 +69,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oracle:", err)
 		os.Exit(2)
 	}
+	// Validate the cache directory up front; the artifact-roundtrip
+	// invariant roots its per-case scratch caches under it.
+	if _, err := artifact.StoreFromFlag(*cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(2)
+	}
 	cfg := oracle.Config{
 		Engine:          eng,
 		Plan:            strat,
+		CacheDir:        *cacheDir,
 		SeedStart:       *start,
 		Seeds:           *seeds,
 		Size:            *size,

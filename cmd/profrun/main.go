@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/database"
@@ -37,6 +38,7 @@ func main() {
 	engine := flag.String("engine", "", "execution engine: tree|vm|vm-batch (default: REPRO_ENGINE, else tree)")
 	plan := flag.String("plan", "", "counter-placement strategy: sarkar|ball-larus (default: REPRO_PLAN, else sarkar)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for analysis and per-seed profiling runs")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -63,7 +65,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Engine: eng, Plan: strat}
+	store, err := artifact.StoreFromFlag(*cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Engine: eng, Plan: strat, Cache: store}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}

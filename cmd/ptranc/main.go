@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/artifact"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -29,6 +30,7 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz dot for graph dumps")
 	runCheck := flag.Bool("check", false, "run the static checker passes; error findings abort")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the per-procedure analysis")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -47,7 +49,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr}
+	store, err := artifact.StoreFromFlag(*cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	loadOpts := core.LoadOptions{Workers: *workers, Trace: tr, Cache: store}
 	var collector *check.Collector
 	if *runCheck {
 		collector = &check.Collector{}

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/service"
 )
 
@@ -49,13 +50,21 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	smoke := flag.Bool("smoke", false, "self-test against an in-process server and exit")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	disk, err := artifact.StoreFromFlag(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptrand:", err)
+		os.Exit(1)
+	}
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
+		DiskCache:      disk,
 	})
 
 	if *smoke {

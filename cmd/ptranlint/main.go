@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/cfg"
 	"repro/internal/check"
 	"repro/internal/core"
@@ -58,6 +59,7 @@ func main() {
 	hotPaths := flag.Int("hot-paths", 0, "report each procedure's top-K hot acyclic paths from one profiled run (0: off)")
 	hotSeed := flag.Uint64("hot-seed", 1, "random seed of the -hot-paths profiling run")
 	list := flag.Bool("list", false, "list registry passes and exit")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -89,7 +91,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
 	}
-	diags, pipe, err := lint(string(text), opts, *workers, tr)
+	store, err := artifact.StoreFromFlag(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptranlint:", err)
+		os.Exit(2)
+	}
+	diags, pipe, err := lint(string(text), opts, *workers, tr, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ptranlint:", err)
 		os.Exit(2)
@@ -182,12 +189,13 @@ func toReportHotPaths(hps []pathprof.HotPath) []report.HotPath {
 // lint runs the front end and the checker, turning syntax/semantic errors
 // into diagnostics rather than bare failures. The loaded pipeline is
 // returned for follow-on reports (nil when the front end failed).
-func lint(text string, opts check.Options, workers int, tr *obs.Trace) ([]report.Diagnostic, *core.Pipeline, error) {
+func lint(text string, opts check.Options, workers int, tr *obs.Trace, store *artifact.Store) ([]report.Diagnostic, *core.Pipeline, error) {
 	collector := &check.Collector{Opts: opts}
 	pipe, err := core.LoadOpts(text, core.LoadOptions{
 		Workers:   workers,
 		CheckProc: collector.CheckProc,
 		Trace:     tr,
+		Cache:     store,
 	})
 	if err != nil {
 		var se *lang.SyntaxError

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -27,6 +28,7 @@ func main() {
 	simpleN := flag.Int("simplen", 24, "SIMPLE mesh size")
 	cycles := flag.Int("cycles", 3, "SIMPLE time-step cycles")
 	seed := flag.Uint64("seed", 1, "interpreter seed")
+	cacheDir := artifact.AddCLIFlags(flag.CommandLine)
 	obsCLI := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -47,6 +49,9 @@ func main() {
 		cfg = experiments.PaperTable1Config
 	}
 	cfg.Trace = tr
+	if cfg.Cache, err = artifact.StoreFromFlag(*cacheDir); err != nil {
+		fail(err)
+	}
 	res, err := experiments.Table1(cfg)
 	if err != nil {
 		fail(err)

@@ -15,7 +15,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint", "bench", "oracle"} {
+	for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint", "bench", "oracle", "loadgen", "ptrand"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -385,6 +385,74 @@ func TestCommandLineTools(t *testing.T) {
 			msg, _ := exec.Command(filepath.Join(dir, name), "-h").CombinedOutput()
 			if !strings.Contains(string(msg), "tree|vm|vm-batch") {
 				t.Errorf("%s -h engine help drifted:\n%s", name, msg)
+			}
+		}
+	})
+
+	t.Run("cache-dir", func(t *testing.T) {
+		readMetrics := func(t *testing.T, path string) map[string]float64 {
+			t.Helper()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				Metrics map[string]float64 `json:"metrics"`
+			}
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("metrics JSON: %v\n%s", err, raw)
+			}
+			return doc.Metrics
+		}
+		cacheDir := filepath.Join(dir, "artcache")
+		cacheDB := filepath.Join(dir, "cache-profile.json")
+
+		// Every tool advertises the shared flag.
+		for _, name := range []string{"figures", "table1", "ptranc", "profrun", "estimate", "ptranlint", "bench", "oracle", "loadgen", "ptrand"} {
+			msg, _ := exec.Command(filepath.Join(dir, name), "-h").CombinedOutput()
+			if !strings.Contains(string(msg), "cache-dir") {
+				t.Errorf("%s -h does not document -cache-dir:\n%s", name, msg)
+			}
+		}
+
+		// Cold run populates the cache (misses), warm run hits everything.
+		m1 := filepath.Join(dir, "cache-m1.json")
+		runCmd(t, filepath.Join(dir, "profrun"), "-src", src, "-db", cacheDB, "-seeds", "1", "-cache-dir", cacheDir, "-metrics", m1)
+		if mm := readMetrics(t, m1); mm["artifact.miss"] <= 0 || mm["artifact.hit"] != 0 {
+			t.Errorf("cold run metrics: %v", mm)
+		}
+		m2 := filepath.Join(dir, "cache-m2.json")
+		runCmd(t, filepath.Join(dir, "profrun"), "-src", src, "-db", cacheDB, "-seeds", "2", "-cache-dir", cacheDir, "-metrics", m2)
+		if mm := readMetrics(t, m2); mm["artifact.hit"] <= 0 || mm["artifact.miss"] != 0 {
+			t.Errorf("warm run metrics: %v", mm)
+		}
+
+		// REPRO_CACHE_DIR is honored without the flag (estimate shares the
+		// cache profrun populated: same source, engine, and plan).
+		m3 := filepath.Join(dir, "cache-m3.json")
+		cmd := exec.Command(filepath.Join(dir, "estimate"), "-src", src, "-db", cacheDB, "-model", "unit", "-metrics", m3)
+		cmd.Env = append(os.Environ(), "REPRO_CACHE_DIR="+cacheDir)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("estimate under REPRO_CACHE_DIR: %v\n%s", err, msg)
+		}
+		if mm := readMetrics(t, m3); mm["artifact.hit"] <= 0 || mm["artifact.miss"] != 0 {
+			t.Errorf("REPRO_CACHE_DIR run metrics: %v", mm)
+		}
+
+		// A cache path that is not a directory is a clear error, not a
+		// silent fall-through to uncached mode.
+		for name, args := range map[string][]string{
+			"ptranc":   {"-src", src, "-cache-dir", src},
+			"estimate": {"-src", src, "-db", cacheDB, "-cache-dir", src},
+			"oracle":   {"-seeds", "1", "-cache-dir", src},
+		} {
+			msg, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+			if err == nil {
+				t.Errorf("%s with a file as -cache-dir must fail:\n%s", name, msg)
+				continue
+			}
+			if !strings.Contains(string(msg), "not a directory") {
+				t.Errorf("%s: bad-dir error must say so:\n%s", name, msg)
 			}
 		}
 	})

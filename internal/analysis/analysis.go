@@ -116,6 +116,12 @@ type Options struct {
 	// fcdg, check) plus an "analyze" summary span carrying the worker count
 	// and pool utilization. Phases of concurrent procedures aggregate.
 	Trace *obs.Trace
+
+	// Prebuilt supplies already-derived analyses (the artifact cache's warm
+	// half, decoded against the same lowered procedures). Named procedures
+	// skip the derivation phases entirely; CheckProc still runs on them, so
+	// static diagnostics are identical on warm and cold loads.
+	Prebuilt map[string]*Proc
 }
 
 // AnalyzeProgram analyzes every procedure with GOMAXPROCS workers and
@@ -156,7 +162,11 @@ func AnalyzeProgramOpts(res *lower.Result, opts Options) (*Program, error) {
 	var busyNanos atomic.Int64
 	analyzeAt := func(i int) {
 		t0 := time.Now()
-		procs[i], errs[i] = analyzeProcTraced(res.Procs[names[i]], opts.Trace)
+		if pre := opts.Prebuilt[names[i]]; pre != nil {
+			procs[i] = pre
+		} else {
+			procs[i], errs[i] = analyzeProcTraced(res.Procs[names[i]], opts.Trace)
+		}
 		if errs[i] == nil && opts.CheckProc != nil {
 			sp := opts.Trace.Start("check")
 			errs[i] = opts.CheckProc(procs[i])

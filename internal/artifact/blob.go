@@ -1,0 +1,205 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/dataflow"
+	"repro/internal/ecfg"
+	"repro/internal/interval"
+	"repro/internal/lower"
+	"repro/internal/pathprof"
+	"repro/internal/profiler"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Blob layout:
+//
+//	"PTAF"                magic
+//	u32                   FormatVersion
+//	[32]byte              SHA-256 of everything after this field
+//	sections              each: u8 tag, length-prefixed payload
+//
+// Sections appear in tag order at most once each. Unknown tags are a
+// decode error (same version ⇒ same tag set; a new tag means a version
+// bump was missed). The checksum rejects torn or bit-flipped files before
+// any section decoder runs; the section decoders still tolerate arbitrary
+// bytes (typed error, no panic) because the fuzz harness — and a hash
+// collision, in principle — can hand them unchecked input.
+const (
+	secAnalysis  = 1 // interval + ecfg + cdg + fcdg + dataflow
+	secSarkar    = 2 // profiler.Plan
+	secBL        = 3 // pathprof.Plan (plan=ball-larus only)
+	secVM        = 4 // vm bytecode (VM engines only)
+	secVMBailout = 5 // vm.BailoutError marker (VM engines only, mutually exclusive with secVM)
+)
+
+var magic = []byte("PTAF")
+
+// ProcArtifact is the decoded (or to-be-encoded) middle-end of one
+// procedure. An is always present in a usable artifact; Sarkar likewise.
+// BL is present iff the blob was written under plan=ball-larus. Exactly
+// one of VMCode/Bailout may be set, and only under a VM engine: VMCode
+// holds the procedure's bytecode, Bailout records that program compilation
+// bailed out so a warm load can skip re-attempting it.
+type ProcArtifact struct {
+	An      *analysis.Proc
+	Sarkar  *profiler.Plan
+	BL      *pathprof.Plan
+	VMCode  []byte
+	Bailout *vm.BailoutError
+}
+
+// Encode renders the artifact as a self-checking blob.
+func (pa *ProcArtifact) Encode() []byte {
+	var body wire.Writer
+	var sec wire.Writer
+
+	a := pa.An
+	a.Intervals.Encode(&sec)
+	a.Ext.Encode(&sec)
+	a.CDG.Encode(&sec)
+	a.FCDG.Encode(&sec)
+	a.Flow.Encode(&sec)
+	body.U8(secAnalysis)
+	body.BytesPrefixed(sec.Bytes())
+
+	sec = wire.Writer{}
+	pa.Sarkar.Encode(&sec)
+	body.U8(secSarkar)
+	body.BytesPrefixed(sec.Bytes())
+
+	if pa.BL != nil {
+		sec = wire.Writer{}
+		pa.BL.Encode(&sec)
+		body.U8(secBL)
+		body.BytesPrefixed(sec.Bytes())
+	}
+	if pa.VMCode != nil {
+		body.U8(secVM)
+		body.BytesPrefixed(pa.VMCode)
+	} else if pa.Bailout != nil {
+		sec = wire.Writer{}
+		sec.String(pa.Bailout.Proc)
+		sec.Int(pa.Bailout.Line)
+		sec.String(pa.Bailout.Construct)
+		sec.String(pa.Bailout.Reason)
+		body.U8(secVMBailout)
+		body.BytesPrefixed(sec.Bytes())
+	}
+
+	var out wire.Writer
+	out.Raw(magic)
+	out.U32(FormatVersion)
+	sum := sha256.Sum256(body.Bytes())
+	out.Raw(sum[:])
+	out.Raw(body.Bytes())
+	return out.Bytes()
+}
+
+// DecodeProc reads a blob back into a ProcArtifact attached to the freshly
+// lowered p. Any malformation — bad magic, version skew, checksum
+// mismatch, truncation, out-of-range IDs, duplicate or unknown sections —
+// returns a typed error; callers treat every error as a cache miss.
+func DecodeProc(blob []byte, p *lower.Proc) (*ProcArtifact, error) {
+	r := wire.NewReader(blob)
+	r.Expect(magic)
+	if v := r.U32(); r.Err() == nil && v != FormatVersion {
+		return nil, fmt.Errorf("artifact: format version %d, want %d", v, FormatVersion)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if r.Remaining() < sha256.Size {
+		return nil, fmt.Errorf("artifact: truncated checksum")
+	}
+	hdr := len(blob) - r.Remaining()
+	want := blob[hdr : hdr+sha256.Size]
+	body := blob[hdr+sha256.Size:]
+	if got := sha256.Sum256(body); string(got[:]) != string(want) {
+		return nil, fmt.Errorf("artifact: checksum mismatch")
+	}
+	return decodeSections(body, p)
+}
+
+// decodeSections decodes the post-checksum section stream. Split out so
+// the fuzz harness can drive the section decoders with arbitrary bytes
+// (recomputing the checksum would mask them behind SHA-256).
+func decodeSections(body []byte, p *lower.Proc) (*ProcArtifact, error) {
+	r := wire.NewReader(body)
+	pa := &ProcArtifact{}
+	prev := 0
+	for r.Err() == nil && r.Remaining() > 0 {
+		tag := int(r.U8())
+		payload := r.BytesPrefixed()
+		if r.Err() != nil {
+			break
+		}
+		if tag <= prev || tag > secVMBailout {
+			return nil, fmt.Errorf("artifact: unexpected section tag %d after %d", tag, prev)
+		}
+		prev = tag
+		if tag == secVM {
+			// Kept opaque here: vm.ComposeProgram validates the bytecode
+			// against the whole program (callee indices are global).
+			pa.VMCode = payload
+			continue
+		}
+		sr := wire.NewReader(payload)
+		switch tag {
+		case secAnalysis:
+			a := &analysis.Proc{P: p}
+			a.Intervals = interval.Decode(sr, p.G)
+			if sr.Err() == nil {
+				a.Ext = ecfg.Decode(sr, p.G)
+			}
+			if sr.Err() == nil {
+				a.CDG = cdg.Decode(sr, a.Ext)
+			}
+			if sr.Err() == nil {
+				a.FCDG = cdg.Decode(sr, a.Ext)
+			}
+			if sr.Err() == nil {
+				a.Flow = dataflow.Decode(sr, p)
+			}
+			if sr.Err() == nil {
+				pa.An = a
+			}
+		case secSarkar:
+			if pa.An == nil {
+				return nil, fmt.Errorf("artifact: plan section without analysis section")
+			}
+			pa.Sarkar = profiler.DecodePlan(sr, pa.An)
+		case secBL:
+			if pa.Sarkar == nil {
+				return nil, fmt.Errorf("artifact: path-plan section without Sarkar section")
+			}
+			pa.BL = pathprof.DecodePlan(sr, pa.An, pa.Sarkar)
+		case secVMBailout:
+			be := &vm.BailoutError{}
+			be.Proc = sr.String()
+			be.Line = sr.Int()
+			be.Construct = sr.String()
+			be.Reason = sr.String()
+			if sr.Err() == nil {
+				pa.Bailout = be
+			}
+		}
+		if err := sr.Err(); err != nil {
+			return nil, fmt.Errorf("artifact: section %d: %w", tag, err)
+		}
+		if sr.Remaining() != 0 {
+			return nil, fmt.Errorf("artifact: section %d: %d trailing bytes", tag, sr.Remaining())
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if pa.An == nil || pa.Sarkar == nil {
+		return nil, fmt.Errorf("artifact: blob missing required sections")
+	}
+	return pa, nil
+}

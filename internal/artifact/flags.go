@@ -1,0 +1,30 @@
+package artifact
+
+import (
+	"flag"
+	"os"
+)
+
+// EnvCacheDir is the environment variable every CLI consults for a
+// default cache directory, so a shell-wide `export REPRO_CACHE_DIR=...`
+// shares one cache across all tools without per-command flags.
+const EnvCacheDir = "REPRO_CACHE_DIR"
+
+// AddCLIFlags registers the shared -cache-dir flag on fs and returns a
+// pointer to its value. The default comes from REPRO_CACHE_DIR; an empty
+// value disables the on-disk cache entirely.
+func AddCLIFlags(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", os.Getenv(EnvCacheDir),
+		"on-disk compiled-artifact cache directory (default $"+EnvCacheDir+"; empty disables caching)")
+}
+
+// StoreFromFlag resolves a -cache-dir value: nil store (caching off) for
+// the empty string, otherwise an opened store or the open error — a bad
+// directory is a hard error, not a silent fall-through to uncached mode,
+// so misconfigured runs don't quietly lose the speedup they asked for.
+func StoreFromFlag(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return Open(dir)
+}

@@ -1,0 +1,99 @@
+// Package artifact is the on-disk compiled-artifact cache: a versioned,
+// self-describing binary format for the expensive per-procedure middle-end
+// products (interval structure, extended CFG, control dependence, dataflow
+// facts, Sarkar and Ball–Larus counter plans, VM bytecode), keyed by
+// content hash so an edited source file re-derives only the procedures it
+// actually changed.
+//
+// The cache stores the middle-end only. A warm load still re-parses and
+// re-lowers the source — that phase is cheap, deterministic, and restores
+// the AST/CFG pointer identity the decoded artifacts re-attach to — then
+// decodes everything downstream instead of recomputing it. Any read
+// failure (version skew, truncation, bit corruption, concurrent partial
+// write) is a cache miss, never an error: the pipeline falls back to fresh
+// analysis and overwrites the bad entry.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// FormatVersion is bumped whenever any encoded structure changes shape —
+// including changes to the encodings in other packages' codec files (cfg,
+// interval, ecfg, cdg, dataflow, profiler, pathprof, vm). Blobs written by
+// any other version are rejected wholesale; there is no migration, the
+// cache just goes cold. See DESIGN.md §17 for the bump policy.
+const FormatVersion = 1
+
+// UnitHash is the content hash of one unit's full canonical dump:
+// identical iff the unit parses to the same AST at the same positions.
+// This is the per-procedure half of the cache key — editing one
+// procedure's body changes only that procedure's UnitHash.
+func UnitHash(u *lang.Unit) string {
+	sum := sha256.Sum256([]byte(lang.DumpUnit(u)))
+	return hex.EncodeToString(sum[:])
+}
+
+// sigDump renders the unit's interface — everything a *caller's* compiled
+// artifacts can depend on: name, kind, parameter list, and the
+// declarations/constants that give parameters their types and array
+// shapes. Bodies are excluded, so a body-only edit leaves every other
+// procedure's key intact.
+func sigDump(u *lang.Unit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%t|%s\n", u.Name, u.IsMain, strings.Join(u.Params, ","))
+	for _, d := range u.Decls {
+		fmt.Fprintf(&b, "%s", d.Type)
+		for _, it := range d.Items {
+			fmt.Fprintf(&b, " %s/%d", it.Name, len(it.Dims))
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range u.Consts {
+		fmt.Fprintf(&b, "const %s\n", c.Name)
+	}
+	return b.String()
+}
+
+// LinkHash hashes the program-level linkage every procedure's artifacts
+// implicitly depend on: the sorted set of (unit name, signature) pairs
+// plus which unit is main. VM bytecode bakes global callee indices (the
+// rank of each name in the sorted name set) into opCall operands, and
+// compilation checks cross-procedure argument binding against callee
+// signatures — so adding, removing, renaming, or re-signaturing any unit
+// must invalidate everything, while body edits must invalidate nothing
+// but the edited unit.
+func LinkHash(prog *lang.Program) string {
+	sigs := make([]string, 0, len(prog.Units))
+	main := ""
+	for _, u := range prog.Units {
+		sum := sha256.Sum256([]byte(sigDump(u)))
+		sigs = append(sigs, u.Name+"="+hex.EncodeToString(sum[:]))
+		if u.IsMain {
+			main = u.Name
+		}
+	}
+	sort.Strings(sigs)
+	h := sha256.New()
+	fmt.Fprintf(h, "main=%s\n", main)
+	for _, s := range sigs {
+		fmt.Fprintln(h, s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ProcKey is the cache key of one procedure's artifact blob. Engine and
+// plan are part of the key because they change which sections a usable
+// blob must carry (VM bytecode, Ball–Larus tables); the format version is
+// part of the key so a version bump never even reads stale files.
+func ProcKey(unitHash, linkHash, engine, plan string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n%s\n%s\n%s\n%s\n", FormatVersion, unitHash, linkHash, engine, plan)
+	return hex.EncodeToString(h.Sum(nil))
+}

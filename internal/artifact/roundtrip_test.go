@@ -1,0 +1,265 @@
+package artifact_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/artifact"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/pathprof"
+	"repro/internal/profiler"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// src exercises every statement family the middle-end serializes: nested
+// DO loops, a multi-arm IF with ELSE IF, a computed GOTO, an arithmetic
+// IF, calls with scalar and array arguments, and PRINT.
+const src = `      PROGRAM ART
+      INTEGER I, K, N
+      REAL X, S
+      REAL A(10)
+      N = 10
+      S = 0.0
+      DO 10 I = 1, N
+         X = RAND()
+         IF (X .LT. 0.3) THEN
+            S = S + X*X
+         ELSE IF (X .LT. 0.7) THEN
+            CALL TWIST(A, I, S)
+         ELSE
+            S = S - X
+         ENDIF
+   10 CONTINUE
+      K = INT(S) - INT(S)
+      GOTO (20, 30), K + 1
+   20 S = S + 1.0
+   30 IF (S - 5.0) 40, 50, 50
+   40 S = S * 2.0
+   50 PRINT *, S
+      END
+
+      SUBROUTINE TWIST(A, I, S)
+      REAL A(10), S
+      INTEGER I, J
+      DO 60 J = 1, 5
+         A(I) = A(I) + S * 0.5
+         S = S + A(I)
+   60 CONTINUE
+      RETURN
+      END
+`
+
+type built struct {
+	res   *lower.Result
+	an    *analysis.Program
+	plans profiler.Plans
+	paths *pathprof.Plans
+	prog  *vm.Program
+}
+
+func buildAll(t *testing.T) *built {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lower.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := analysis.AnalyzeProgram(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := profiler.BuildPlans(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := pathprof.BuildPlansWith(an, plans, pathprof.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Compile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &built{res: res, an: an, plans: plans, paths: paths, prog: prog}
+}
+
+func encodeProc(t *testing.T, b *built, name string) []byte {
+	t.Helper()
+	var w wire.Writer
+	if !b.prog.EncodeProc(name, &w) {
+		t.Fatalf("no compiled proc %s", name)
+	}
+	pa := &artifact.ProcArtifact{
+		An:     b.an.Procs[name],
+		Sarkar: b.plans[name],
+		BL:     b.paths.ByProc[name],
+		VMCode: w.Bytes(),
+	}
+	return pa.Encode()
+}
+
+// TestRoundTripBitStable: decode against a fresh lowering of the same
+// source, re-encode, and require the bytes identical — the oracle
+// invariant's cheap byte-level form, covering every codec at once.
+func TestRoundTripBitStable(t *testing.T) {
+	b := buildAll(t)
+	p2, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := lower.Lower(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range b.res.Procs {
+		blob := encodeProc(t, b, name)
+		pa, err := artifact.DecodeProc(blob, res2.Procs[name])
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if pa.An.P != res2.Procs[name] {
+			t.Fatalf("%s: decoded analysis not attached to fresh lowering", name)
+		}
+		blob2 := pa.Encode()
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("%s: re-encoded blob differs (%d vs %d bytes)", name, len(blob), len(blob2))
+		}
+	}
+}
+
+// TestComposedVMIdenticalRun: a program assembled from decoded bytecode
+// blobs runs bit-identically to the directly compiled one.
+func TestComposedVMIdenticalRun(t *testing.T) {
+	b := buildAll(t)
+	blobs := make(map[string][]byte)
+	for name := range b.res.Procs {
+		var w wire.Writer
+		if b.prog.EncodeProc(name, &w) {
+			blobs[name] = w.Bytes()
+		}
+	}
+	p2, _ := lang.Parse(src)
+	res2, err := lower.Lower(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, missed, err := vm.ComposeProgram(res2, blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missed) != 0 {
+		t.Fatalf("compose rejected blobs: %v", missed)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		r1, err1 := b.prog.Run(interp.Options{Seed: seed})
+		r2, err2 := prog2.Run(interp.Options{Seed: seed})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: run errors %v / %v", seed, err1, err2)
+		}
+		if r1.Steps != r2.Steps {
+			t.Fatalf("seed %d: steps %d vs %d", seed, r1.Steps, r2.Steps)
+		}
+		for name, c1 := range r1.ByProc {
+			c2 := r2.ByProc[name]
+			if c2 == nil {
+				t.Fatalf("seed %d: composed run missing proc %s", seed, name)
+			}
+			for id := range c1.Node {
+				if c1.Node[id] != c2.Node[id] {
+					t.Fatalf("seed %d: %s node %d count %d vs %d", seed, name, id, c1.Node[id], c2.Node[id])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsMutations: truncations and bit flips at every offset
+// produce a typed error, never a panic, and never a silently-accepted
+// different artifact.
+func TestDecodeRejectsMutations(t *testing.T) {
+	b := buildAll(t)
+	p2, _ := lang.Parse(src)
+	res2, err := lower.Lower(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "TWIST"
+	blob := encodeProc(t, b, name)
+	proc := res2.Procs[name]
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := artifact.DecodeProc(blob[:cut], proc); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for off := 0; off < len(blob); off += 11 {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x40
+		if _, err := artifact.DecodeProc(mut, proc); err == nil {
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+	}
+}
+
+// TestVersionSkewRejected: a blob from any other format version is
+// rejected before section decoding.
+func TestVersionSkewRejected(t *testing.T) {
+	b := buildAll(t)
+	blob := encodeProc(t, b, "ART")
+	mut := append([]byte(nil), blob...)
+	mut[4]++ // little-endian version field follows the 4-byte magic
+	if _, err := artifact.DecodeProc(mut, b.res.Procs["ART"]); err == nil {
+		t.Fatal("version skew accepted")
+	}
+}
+
+// TestBailoutMarkerRoundTrip: a bailout marker survives encode/decode.
+func TestBailoutMarkerRoundTrip(t *testing.T) {
+	b := buildAll(t)
+	pa := &artifact.ProcArtifact{
+		An:      b.an.Procs["ART"],
+		Sarkar:  b.plans["ART"],
+		Bailout: &vm.BailoutError{Proc: "ART", Line: 7, Construct: "X", Reason: "test"},
+	}
+	got, err := artifact.DecodeProc(pa.Encode(), b.res.Procs["ART"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bailout == nil || *got.Bailout != *pa.Bailout {
+		t.Fatalf("bailout marker mangled: %+v", got.Bailout)
+	}
+}
+
+// TestKeyStability: body edits change only the edited unit's hash; any
+// signature change moves the link hash.
+func TestKeyStability(t *testing.T) {
+	p1, _ := lang.Parse(src)
+	edited := bytes.Replace([]byte(src), []byte("S = S + A(I)"), []byte("S = S - A(I)"), 1)
+	p2, err := lang.Parse(string(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.UnitHash(p1.Unit("ART")) != artifact.UnitHash(p2.Unit("ART")) {
+		t.Error("body edit in TWIST changed ART's unit hash")
+	}
+	if artifact.UnitHash(p1.Unit("TWIST")) == artifact.UnitHash(p2.Unit("TWIST")) {
+		t.Error("body edit in TWIST did not change its unit hash")
+	}
+	if artifact.LinkHash(p1) != artifact.LinkHash(p2) {
+		t.Error("body edit changed the link hash")
+	}
+	resigned := bytes.Replace([]byte(src), []byte("SUBROUTINE TWIST(A, I, S)"), []byte("SUBROUTINE TWIST(A, S, I)"), 1)
+	p3, err := lang.Parse(string(resigned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.LinkHash(p1) == artifact.LinkHash(p3) {
+		t.Error("parameter reorder did not change the link hash")
+	}
+}

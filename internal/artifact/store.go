@@ -1,0 +1,92 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is a content-addressed artifact directory: one file per ProcKey at
+// dir/<key[:2]>/<key>.art. Reads never fail — anything unreadable is a
+// miss. Writes go to a temp file in the destination directory and land via
+// atomic rename, so concurrent writers (several CLIs sharing one cache
+// dir, the service's worker pool) can only ever race to install identical
+// bytes; readers see either nothing or a complete blob, and a crash
+// mid-write leaves a temp file that is never matched by a Get.
+type Store struct {
+	dir string
+}
+
+// Open validates and creates the cache directory. The error distinguishes
+// the common misconfigurations (path is a file, no permission) because
+// every CLI surfaces it directly to the user.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact cache: empty directory path")
+	}
+	if st, err := os.Stat(dir); err == nil && !st.IsDir() {
+		return nil, fmt.Errorf("artifact cache: %s is not a directory", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact cache: cannot create %s: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("artifact cache: %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".art")
+}
+
+// Get returns the blob stored under key, or nil on any failure (absent,
+// unreadable, empty). Integrity is the decoder's job; Get is pure IO.
+func (s *Store) Get(key string) []byte {
+	if len(key) < 3 {
+		return nil
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil || len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+// Put installs blob under key via write-to-temp + rename. A lost race
+// against another writer is not an error — both sides derived the blob
+// from the same key, so the bytes are interchangeable.
+func (s *Store) Put(key string, blob []byte) error {
+	if len(key) < 3 {
+		return fmt.Errorf("artifact cache: malformed key %q", key)
+	}
+	dst := s.path(key)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("artifact cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact cache: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact cache: %w", err)
+	}
+	return nil
+}

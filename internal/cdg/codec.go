@@ -1,0 +1,114 @@
+package cdg
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ecfg"
+	"repro/internal/wire"
+)
+
+// Encode serializes the dependence edges (succ and pred lists verbatim, so
+// iteration orders survive the round trip) plus the back-edge markers. The
+// dense caches of a forward graph are not written: Decode rebuilds them
+// with the same deterministic computeTopo/buildDense pass Forward runs, so
+// a decoded FCDG is indistinguishable from a freshly built one.
+func (g *Graph) Encode(w *wire.Writer) {
+	w.Varint(int64(g.Root))
+	w.Bool(g.topo != nil) // forward graphs carry topo + dense caches
+	encodeEdgeMap(w, g.succ)
+	encodeEdgeMap(w, g.pred)
+	backs := make([]cfg.Edge, 0, len(g.fromBackEdge))
+	for e, ok := range g.fromBackEdge {
+		if ok {
+			backs = append(backs, e)
+		}
+	}
+	sort.Slice(backs, func(i, j int) bool {
+		a, b := backs[i], backs[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Label < b.Label
+	})
+	w.Uvarint(uint64(len(backs)))
+	for _, e := range backs {
+		cfg.EncodeEdge(w, e)
+	}
+}
+
+func encodeEdgeMap(w *wire.Writer, m map[cfg.NodeID][]cfg.Edge) {
+	keys := make([]cfg.NodeID, 0, len(m))
+	for n := range m {
+		keys = append(keys, n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Uvarint(uint64(len(keys)))
+	for _, n := range keys {
+		w.Varint(int64(n))
+		es := m[n]
+		w.Uvarint(uint64(len(es)))
+		for _, e := range es {
+			cfg.EncodeEdge(w, e)
+		}
+	}
+}
+
+func decodeEdgeMap(r *wire.Reader, eg *cfg.Graph) map[cfg.NodeID][]cfg.Edge {
+	m := make(map[cfg.NodeID][]cfg.Edge)
+	nk := r.Count(2)
+	for i := 0; i < nk; i++ {
+		n := cfg.DecodeNodeID(r, eg)
+		ne := r.Count(3)
+		es := make([]cfg.Edge, 0, ne)
+		for j := 0; j < ne; j++ {
+			es = append(es, cfg.DecodeEdge(r, eg))
+		}
+		if r.Err() != nil {
+			return m
+		}
+		m[n] = es
+	}
+	return m
+}
+
+// Decode reads a Graph written by Encode, attached to ext. For forward
+// graphs the topological order and dense condition caches are recomputed;
+// a cyclic edge set masquerading as a forward graph is rejected through
+// r.Failf (the caller treats it as a cache miss).
+func Decode(r *wire.Reader, ext *ecfg.Ext) *Graph {
+	g := &Graph{
+		Ext:          ext,
+		fromBackEdge: make(map[cfg.Edge]bool),
+	}
+	g.Root = cfg.NodeID(r.Varint())
+	forward := r.Bool()
+	if r.Err() != nil {
+		return g
+	}
+	eg := ext.G
+	if eg.Node(g.Root) == nil {
+		r.Failf("cdg root %d outside extended graph", g.Root)
+		return g
+	}
+	g.succ = decodeEdgeMap(r, eg)
+	g.pred = decodeEdgeMap(r, eg)
+	nb := r.Count(3)
+	for i := 0; i < nb; i++ {
+		g.fromBackEdge[cfg.DecodeEdge(r, eg)] = true
+	}
+	if r.Err() != nil {
+		return g
+	}
+	if forward {
+		if err := g.computeTopo(); err != nil {
+			r.Failf("decoded forward CDG: %v", err)
+			return g
+		}
+		g.buildDense()
+	}
+	return g
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/analysis"
+	"repro/internal/artifact"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/lower"
+	"repro/internal/obs"
+	"repro/internal/pathprof"
+	"repro/internal/profiler"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// cacheState is a Pipeline's connection to the on-disk artifact cache:
+// what was decoded on load (the warm half, consumed by the lazy plan/VM
+// builders) and what must be written back once the missed procedures have
+// been re-derived.
+type cacheState struct {
+	store *artifact.Store
+	// keys maps procedure name to its cache key under the load's engine,
+	// plan and program linkage.
+	keys map[string]string
+	// missed names the procedures whose artifacts must be freshly derived
+	// and saved (absent, version-skewed, or corrupt entries).
+	missed map[string]bool
+	// Warm halves, one entry per hit procedure.
+	sarkar  map[string]*profiler.Plan
+	bl      map[string]*pathprof.Plan
+	vmBlobs map[string][]byte
+	// bailout, when non-nil, is a hit procedure's recorded VM compile
+	// bailout: the whole program is outside the VM subset, so a warm load
+	// skips re-attempting compilation.
+	bailout *vm.BailoutError
+	// Section requirements under the load's engine and plan.
+	wantBL bool
+	wantVM bool
+}
+
+// engineKeyPart collapses the engine to what the artifact contents depend
+// on: vm and vm-batch run the same bytecode, so they share cache entries.
+func engineKeyPart(eng interp.Engine) string {
+	if interp.EffectiveEngine(eng).VMBased() {
+		return "vm"
+	}
+	return "tree"
+}
+
+// loadCache consults the store for every procedure and returns the cache
+// state plus the prebuilt analyses for the hits. Every failure mode —
+// absent file, version skew, checksum mismatch, malformed section, missing
+// required section — is a miss (rejects additionally count artifact.reject);
+// loading never fails because of the cache.
+func loadCache(store *artifact.Store, prog *lang.Program, res *lower.Result,
+	eng interp.Engine, plan Strategy, tr *obs.Trace) (*cacheState, map[string]*analysis.Proc) {
+	sp := tr.Start("cache.load")
+	st := &cacheState{
+		store:   store,
+		keys:    make(map[string]string, len(res.Procs)),
+		missed:  make(map[string]bool),
+		sarkar:  make(map[string]*profiler.Plan),
+		bl:      make(map[string]*pathprof.Plan),
+		vmBlobs: make(map[string][]byte),
+		wantBL:  EffectiveStrategy(plan) == StrategyBallLarus,
+		wantVM:  interp.EffectiveEngine(eng).VMBased(),
+	}
+	linkHash := artifact.LinkHash(prog)
+	engPart := engineKeyPart(eng)
+	planPart := EffectiveStrategy(plan).String()
+	prebuilt := make(map[string]*analysis.Proc)
+	var hits, misses int64
+	for name, proc := range res.Procs {
+		key := artifact.ProcKey(artifact.UnitHash(proc.Unit), linkHash, engPart, planPart)
+		st.keys[name] = key
+		pa := decodeUsable(st, store.Get(key), proc)
+		if pa == nil {
+			st.missed[name] = true
+			misses++
+			continue
+		}
+		hits++
+		prebuilt[name] = pa.An
+		st.sarkar[name] = pa.Sarkar
+		if pa.BL != nil {
+			st.bl[name] = pa.BL
+		}
+		if pa.VMCode != nil {
+			st.vmBlobs[name] = pa.VMCode
+		}
+		if pa.Bailout != nil && st.bailout == nil {
+			st.bailout = pa.Bailout
+		}
+	}
+	obs.Default.Add("artifact.hit", hits)
+	obs.Default.Add("artifact.miss", misses)
+	sp.End(obs.M("hits", float64(hits)), obs.M("misses", float64(misses)))
+	return st, prebuilt
+}
+
+// decodeUsable decodes a blob and checks it carries every section the
+// load's engine and plan require. nil means miss.
+func decodeUsable(st *cacheState, blob []byte, proc *lower.Proc) *artifact.ProcArtifact {
+	if blob == nil {
+		return nil
+	}
+	pa, err := artifact.DecodeProc(blob, proc)
+	if err != nil {
+		obs.Default.Add("artifact.reject", 1)
+		return nil
+	}
+	if st.wantBL && pa.BL == nil {
+		obs.Default.Add("artifact.reject", 1)
+		return nil
+	}
+	if st.wantVM && pa.VMCode == nil && pa.Bailout == nil {
+		obs.Default.Add("artifact.reject", 1)
+		return nil
+	}
+	return pa
+}
+
+// warmAndSave re-derives the plans (and, under a VM engine, the bytecode)
+// through the Pipeline's normal lazy builders — seeded with the decoded
+// warm halves, so hits are not recomputed — and writes one blob per missed
+// procedure. Build failures are not load failures: they resurface on the
+// first Profile/Estimate exactly as without a cache; nothing is saved for
+// the affected load.
+func (p *Pipeline) warmAndSave() {
+	st := p.cache
+	if st == nil {
+		return
+	}
+	plans, err := p.profilePlans()
+	if err != nil {
+		return
+	}
+	var pp *pathprof.Plans
+	if st.wantBL {
+		if pp, err = p.pathProfPlans(); err != nil {
+			return
+		}
+	}
+	var prog *vm.Program
+	var bail *vm.BailoutError
+	if st.wantVM {
+		vp, vmErr := p.compiledVM()
+		if vmErr == nil {
+			prog = vp
+		} else if !errors.As(vmErr, &bail) {
+			// Not a recordable bailout: leave the VM sections out. The
+			// entry would be rejected on read, so skip saving entirely.
+			if len(st.missed) > 0 {
+				obs.Default.Add("artifact.write_skipped", int64(len(st.missed)))
+			}
+			return
+		}
+	}
+	sp := p.Trace.Start("cache.save")
+	var writes int64
+	for name := range st.missed {
+		pa := &artifact.ProcArtifact{An: p.An.Procs[name], Sarkar: plans[name]}
+		if st.wantBL {
+			pa.BL = pp.ByProc[name]
+		}
+		if prog != nil {
+			var w wire.Writer
+			if prog.EncodeProc(name, &w) {
+				pa.VMCode = w.Bytes()
+			}
+		} else if bail != nil {
+			pa.Bailout = bail
+		}
+		if err := st.store.Put(st.keys[name], pa.Encode()); err != nil {
+			obs.Default.Add("artifact.write_errors", 1)
+			continue
+		}
+		writes++
+	}
+	obs.Default.Add("artifact.write", writes)
+	sp.End(obs.M("writes", float64(writes)))
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/artifact"
 	"repro/internal/cdg"
 	"repro/internal/cfg"
 	"repro/internal/cost"
@@ -71,6 +72,11 @@ type Pipeline struct {
 	vmOnce sync.Once
 	vmProg *vm.Program
 	vmErr  error
+
+	// cache, when non-nil, is the on-disk artifact cache this load was
+	// keyed against: decoded warm halves seed the lazy builders above, and
+	// missed procedures are written back after re-derivation (see cache.go).
+	cache *cacheState
 }
 
 // LoadOptions configures LoadOpts beyond the defaults.
@@ -93,6 +99,15 @@ type LoadOptions struct {
 	// Plan is retained as the Pipeline's counter-placement strategy (see
 	// Pipeline.Plan).
 	Plan Strategy
+
+	// Cache, when non-nil, is the on-disk compiled-artifact store. Loading
+	// consults it per procedure (keyed by source hash, program linkage,
+	// engine and plan) and re-derives only the misses; re-derived artifacts
+	// are written back so the next load of the same source starts warm.
+	// The cache never changes results — decoded artifacts are bit-identical
+	// to freshly computed ones, and any unreadable entry is silently
+	// re-derived.
+	Cache *artifact.Store
 }
 
 // Load parses and analyzes a source program with GOMAXPROCS workers.
@@ -134,10 +149,16 @@ func LoadCtx(ctx context.Context, src string, opts LoadOptions) (*Pipeline, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var st *cacheState
+	var prebuilt map[string]*analysis.Proc
+	if opts.Cache != nil {
+		st, prebuilt = loadCache(opts.Cache, prog, res, opts.Engine, opts.Plan, tr)
+	}
 	an, err := analysis.AnalyzeProgramOpts(res, analysis.Options{
 		Workers:   opts.Workers,
 		CheckProc: opts.CheckProc,
 		Trace:     tr,
+		Prebuilt:  prebuilt,
 	})
 	if err != nil {
 		return nil, err
@@ -148,7 +169,17 @@ func LoadCtx(ctx context.Context, src string, opts LoadOptions) (*Pipeline, erro
 	}
 	obs.Default.Add("pipeline.procs", int64(len(res.Procs)))
 	obs.Default.Add("pipeline.cfg_nodes", int64(nodes))
-	return &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr, Engine: opts.Engine, Plan: opts.Plan}, nil
+	p := &Pipeline{Prog: prog, Res: res, An: an, Workers: opts.Workers, Trace: tr, Engine: opts.Engine, Plan: opts.Plan, cache: st}
+	if st != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Eagerly drive the lazy builders so misses are re-derived and
+		// written back now, while the load still owns the wall clock —
+		// hits make this cheap, and the first Profile pays nothing.
+		p.warmAndSave()
+	}
+	return p, nil
 }
 
 // compiledVM returns the bytecode program, compiling it on first use. A
@@ -157,7 +188,31 @@ func LoadCtx(ctx context.Context, src string, opts LoadOptions) (*Pipeline, erro
 func (p *Pipeline) compiledVM() (*vm.Program, error) {
 	p.vmOnce.Do(func() {
 		sp := p.Trace.Start("compile")
-		p.vmProg, p.vmErr = vm.Compile(p.Res)
+		switch {
+		case p.cache != nil && p.cache.bailout != nil:
+			// A hit procedure recorded that this program is outside the VM
+			// subset; skip re-attempting compilation. Metric parity with
+			// the cold path below.
+			p.vmErr = p.cache.bailout
+			obs.Default.Add("vm.compile_bailouts", 1)
+		case p.cache != nil:
+			var missed []string
+			p.vmProg, missed, p.vmErr = vm.ComposeProgram(p.Res, p.cache.vmBlobs)
+			if p.vmErr != nil {
+				obs.Default.Add("vm.compile_bailouts", 1)
+			} else {
+				obs.Default.Add("vm.superinstructions", int64(p.vmProg.FusedInstructions()))
+				// Rejected blobs (decode failure on a hit entry) surface
+				// here as extra compiles beyond the load's misses.
+				for _, name := range missed {
+					if !p.cache.missed[name] {
+						obs.Default.Add("artifact.reject", 1)
+					}
+				}
+			}
+		default:
+			p.vmProg, p.vmErr = vm.Compile(p.Res)
+		}
 		sp.End()
 		if p.vmErr != nil {
 			obs.Default.Add("pipeline.vm_bailout", 1)
@@ -209,7 +264,11 @@ func (p *Pipeline) EngineFallback() (bool, error) {
 func (p *Pipeline) profilePlans() (profiler.Plans, error) {
 	p.plansOnce.Do(func() {
 		sp := p.Trace.Start("plan")
-		p.plans, p.plansErr = profiler.BuildPlans(p.An)
+		var prebuilt map[string]*profiler.Plan
+		if p.cache != nil {
+			prebuilt = p.cache.sarkar
+		}
+		p.plans, p.plansErr = profiler.BuildPlansPrebuilt(p.An, prebuilt)
 		if p.plansErr == nil {
 			var counters, blocks int
 			for name, plan := range p.plans {
@@ -237,7 +296,11 @@ func (p *Pipeline) pathProfPlans() (*pathprof.Plans, error) {
 			return
 		}
 		sp := p.Trace.Start("plan.paths")
-		p.pathPlans, p.pathErr = pathprof.BuildPlansWith(p.An, sk, pathprof.Options{})
+		var prebuilt map[string]*pathprof.Plan
+		if p.cache != nil {
+			prebuilt = p.cache.bl
+		}
+		p.pathPlans, p.pathErr = pathprof.BuildPlansPrebuilt(p.An, sk, pathprof.Options{}, prebuilt)
 		if p.pathErr == nil {
 			var fallbacks int64
 			for _, pl := range p.pathPlans.ByProc {

@@ -1,0 +1,96 @@
+package ecfg
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/interval"
+	"repro/internal/wire"
+)
+
+// Encode serializes the extended graph and its bookkeeping. The extended
+// graph's node payloads are not written: original nodes (ID ≤ OrigMax)
+// re-share the freshly lowered procedure's payload pointers on decode, and
+// synthetic nodes carry none.
+func (ext *Ext) Encode(w *wire.Writer) {
+	w.Varint(int64(ext.Start))
+	w.Varint(int64(ext.Stop))
+	w.Varint(int64(ext.OrigEntry))
+	w.Varint(int64(ext.OrigExit))
+	w.Varint(int64(ext.OrigMax))
+	ext.G.Encode(w)
+
+	hs := make([]cfg.NodeID, 0, len(ext.Preheader))
+	for h := range ext.Preheader {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	w.Uvarint(uint64(len(hs)))
+	for _, h := range hs {
+		w.Varint(int64(h))
+		w.Varint(int64(ext.Preheader[h]))
+	}
+	w.Uvarint(uint64(len(ext.Postexits)))
+	for _, pe := range ext.Postexits {
+		w.Varint(int64(pe))
+		w.Varint(int64(ext.ExitedInterval[pe]))
+	}
+	ext.Intervals.Encode(w)
+}
+
+// Decode reads an Ext written by Encode, re-attaching payloads of original
+// nodes from the freshly lowered graph g (which must be the graph the
+// encoded Ext was built from).
+func Decode(r *wire.Reader, g *cfg.Graph) *Ext {
+	ext := &Ext{
+		Preheader:      make(map[cfg.NodeID]cfg.NodeID),
+		HeaderOf:       make(map[cfg.NodeID]cfg.NodeID),
+		ExitedInterval: make(map[cfg.NodeID]cfg.NodeID),
+	}
+	ext.Start = cfg.NodeID(r.Varint())
+	ext.Stop = cfg.NodeID(r.Varint())
+	ext.OrigEntry = cfg.NodeID(r.Varint())
+	ext.OrigExit = cfg.NodeID(r.Varint())
+	ext.OrigMax = cfg.NodeID(r.Varint())
+	if r.Err() != nil {
+		return ext
+	}
+	if ext.OrigMax != g.MaxID() {
+		r.Failf("ecfg OrigMax %d does not match lowered graph %q (max %d)", ext.OrigMax, g.Name, g.MaxID())
+		return ext
+	}
+	ext.G = cfg.DecodeGraph(r, func(id cfg.NodeID) any {
+		if id <= ext.OrigMax {
+			if n := g.Node(id); n != nil {
+				return n.Payload
+			}
+		}
+		return nil
+	})
+	if r.Err() != nil {
+		return ext
+	}
+	eg := ext.G
+	nh := r.Count(2)
+	for i := 0; i < nh; i++ {
+		h := cfg.DecodeNodeID(r, eg)
+		ph := cfg.DecodeNodeID(r, eg)
+		if r.Err() != nil {
+			return ext
+		}
+		ext.Preheader[h] = ph
+		ext.HeaderOf[ph] = h
+	}
+	np := r.Count(2)
+	for i := 0; i < np; i++ {
+		pe := cfg.DecodeNodeID(r, eg)
+		h := cfg.DecodeNodeID(r, eg)
+		if r.Err() != nil {
+			return ext
+		}
+		ext.Postexits = append(ext.Postexits, pe)
+		ext.ExitedInterval[pe] = h
+	}
+	ext.Intervals = interval.Decode(r, eg)
+	return ext
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/artifact"
 	"repro/internal/cdg"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -137,6 +138,9 @@ type Table1Config struct {
 	// Trace, when non-nil, collects per-phase pipeline spans across both
 	// benchmark loads (see internal/obs).
 	Trace *obs.Trace
+	// Cache, when non-nil, is the on-disk artifact cache the benchmark
+	// loads consult — repeat table regenerations skip re-analysis.
+	Cache *artifact.Store
 }
 
 // DefaultTable1Config is a fast configuration for tests.
@@ -186,7 +190,7 @@ func Table1(cfg1 Table1Config) (*Table1Result, error) {
 	models := []cost.Model{cost.Optimized, cost.Unoptimized}
 	res := &Table1Result{}
 	for _, bm := range benches {
-		p, err := core.LoadOpts(bm.src, core.LoadOptions{Trace: cfg1.Trace})
+		p, err := core.LoadOpts(bm.src, core.LoadOptions{Trace: cfg1.Trace, Cache: cfg1.Cache})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", bm.name, err)
 		}

@@ -1,0 +1,86 @@
+package interval
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/wire"
+)
+
+// Encode serializes the interval structure (sans the graph, which the
+// caller re-attaches on decode). Maps are written in sorted key order so
+// identical structures encode to identical bytes.
+func (in *Info) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(len(in.hdr)))
+	for _, h := range in.hdr {
+		w.Varint(int64(h))
+	}
+	w.Uvarint(uint64(len(in.headers)))
+	for _, h := range in.headers {
+		w.Varint(int64(h))
+		w.Varint(int64(in.parent[h]))
+		w.Int(in.depth[h])
+		body := make([]cfg.NodeID, 0, len(in.body[h]))
+		for n := range in.body[h] {
+			body = append(body, n)
+		}
+		sort.Slice(body, func(i, j int) bool { return body[i] < body[j] })
+		w.Uvarint(uint64(len(body)))
+		for _, n := range body {
+			w.Varint(int64(n))
+		}
+		bes := in.backEdges[h]
+		w.Uvarint(uint64(len(bes)))
+		for _, e := range bes {
+			cfg.EncodeEdge(w, e)
+		}
+	}
+}
+
+// Decode reads an interval structure written by Encode and attaches it to
+// g, which must be the same graph the encoded structure was computed from
+// (the artifact layer guarantees this via content hashing). Malformed
+// input surfaces through r.Err().
+func Decode(r *wire.Reader, g *cfg.Graph) *Info {
+	in := &Info{
+		G:         g,
+		parent:    make(map[cfg.NodeID]cfg.NodeID),
+		depth:     make(map[cfg.NodeID]int),
+		body:      make(map[cfg.NodeID]map[cfg.NodeID]bool),
+		backEdges: make(map[cfg.NodeID][]cfg.Edge),
+	}
+	n := r.Count(1)
+	if r.Err() == nil && n != int(g.MaxID())+1 {
+		r.Failf("interval hdr table has %d entries, graph %q wants %d", n, g.Name, g.MaxID()+1)
+		return in
+	}
+	in.hdr = make([]cfg.NodeID, n)
+	for i := 0; i < n; i++ {
+		in.hdr[i] = cfg.NodeID(r.Varint())
+	}
+	nh := r.Count(4)
+	for i := 0; i < nh; i++ {
+		h := cfg.DecodeNodeID(r, g)
+		parent := cfg.NodeID(r.Varint())
+		depth := r.Int()
+		nb := r.Count(1)
+		body := make(map[cfg.NodeID]bool, nb)
+		for j := 0; j < nb; j++ {
+			body[cfg.DecodeNodeID(r, g)] = true
+		}
+		ne := r.Count(3)
+		var bes []cfg.Edge
+		for j := 0; j < ne; j++ {
+			bes = append(bes, cfg.DecodeEdge(r, g))
+		}
+		if r.Err() != nil {
+			return in
+		}
+		in.headers = append(in.headers, h)
+		in.parent[h] = parent
+		in.depth[h] = depth
+		in.body[h] = body
+		in.backEdges[h] = bes
+	}
+	return in
+}

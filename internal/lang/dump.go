@@ -1,0 +1,224 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpUnit renders a unit into a canonical, unambiguous text form for
+// content hashing: two units dump identically iff reparsing either yields
+// the same AST. It is NOT a pretty-printer — Stmt.Text omits block bodies,
+// ELSE IF conditions, PRINT items and DO terminator labels, and
+// Expr.String drops parentheses, so neither is safe to hash. Every
+// expression here is fully parenthesized, every statement carries its
+// line/column/label, and string literals are quoted with escapes.
+func DumpUnit(u *Unit) string {
+	var b strings.Builder
+	if u.IsMain {
+		b.WriteString("PROGRAM ")
+	} else {
+		b.WriteString("SUBROUTINE ")
+	}
+	b.WriteString(u.Name)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(u.Params, ","))
+	b.WriteString(")\n")
+	for _, d := range u.Decls {
+		fmt.Fprintf(&b, "decl@%d:%d %s", d.Line, d.Col, d.Type)
+		for _, it := range d.Items {
+			b.WriteByte(' ')
+			b.WriteString(it.Name)
+			if len(it.Dims) > 0 {
+				b.WriteByte('(')
+				for i, dim := range it.Dims {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					dumpExpr(&b, dim)
+				}
+				b.WriteByte(')')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range u.Consts {
+		fmt.Fprintf(&b, "const@%d:%d %s=", c.Line, c.Col, c.Name)
+		dumpExpr(&b, c.Value)
+		b.WriteByte('\n')
+	}
+	dumpBody(&b, u.Body, 1)
+	return b.String()
+}
+
+func dumpBody(b *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		dumpStmt(b, s, depth)
+	}
+}
+
+func dumpStmt(b *strings.Builder, s Stmt, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteByte(' ')
+	}
+	fmt.Fprintf(b, "@%d:%d", s.Pos(), s.Column())
+	if l := s.Lab(); l != 0 {
+		fmt.Fprintf(b, " %d", l)
+	}
+	b.WriteByte(' ')
+	switch st := s.(type) {
+	case *Assign:
+		dumpExpr(b, st.LHS)
+		b.WriteByte('=')
+		dumpExpr(b, st.RHS)
+		b.WriteByte('\n')
+	case *IfBlock:
+		b.WriteString("IF ")
+		dumpExpr(b, st.Cond)
+		b.WriteString(" THEN\n")
+		dumpBody(b, st.Then, depth+1)
+		for _, a := range st.Elifs {
+			for i := 0; i < depth; i++ {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "@%d ELSEIF ", a.Line)
+			dumpExpr(b, a.Cond)
+			b.WriteString(" THEN\n")
+			dumpBody(b, a.Body, depth+1)
+		}
+		if st.Else != nil {
+			for i := 0; i < depth; i++ {
+				b.WriteByte(' ')
+			}
+			b.WriteString("ELSE\n")
+			dumpBody(b, st.Else, depth+1)
+		}
+		for i := 0; i < depth; i++ {
+			b.WriteByte(' ')
+		}
+		b.WriteString("ENDIF\n")
+	case *LogicalIf:
+		b.WriteString("IF ")
+		dumpExpr(b, st.Cond)
+		b.WriteByte('\n')
+		dumpStmt(b, st.Then, depth+1)
+	case *ArithIf:
+		b.WriteString("ARITHIF ")
+		dumpExpr(b, st.Expr)
+		fmt.Fprintf(b, " %d,%d,%d\n", st.OnNeg, st.OnZero, st.OnPos)
+	case *DoLoop:
+		fmt.Fprintf(b, "DO[%d] %s=", st.EndLabel, st.Var)
+		dumpExpr(b, st.Lo)
+		b.WriteByte(',')
+		dumpExpr(b, st.Hi)
+		if st.Step != nil {
+			b.WriteByte(',')
+			dumpExpr(b, st.Step)
+		}
+		b.WriteByte('\n')
+		dumpBody(b, st.Body, depth+1)
+		for i := 0; i < depth; i++ {
+			b.WriteByte(' ')
+		}
+		b.WriteString("ENDDO\n")
+	case *Goto:
+		fmt.Fprintf(b, "GOTO %d\n", st.Target)
+	case *ComputedGoto:
+		b.WriteString("CGOTO (")
+		for i, t := range st.Targets {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%d", t)
+		}
+		b.WriteString(") ")
+		dumpExpr(b, st.Expr)
+		b.WriteByte('\n')
+	case *CallStmt:
+		fmt.Fprintf(b, "CALL %s(", st.Name)
+		for i, a := range st.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			dumpExpr(b, a)
+		}
+		b.WriteString(")\n")
+	case *Return:
+		b.WriteString("RETURN\n")
+	case *StopStmt:
+		b.WriteString("STOP\n")
+	case *Continue:
+		b.WriteString("CONTINUE\n")
+	case *Print:
+		b.WriteString("PRINT")
+		for _, it := range st.Items {
+			b.WriteByte(' ')
+			dumpExpr(b, it)
+		}
+		b.WriteByte('\n')
+	default:
+		fmt.Fprintf(b, "UNKNOWN %T\n", s)
+	}
+}
+
+func dumpExpr(b *strings.Builder, e Expr) {
+	switch ex := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", ex.Val)
+	case *RealLit:
+		// %g alone is ambiguous against an IntLit of the same digits
+		// (2 vs 2.0); the marker keeps the dump injective.
+		fmt.Fprintf(b, "r%g", ex.Val)
+	case *LogLit:
+		if ex.Val {
+			b.WriteString(".TRUE.")
+		} else {
+			b.WriteString(".FALSE.")
+		}
+	case *StrLit:
+		fmt.Fprintf(b, "%q", ex.Val)
+	case *Var:
+		b.WriteString(ex.Name)
+	case *Index:
+		b.WriteString(ex.Name)
+		b.WriteByte('(')
+		for i, s := range ex.Subs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			dumpExpr(b, s)
+		}
+		b.WriteByte(')')
+	case *Intrinsic:
+		b.WriteString(ex.Name)
+		b.WriteString("#(")
+		for i, a := range ex.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			dumpExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *Bin:
+		b.WriteByte('(')
+		dumpExpr(b, ex.L)
+		b.WriteString(ex.Op.String())
+		dumpExpr(b, ex.R)
+		b.WriteByte(')')
+	case *Un:
+		b.WriteByte('(')
+		switch ex.Op {
+		case OpNeg:
+			b.WriteByte('-')
+		case OpNot:
+			b.WriteString(".NOT.")
+		default:
+			b.WriteByte('+')
+		}
+		dumpExpr(b, ex.X)
+		b.WriteByte(')')
+	case nil:
+		b.WriteString("<nil>")
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}

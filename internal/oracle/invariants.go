@@ -1,11 +1,16 @@
 package oracle
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"reflect"
 	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/wire"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -103,6 +108,11 @@ func Registry() []Invariant {
 			Name:  "dataflow-sound",
 			Desc:  "every dataflow fact holds dynamically: infeasible edges have frequency 0, decided branches always take their label, unreachable nodes never execute, constant trips match iteration counts, and proven-constant variables hold exactly their value at run time",
 			Check: checkDataflowSound,
+		},
+		{
+			Name:  "artifact-roundtrip",
+			Desc:  "load(save(x)) through the on-disk artifact cache is lossless: warm reloads produce bit-identical counter plans, recovered profiles, and TIME/VAR estimates on all three engines",
+			Check: checkArtifactRoundTrip,
 		},
 		{
 			Name:  "checker-clean",
@@ -581,6 +591,89 @@ func checkCheckerClean(ctx *evalCtx) error {
 		if plan := ctx.plans[name]; plan != nil {
 			if bad := check.VerifyPlan(plan); len(bad) > 0 {
 				return fmt.Errorf("plan %s not certified: %s", name, bad[0])
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Artifact-cache round trip.
+
+// checkArtifactRoundTrip pins the on-disk artifact format: saving a cold
+// pipeline's per-procedure artifacts and reloading them from the cache
+// must be lossless. For every engine the cold and warm pipelines must
+// agree bit-for-bit on the encoded counter plans, the recovered profile,
+// and every procedure's TIME/VAR — the invariant form of the paper's
+// premise that analysis is done once and amortized over many runs.
+func checkArtifactRoundTrip(ctx *evalCtx) error {
+	dir, err := os.MkdirTemp(ctx.c.CacheDir, "oracle-artifact-")
+	if err != nil {
+		return fmt.Errorf("temp cache dir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := artifact.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open cache: %v", err)
+	}
+	m := ctx.model
+	for _, eng := range []interp.Engine{interp.EngineTree, interp.EngineVM, interp.EngineVMBatch} {
+		opts := core.LoadOptions{Cache: store, Engine: eng, Plan: ctx.c.Plan}
+		cold, err := core.LoadOpts(ctx.c.Src, opts)
+		if err != nil {
+			return fmt.Errorf("engine %v: cold load: %v", eng, err)
+		}
+		warm, err := core.LoadOpts(ctx.c.Src, opts)
+		if err != nil {
+			return fmt.Errorf("engine %v: warm load: %v", eng, err)
+		}
+		coldPlans, err := cold.Plans()
+		if err != nil {
+			return fmt.Errorf("engine %v: cold plans: %v", eng, err)
+		}
+		warmPlans, err := warm.Plans()
+		if err != nil {
+			return fmt.Errorf("engine %v: warm plans: %v", eng, err)
+		}
+		for name, cp := range coldPlans {
+			wp := warmPlans[name]
+			if wp == nil {
+				return fmt.Errorf("engine %v: proc %s: plan lost across reload", eng, name)
+			}
+			var cw, ww wire.Writer
+			cp.Encode(&cw)
+			wp.Encode(&ww)
+			if !bytes.Equal(cw.Bytes(), ww.Bytes()) {
+				return fmt.Errorf("engine %v: proc %s: reloaded counter plan differs from cold", eng, name)
+			}
+		}
+		coldProf, _, err := cold.Profile(interp.Options{Model: &m, MaxSteps: ctx.c.MaxSteps}, ctx.c.ProfileSeeds...)
+		if err != nil {
+			return fmt.Errorf("engine %v: cold profile: %v", eng, err)
+		}
+		warmProf, _, err := warm.Profile(interp.Options{Model: &m, MaxSteps: ctx.c.MaxSteps}, ctx.c.ProfileSeeds...)
+		if err != nil {
+			return fmt.Errorf("engine %v: warm profile: %v", eng, err)
+		}
+		if !reflect.DeepEqual(coldProf, warmProf) {
+			return fmt.Errorf("engine %v: recovered profile differs across reload", eng)
+		}
+		coldEst, err := cold.Estimate(m, core.Options{}, ctx.c.ProfileSeeds...)
+		if err != nil {
+			return fmt.Errorf("engine %v: cold estimate: %v", eng, err)
+		}
+		warmEst, err := warm.Estimate(m, core.Options{}, ctx.c.ProfileSeeds...)
+		if err != nil {
+			return fmt.Errorf("engine %v: warm estimate: %v", eng, err)
+		}
+		for name, ce := range coldEst.Procs {
+			we := warmEst.Procs[name]
+			if we == nil {
+				return fmt.Errorf("engine %v: proc %s: estimate lost across reload", eng, name)
+			}
+			if ce.Time != we.Time || ce.Var != we.Var {
+				return fmt.Errorf("engine %v: proc %s: TIME/VAR not bit-identical: %.17g/%.17g vs %.17g/%.17g",
+					eng, name, ce.Time, ce.Var, we.Time, we.Var)
 			}
 		}
 	}

@@ -91,6 +91,9 @@ type Case struct {
 	// (EngineDefault resolves as in interp). The engine-equiv invariant
 	// additionally re-runs every seed on the opposite engine.
 	Engine interp.Engine
+	// CacheDir optionally roots the scratch cache directories of the
+	// artifact-roundtrip invariant (empty = system temp).
+	CacheDir string
 	// Plan selects the counter-placement strategy the case's profile is
 	// recovered with (StrategyDefault resolves as in core). The plan-equiv
 	// invariant additionally checks both strategies against each other.
@@ -349,6 +352,9 @@ type Config struct {
 	Engine interp.Engine
 	// Plan selects the counter-placement strategy every case profiles with.
 	Plan core.Strategy
+	// CacheDir optionally roots the artifact-roundtrip invariant's scratch
+	// cache directories (empty = system temp).
+	CacheDir string
 	// Invariants filters the registry by name (empty = all).
 	Invariants []string
 	// Minimize shrinks failing cases to the smallest size/depth that still
@@ -384,6 +390,7 @@ func (cfg *Config) caseFor(i int) *Case {
 	c := NewCaseOpts(seed, size, depth, kind, cfg.ProfileRuns, constFacts)
 	c.Engine = cfg.Engine
 	c.Plan = cfg.Plan
+	c.CacheDir = cfg.CacheDir
 	if cfg.StopsEvery > 0 && i%cfg.StopsEvery == cfg.StopsEvery-1 && kind == KindRandom {
 		c.Stops = true
 		c.Generate()

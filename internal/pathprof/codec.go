@@ -1,0 +1,245 @@
+package pathprof
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/profiler"
+	"repro/internal/wire"
+)
+
+// Encode serializes the path plan: the numbering's tables (when the
+// procedure is instrumented) or just the fallback marker. The analysis and
+// Sarkar-fallback back-pointers are re-attached on decode; the engine-facing
+// Spec is rebuilt sharing the numbering's slices, exactly as BuildPlansWith
+// does.
+func (p *Plan) Encode(w *wire.Writer) {
+	if p.N == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	n := p.N
+	w.Varint(n.NumPaths)
+	w.Uvarint(uint64(len(n.Inc)))
+	for id := range n.Inc {
+		w.Uvarint(uint64(len(n.Inc[id])))
+		for k := range n.Inc[id] {
+			w.Varint(n.Inc[id][k])
+			w.Bool(n.Bump[id][k])
+			w.Varint(n.Reset[id][k])
+		}
+	}
+	w.Uvarint(uint64(len(n.np)))
+	for _, v := range n.np {
+		w.Varint(v)
+	}
+	w.Uvarint(uint64(len(n.out)))
+	for _, edges := range n.out {
+		encodeDagEdges(w, edges)
+	}
+	encodeDagEdges(w, n.entry)
+	headers := make([]cfg.NodeID, 0, len(n.entryVal))
+	for h := range n.entryVal {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i] < headers[j] })
+	w.Uvarint(uint64(len(headers)))
+	for _, h := range headers {
+		w.Varint(int64(h))
+		w.Varint(n.entryVal[h])
+	}
+	backs := make([]cfg.Edge, 0, len(n.backRef))
+	for e := range n.backRef {
+		backs = append(backs, e)
+	}
+	sort.Slice(backs, func(i, j int) bool {
+		a, b := backs[i], backs[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Label < b.Label
+	})
+	w.Uvarint(uint64(len(backs)))
+	for _, e := range backs {
+		cfg.EncodeEdge(w, e)
+		ref := n.backRef[e]
+		w.Varint(int64(ref.From))
+		w.Int(ref.K)
+	}
+}
+
+func encodeDagEdges(w *wire.Writer, edges []dagEdge) {
+	w.Uvarint(uint64(len(edges)))
+	for _, e := range edges {
+		w.Varint(e.val)
+		w.Varint(int64(e.to))
+		w.Int(e.k)
+		w.U8(uint8(e.kind))
+		cfg.EncodeEdge(w, cfg.Edge{From: e.back.From, To: e.back.To, Label: e.back.Label})
+	}
+}
+
+func decodeDagEdges(r *wire.Reader, g *cfg.Graph) []dagEdge {
+	n := r.Count(6)
+	edges := make([]dagEdge, 0, n)
+	for i := 0; i < n; i++ {
+		e := dagEdge{
+			val:  r.Varint(),
+			to:   cfg.NodeID(r.Varint()),
+			k:    r.Int(),
+			kind: edgeKind(r.U8()),
+		}
+		e.back = cfg.Edge{From: cfg.NodeID(r.Varint()), To: cfg.NodeID(r.Varint()), Label: cfg.Label(r.String())}
+		if r.Err() != nil {
+			return edges
+		}
+		if e.to != cfg.None && g.Node(e.to) == nil {
+			r.Failf("dag edge target %d outside graph", e.to)
+			return edges
+		}
+		if e.kind > edgeExitDummy {
+			r.Failf("invalid dag edge kind %d", int(e.kind))
+			return edges
+		}
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// DecodePlan reads a Plan written by Encode, attached to a with the given
+// Sarkar fallback.
+func DecodePlan(r *wire.Reader, a *analysis.Proc, fallback *profiler.Plan) *Plan {
+	p := &Plan{A: a, Fallback: fallback}
+	if !r.Bool() {
+		return p
+	}
+	g := a.P.G
+	n := &Numbering{
+		G:        g,
+		entryVal: make(map[cfg.NodeID]int64),
+		backRef:  make(map[cfg.Edge]EdgeRef),
+	}
+	n.NumPaths = r.Varint()
+	rows := r.Count(1)
+	if r.Err() == nil && rows != int(g.MaxID())+1 {
+		r.Failf("path numbering has %d rows, graph wants %d", rows, g.MaxID()+1)
+		return p
+	}
+	n.Inc = make([][]int64, rows)
+	n.Bump = make([][]bool, rows)
+	n.Reset = make([][]int64, rows)
+	for id := 0; id < rows; id++ {
+		cols := r.Count(3)
+		if r.Err() == nil && id >= 1 && cols != len(g.OutEdges(cfg.NodeID(id))) {
+			r.Failf("path numbering row %d has %d columns, graph wants %d", id, cols, len(g.OutEdges(cfg.NodeID(id))))
+			return p
+		}
+		n.Inc[id] = make([]int64, cols)
+		n.Bump[id] = make([]bool, cols)
+		n.Reset[id] = make([]int64, cols)
+		for k := 0; k < cols; k++ {
+			n.Inc[id][k] = r.Varint()
+			n.Bump[id][k] = r.Bool()
+			n.Reset[id][k] = r.Varint()
+		}
+	}
+	nnp := r.Count(1)
+	if r.Err() == nil && nnp != rows {
+		r.Failf("path np table has %d entries, want %d", nnp, rows)
+		return p
+	}
+	n.np = make([]int64, nnp)
+	for i := 0; i < nnp; i++ {
+		n.np[i] = r.Varint()
+	}
+	nout := r.Count(1)
+	if r.Err() == nil && nout != rows {
+		r.Failf("path out table has %d rows, want %d", nout, rows)
+		return p
+	}
+	n.out = make([][]dagEdge, nout)
+	for i := 0; i < nout; i++ {
+		n.out[i] = decodeDagEdges(r, g)
+	}
+	n.entry = decodeDagEdges(r, g)
+	nh := r.Count(2)
+	for i := 0; i < nh; i++ {
+		h := cfg.DecodeNodeID(r, g)
+		v := r.Varint()
+		if r.Err() != nil {
+			return p
+		}
+		n.entryVal[h] = v
+	}
+	nb := r.Count(5)
+	for i := 0; i < nb; i++ {
+		e := cfg.DecodeEdge(r, g)
+		ref := EdgeRef{From: cfg.NodeID(r.Varint()), K: r.Int()}
+		if r.Err() != nil {
+			return p
+		}
+		if ref.From <= cfg.None || g.Node(ref.From) == nil || ref.K < 0 || ref.K >= len(g.OutEdges(ref.From)) {
+			r.Failf("back edge ref (%d,%d) outside graph", ref.From, ref.K)
+			return p
+		}
+		n.backRef[e] = ref
+	}
+	if r.Err() != nil {
+		return p
+	}
+	p.N = n
+	p.Spec = &interp.PathProcSpec{NumPaths: n.NumPaths, Inc: n.Inc, Bump: n.Bump, Reset: n.Reset}
+	return p
+}
+
+// BuildPlansPrebuilt is BuildPlansWith reusing already-decoded plans for
+// procedures present in prebuilt; only the rest pay the numbering
+// computation. Decoded plans are re-pointed at the passed fallbacks so the
+// Plans value is internally consistent.
+func BuildPlansPrebuilt(prog *analysis.Program, fallback profiler.Plans, opts Options, prebuilt map[string]*Plan) (*Plans, error) {
+	pl := &Plans{
+		ByProc: make(map[string]*Plan, len(prog.Procs)),
+		Opts:   opts,
+		spec:   &interp.PathSpec{Procs: make(map[string]*interp.PathProcSpec), MultiIter: opts.MultiIter},
+	}
+	for name, a := range prog.Procs {
+		fb := fallback[name]
+		if fb == nil {
+			return nil, fmt.Errorf("pathprof: no fallback plan for %s", name)
+		}
+		if p, ok := prebuilt[name]; ok && p != nil {
+			p.Fallback = fb
+			if p.Spec != nil {
+				pl.spec.Procs[name] = p.Spec
+			}
+			pl.ByProc[name] = p
+			continue
+		}
+		p := &Plan{A: a, Fallback: fb}
+		n, err := New(a.P.G, backEdges(a), opts.MaxPaths)
+		switch {
+		case err == nil:
+			p.N = n
+			p.Spec = &interp.PathProcSpec{
+				NumPaths: n.NumPaths,
+				Inc:      n.Inc,
+				Bump:     n.Bump,
+				Reset:    n.Reset,
+			}
+			pl.spec.Procs[name] = p.Spec
+		case isOverflow(err):
+			// Keep the Sarkar fallback; the procedure runs uninstrumented.
+		default:
+			return nil, err
+		}
+		pl.ByProc[name] = p
+	}
+	return pl, nil
+}

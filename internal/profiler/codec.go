@@ -1,0 +1,154 @@
+package profiler
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/wire"
+)
+
+// Encode serializes the counter placement: counters, recovery rules, the
+// cached condition list, and the flow-proven trip counts. The plan's
+// analysis back-pointer is re-attached on decode.
+func (p *Plan) Encode(w *wire.Writer) {
+	w.Bool(p.Naive)
+	w.Uvarint(uint64(len(p.Counters)))
+	for _, c := range p.Counters {
+		w.U8(uint8(c.Kind))
+		encodeCond(w, c.Cond)
+		w.Varint(int64(c.Node))
+	}
+	w.Uvarint(uint64(len(p.rules)))
+	for _, r := range p.rules {
+		w.U8(uint8(r.kind))
+		w.Varint(int64(r.node))
+		encodeCond(w, r.dropped)
+		w.Uvarint(uint64(len(r.others)))
+		for _, c := range r.others {
+			encodeCond(w, c)
+		}
+		w.Uvarint(uint64(len(r.backEdges)))
+		for _, e := range r.backEdges {
+			cfg.EncodeEdge(w, e)
+		}
+		w.Varint(r.trip)
+		w.Int(r.counter)
+		w.F64(r.staticFreq)
+	}
+	w.Uvarint(uint64(len(p.conds)))
+	for _, c := range p.conds {
+		encodeCond(w, c)
+	}
+	w.Uvarint(uint64(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		w.Varint(int64(b))
+	}
+	trips := make([]cfg.NodeID, 0, len(p.flowTrips))
+	for n := range p.flowTrips {
+		trips = append(trips, n)
+	}
+	sort.Slice(trips, func(i, j int) bool { return trips[i] < trips[j] })
+	w.Uvarint(uint64(len(trips)))
+	for _, n := range trips {
+		w.Varint(int64(n))
+		w.Varint(p.flowTrips[n])
+	}
+}
+
+func encodeCond(w *wire.Writer, c cdg.Condition) {
+	w.Varint(int64(c.Node))
+	w.String(string(c.Label))
+}
+
+func decodeCond(r *wire.Reader, g *cfg.Graph) cdg.Condition {
+	c := cdg.Condition{Node: cfg.NodeID(r.Varint()), Label: cfg.Label(r.String())}
+	if r.Err() == nil && c.Node != cfg.None && g.Node(c.Node) == nil {
+		r.Failf("condition node %d outside extended graph", c.Node)
+	}
+	return c
+}
+
+// DecodePlan reads a Plan written by Encode, attached to a.
+func DecodePlan(r *wire.Reader, a *analysis.Proc) *Plan {
+	p := &Plan{A: a}
+	eg := a.Ext.G
+	p.Naive = r.Bool()
+	nc := r.Count(3)
+	for i := 0; i < nc; i++ {
+		c := Counter{Kind: CounterKind(r.U8())}
+		c.Cond = decodeCond(r, eg)
+		c.Node = cfg.NodeID(r.Varint())
+		if r.Err() == nil && (c.Kind < CondCounter || c.Kind > TripAdd) {
+			r.Failf("invalid counter kind %d", int(c.Kind))
+		}
+		if r.Err() != nil {
+			return p
+		}
+		p.Counters = append(p.Counters, c)
+	}
+	nr := r.Count(6)
+	for i := 0; i < nr; i++ {
+		ru := rule{kind: ruleKind(r.U8())}
+		ru.node = cfg.NodeID(r.Varint())
+		ru.dropped = decodeCond(r, eg)
+		no := r.Count(2)
+		for j := 0; j < no; j++ {
+			ru.others = append(ru.others, decodeCond(r, eg))
+		}
+		ne := r.Count(3)
+		for j := 0; j < ne; j++ {
+			ru.backEdges = append(ru.backEdges, cfg.DecodeEdge(r, eg))
+		}
+		ru.trip = r.Varint()
+		ru.counter = r.Int()
+		ru.staticFreq = r.F64()
+		if r.Err() == nil && (ru.kind < branchBalance || ru.kind > staticCond) {
+			r.Failf("invalid rule kind %d", int(ru.kind))
+		}
+		if r.Err() == nil && ru.kind == doAddTrip && (ru.counter < 0 || ru.counter >= len(p.Counters)) {
+			r.Failf("rule counter index %d out of range", ru.counter)
+		}
+		if r.Err() != nil {
+			return p
+		}
+		p.rules = append(p.rules, ru)
+	}
+	ncd := r.Count(2)
+	for i := 0; i < ncd; i++ {
+		p.conds = append(p.conds, decodeCond(r, eg))
+	}
+	nb := r.Count(1)
+	for i := 0; i < nb; i++ {
+		p.Blocks = append(p.Blocks, cfg.NodeID(r.Varint()))
+	}
+	nt := r.Count(2)
+	if nt > 0 {
+		p.flowTrips = make(map[cfg.NodeID]int64, nt)
+		for i := 0; i < nt; i++ {
+			n := cfg.NodeID(r.Varint())
+			p.flowTrips[n] = r.Varint()
+		}
+	}
+	return p
+}
+
+// BuildPlansPrebuilt is BuildPlans reusing already-decoded plans for the
+// procedures present in prebuilt (the artifact cache's warm half); only the
+// remaining procedures pay the placement computation.
+func BuildPlansPrebuilt(prog *analysis.Program, prebuilt map[string]*Plan) (Plans, error) {
+	out := make(Plans, len(prog.Procs))
+	for name, a := range prog.Procs {
+		if plan, ok := prebuilt[name]; ok && plan != nil {
+			out[name] = plan
+			continue
+		}
+		plan, err := PlanFlow(a)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = plan
+	}
+	return out, nil
+}

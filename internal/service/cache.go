@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	artstore "repro/internal/artifact"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -46,7 +47,7 @@ type artifact struct {
 // every per-program cost. Detached from any request context on purpose —
 // the artifact outlives the requester — but bounded by the server's
 // compile budget.
-func (a *artifact) compile(src string, eng interp.Engine, strat core.Strategy, budget time.Duration) {
+func (a *artifact) compile(src string, eng interp.Engine, strat core.Strategy, budget time.Duration, disk *artstore.Store) {
 	a.once.Do(func() {
 		t0 := time.Now()
 		defer func() { a.compileMs = float64(time.Since(t0)) / float64(time.Millisecond) }()
@@ -57,6 +58,7 @@ func (a *artifact) compile(src string, eng interp.Engine, strat core.Strategy, b
 			CheckProc: collector.CheckProc,
 			Engine:    eng,
 			Plan:      strat,
+			Cache:     disk,
 		})
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	artstore "repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/interp"
@@ -54,6 +55,12 @@ type Config struct {
 	// Metrics receives the service counters and gauges (nil: obs.Default).
 	// Tests hand each Service a private registry for isolation.
 	Metrics *obs.Registry
+	// DiskCache, when non-nil, is the on-disk compiled-artifact store
+	// every compile consults and writes back to (core.LoadOptions.Cache).
+	// It is the in-memory LRU's persistent half: entries evicted from the
+	// LRU — or lost to a daemon restart — recompile warm from disk instead
+	// of cold, per procedure.
+	DiskCache *artstore.Store
 }
 
 // AnalyzeRequest is the POST /v1/analyze body.
@@ -329,7 +336,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.reg.Add("service.cache_misses_total", 1)
 	}
 	sp = tr.Start("compile")
-	art.compile(req.Source, resolvedEng, resolvedStrat, s.cfg.RequestTimeout)
+	art.compile(req.Source, resolvedEng, resolvedStrat, s.cfg.RequestTimeout, s.cfg.DiskCache)
 	sp.End(obs.M("cold_ms", art.compileMs))
 	if art.err != nil {
 		if art.transient {

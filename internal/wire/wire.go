@@ -1,0 +1,276 @@
+// Package wire provides the low-level binary encoding used by the
+// compiled-artifact format (internal/artifact and the per-package codecs):
+// a little append-only Writer and a bounds-checked, sticky-error Reader.
+//
+// The encoding is deliberately boring — unsigned varints for counts and
+// IDs, zig-zag varints for signed values, IEEE bit patterns for floats,
+// length-prefixed strings — because artifact blobs must round-trip
+// bit-identically and decode safely from arbitrary (truncated, bit-flipped)
+// bytes. Every Reader method is total: malformed input surfaces as a typed
+// *Error from Err(), never as a panic, and element counts are validated
+// against the remaining payload before any allocation so hostile lengths
+// cannot balloon memory.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Error is the typed decode failure every malformed artifact reduces to.
+type Error struct {
+	// Off is the byte offset at which decoding failed.
+	Off int
+	// Msg describes the failure.
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("wire: offset %d: %s", e.Off, e.Msg) }
+
+// Writer accumulates an encoded payload. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload. The slice aliases the writer's
+// buffer; callers must not write to the Writer afterwards.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Raw appends b verbatim.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a fixed-width little-endian uint32 (format/version fields).
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends a signed (zig-zag) varint.
+func (w *Writer) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bit pattern (exact round-trip).
+func (w *Writer) F64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// BytesPrefixed appends a length-prefixed byte slice.
+func (w *Writer) BytesPrefixed(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader decodes a payload produced by Writer. The first malformed read
+// records a sticky error; all subsequent reads return zero values, so
+// decoders can run a straight-line sequence of reads and check Err once
+// (or wherever they are about to trust a value).
+type Reader struct {
+	buf []byte
+	off int
+	err *Error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky decode error, or nil.
+func (r *Reader) Err() error {
+	if r.err == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records the sticky error (first failure wins).
+func (r *Reader) fail(msg string) {
+	if r.err == nil {
+		r.err = &Error{Off: r.off, Msg: msg}
+	}
+}
+
+// Failf records a sticky error from the decoder itself — for semantic
+// validation failures (an ID out of range, a count mismatch) discovered
+// above the byte level.
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = &Error{Off: r.off, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a bool; any byte other than 0 or 1 is malformed.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if v > 1 {
+		r.fail("malformed bool")
+		return false
+	}
+	return v == 1
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("malformed uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("malformed varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads an int-sized signed varint.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("truncated f64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// BytesPrefixed reads a length-prefixed byte slice (copied).
+func (r *Reader) BytesPrefixed() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("byte-slice length exceeds payload")
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b
+}
+
+// Count reads an element count and validates it against the remaining
+// payload assuming each element occupies at least minBytes (≥ 1) bytes, so
+// a fuzzed length cannot trigger a huge allocation. Returns 0 on any
+// failure.
+func (r *Reader) Count(minBytes int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(r.Remaining()/minBytes) {
+		r.fail("element count exceeds payload")
+		return 0
+	}
+	return int(n)
+}
+
+// Expect reads len(want) bytes and fails unless they equal want (magic
+// numbers).
+func (r *Reader) Expect(want []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(want) > len(r.buf) {
+		r.fail("truncated magic")
+		return
+	}
+	for i, b := range want {
+		if r.buf[r.off+i] != b {
+			r.fail("bad magic")
+			return
+		}
+	}
+	r.off += len(want)
+}
