@@ -34,17 +34,22 @@ const (
 	secSarkar    = 2 // profiler.Plan
 	secBL        = 3 // pathprof.Plan (plan=ball-larus only)
 	secVM        = 4 // vm bytecode (VM engines only)
-	secVMBailout = 5 // vm.BailoutError marker (VM engines only, mutually exclusive with secVM)
+	secVMBailout = 5 // vm.BailoutError marker (only in the bailing procedure's own artifact, mutually exclusive with secVM)
 )
 
 var magic = []byte("PTAF")
 
 // ProcArtifact is the decoded (or to-be-encoded) middle-end of one
 // procedure. An is always present in a usable artifact; Sarkar likewise.
-// BL is present iff the blob was written under plan=ball-larus. Exactly
+// BL is present iff the blob was written under plan=ball-larus. At most
 // one of VMCode/Bailout may be set, and only under a VM engine: VMCode
-// holds the procedure's bytecode, Bailout records that program compilation
-// bailed out so a warm load can skip re-attempting it.
+// holds the procedure's bytecode; Bailout records that program
+// compilation bailed out on THIS procedure's body, so a warm load can
+// skip re-attempting it — the bailout lives only in the bailing
+// procedure's own artifact, whose key covers the body that caused it.
+// Under a VM engine a blob may carry neither (it was written while the
+// program bailed in some other procedure): the analysis and plans are
+// still reusable, and the pipeline recompiles the missing bytecode.
 type ProcArtifact struct {
 	An      *analysis.Proc
 	Sarkar  *profiler.Plan
@@ -179,6 +184,9 @@ func decodeSections(body []byte, p *lower.Proc) (*ProcArtifact, error) {
 			}
 			pa.BL = pathprof.DecodePlan(sr, pa.An, pa.Sarkar)
 		case secVMBailout:
+			if pa.VMCode != nil {
+				return nil, fmt.Errorf("artifact: blob carries both bytecode and bailout sections")
+			}
 			be := &vm.BailoutError{}
 			be.Proc = sr.String()
 			be.Line = sr.Int()

@@ -26,10 +26,16 @@ import (
 
 // FormatVersion is bumped whenever any encoded structure changes shape —
 // including changes to the encodings in other packages' codec files (cfg,
-// interval, ecfg, cdg, dataflow, profiler, pathprof, vm). Blobs written by
-// any other version are rejected wholesale; there is no migration, the
-// cache just goes cold. See DESIGN.md §17 for the bump policy.
-const FormatVersion = 1
+// interval, ecfg, cdg, dataflow, profiler, pathprof, vm) — or when a
+// section's placement semantics change. Blobs written by any other
+// version are rejected wholesale; there is no migration, the cache just
+// goes cold. See DESIGN.md §17 for the bump policy.
+//
+// Version 2: the VM bailout section is recorded only in the bailing
+// procedure's own artifact (v1 wrote it into every missed procedure's
+// entry, which outlived edits to the bailing body), and signature hashes
+// cover dimension extents and PARAMETER values.
+const FormatVersion = 2
 
 // UnitHash is the content hash of one unit's full canonical dump:
 // identical iff the unit parses to the same AST at the same positions.
@@ -43,8 +49,13 @@ func UnitHash(u *lang.Unit) string {
 // sigDump renders the unit's interface — everything a *caller's* compiled
 // artifacts can depend on: name, kind, parameter list, and the
 // declarations/constants that give parameters their types and array
-// shapes. Bodies are excluded, so a body-only edit leaves every other
-// procedure's key intact.
+// shapes. Dimension extents and PARAMETER values are hashed in canonical
+// expression form, so a shape or constant-value change invalidates
+// callers even though today's cross-procedure compile checks only look
+// at kind/arity/type — slightly coarser invalidation is cheap insurance
+// against argument staging ever growing an extent check. Bodies are
+// excluded, so a body-only edit leaves every other procedure's key
+// intact.
 func sigDump(u *lang.Unit) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%t|%s\n", u.Name, u.IsMain, strings.Join(u.Params, ","))
@@ -52,11 +63,14 @@ func sigDump(u *lang.Unit) string {
 		fmt.Fprintf(&b, "%s", d.Type)
 		for _, it := range d.Items {
 			fmt.Fprintf(&b, " %s/%d", it.Name, len(it.Dims))
+			for _, dim := range it.Dims {
+				fmt.Fprintf(&b, "(%s)", lang.DumpExpr(dim))
+			}
 		}
 		b.WriteByte('\n')
 	}
 	for _, c := range u.Consts {
-		fmt.Fprintf(&b, "const %s\n", c.Name)
+		fmt.Fprintf(&b, "const %s=%s\n", c.Name, lang.DumpExpr(c.Value))
 	}
 	return b.String()
 }

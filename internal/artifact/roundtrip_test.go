@@ -2,6 +2,8 @@ package artifact_test
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -236,6 +238,37 @@ func TestBailoutMarkerRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBothVMSectionsRejected: a blob carrying both the bytecode and the
+// bailout section violates the at-most-one invariant and must reject,
+// even though its tags are strictly ascending and its checksum is valid.
+func TestBothVMSectionsRejected(t *testing.T) {
+	b := buildAll(t)
+	blob := encodeProc(t, b, "TWIST") // sections 1,2,3,4 (analysis..VM code)
+	// Append a tag-5 bailout section to the body and re-sign the blob.
+	hdr := len(magicAndVersion(blob)) + sha256.Size
+	var sec wire.Writer
+	sec.String("TWIST")
+	sec.Int(3)
+	sec.String("X")
+	sec.String("test")
+	var body wire.Writer
+	body.Raw(blob[hdr:])
+	body.U8(5)
+	body.BytesPrefixed(sec.Bytes())
+	var out wire.Writer
+	out.Raw(magicAndVersion(blob))
+	sum := sha256.Sum256(body.Bytes())
+	out.Raw(sum[:])
+	out.Raw(body.Bytes())
+	if _, err := artifact.DecodeProc(out.Bytes(), b.res.Procs["TWIST"]); err == nil {
+		t.Fatal("blob with both VM code and bailout sections accepted")
+	}
+}
+
+// magicAndVersion returns the blob's 8-byte prefix: 4-byte magic plus the
+// little-endian u32 format version.
+func magicAndVersion(blob []byte) []byte { return blob[:8] }
+
 // TestKeyStability: body edits change only the edited unit's hash; any
 // signature change moves the link hash.
 func TestKeyStability(t *testing.T) {
@@ -261,5 +294,42 @@ func TestKeyStability(t *testing.T) {
 	}
 	if artifact.LinkHash(p1) == artifact.LinkHash(p3) {
 		t.Error("parameter reorder did not change the link hash")
+	}
+	// Array extents are interface: resizing a declared shape must move the
+	// link hash even though the parameter list is unchanged.
+	resized := bytes.Replace([]byte(src), []byte("REAL A(10), S"), []byte("REAL A(11), S"), 1)
+	p4, err := lang.Parse(string(resized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.LinkHash(p1) == artifact.LinkHash(p4) {
+		t.Error("array extent change did not change the link hash")
+	}
+}
+
+// TestKeyCoversConstValues: PARAMETER values feed dimension folding, so
+// changing one must move the link hash, not just the defining unit's.
+func TestKeyCoversConstValues(t *testing.T) {
+	const constSrc = `      PROGRAM CP
+      PARAMETER (N = 4)
+      INTEGER I
+      REAL S
+      S = 0.0
+      DO 10 I = 1, N
+         S = S + 1.0
+   10 CONTINUE
+      PRINT *, S
+      END
+`
+	p1, err := lang.Parse(constSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lang.Parse(strings.Replace(constSrc, "N = 4", "N = 5", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.LinkHash(p1) == artifact.LinkHash(p2) {
+		t.Error("PARAMETER value change did not change the link hash")
 	}
 }

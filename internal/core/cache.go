@@ -31,9 +31,12 @@ type cacheState struct {
 	sarkar  map[string]*profiler.Plan
 	bl      map[string]*pathprof.Plan
 	vmBlobs map[string][]byte
-	// bailout, when non-nil, is a hit procedure's recorded VM compile
-	// bailout: the whole program is outside the VM subset, so a warm load
-	// skips re-attempting compilation.
+	// bailout, when non-nil, is the VM compile bailout decoded from the
+	// bailing procedure's OWN hit artifact: that body — the input that
+	// caused the bailout — is unchanged, so the program is still outside
+	// the VM subset and a warm load skips re-attempting compilation.
+	// Editing the bailing procedure changes its key, the entry misses,
+	// and the bailout disappears with it.
 	bailout *vm.BailoutError
 	// Section requirements under the load's engine and plan.
 	wantBL bool
@@ -75,7 +78,7 @@ func loadCache(store *artifact.Store, prog *lang.Program, res *lower.Result,
 	for name, proc := range res.Procs {
 		key := artifact.ProcKey(artifact.UnitHash(proc.Unit), linkHash, engPart, planPart)
 		st.keys[name] = key
-		pa := decodeUsable(st, store.Get(key), proc)
+		pa := decodeUsable(st, store.Get(key), name, proc)
 		if pa == nil {
 			st.missed[name] = true
 			misses++
@@ -91,6 +94,9 @@ func loadCache(store *artifact.Store, prog *lang.Program, res *lower.Result,
 			st.vmBlobs[name] = pa.VMCode
 		}
 		if pa.Bailout != nil && st.bailout == nil {
+			// Honored only because this is the bailing procedure's own hit
+			// (decodeUsable rejects foreign bailouts): the body that bailed
+			// is covered by this entry's key, so it still bails.
 			st.bailout = pa.Bailout
 		}
 	}
@@ -101,8 +107,15 @@ func loadCache(store *artifact.Store, prog *lang.Program, res *lower.Result,
 }
 
 // decodeUsable decodes a blob and checks it carries every section the
-// load's engine and plan require. nil means miss.
-func decodeUsable(st *cacheState, blob []byte, proc *lower.Proc) *artifact.ProcArtifact {
+// load's engine and plan require. nil means miss. Under a VM engine a
+// blob may legitimately carry neither bytecode nor a bailout (it was
+// written while the program bailed in some other procedure): its
+// analysis and plans are still reusable, and compiledVM recompiles the
+// missing bytecode. A bailout is trusted only from the bailing
+// procedure's own artifact — the bailout is a fact about that body,
+// which only its own key covers — so a blob carrying some other
+// procedure's bailout is stale by construction and rejected.
+func decodeUsable(st *cacheState, blob []byte, name string, proc *lower.Proc) *artifact.ProcArtifact {
 	if blob == nil {
 		return nil
 	}
@@ -115,7 +128,7 @@ func decodeUsable(st *cacheState, blob []byte, proc *lower.Proc) *artifact.ProcA
 		obs.Default.Add("artifact.reject", 1)
 		return nil
 	}
-	if st.wantVM && pa.VMCode == nil && pa.Bailout == nil {
+	if pa.Bailout != nil && pa.Bailout.Proc != name {
 		obs.Default.Add("artifact.reject", 1)
 		return nil
 	}
@@ -170,7 +183,12 @@ func (p *Pipeline) warmAndSave() {
 			if prog.EncodeProc(name, &w) {
 				pa.VMCode = w.Bytes()
 			}
-		} else if bail != nil {
+		} else if bail != nil && bail.Proc == name {
+			// The bailout is a fact about the bailing procedure's body, so
+			// it is recorded only in that procedure's own artifact — the
+			// only key that covers the body that caused it. Other
+			// procedures' entries carry no VM section; ComposeProgram
+			// recompiles them on a warm load that no longer bails.
 			pa.Bailout = bail
 		}
 		if err := st.store.Put(st.keys[name], pa.Encode()); err != nil {

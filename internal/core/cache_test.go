@@ -147,6 +147,106 @@ func TestCacheIncrementalOneMiss(t *testing.T) {
 	}
 }
 
+// bailSrc loads and analyzes fine, but BSUB assigns a string literal —
+// outside the VM subset — so bytecode compilation bails at BSUB.
+const bailSrc = `      PROGRAM BMAIN
+      REAL X
+      X = 1.0
+      CALL BSUB(X)
+      PRINT *, X
+      END
+
+      SUBROUTINE BSUB(X)
+      REAL X
+      REAL A(3)
+      A(1) = 'AB'
+      X = X + A(1)
+      RETURN
+      END
+`
+
+// TestCacheBailoutInvalidatedByEdit: a recorded VM bailout lives only in
+// the bailing procedure's own artifact, so a warm load honors it, but
+// editing that procedure to be VM-compatible misses its key, drops the
+// bailout with it, and the reload compiles for the VM — the cache can
+// never pin a program to the tree-walker after the offending code is
+// gone.
+func TestCacheBailoutInvalidatedByEdit(t *testing.T) {
+	store := openStore(t)
+	opts := LoadOptions{Cache: store, Engine: interp.EngineVM, Plan: StrategySarkar}
+
+	cold, err := LoadOpts(bailSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb, fbErr := cold.EngineFallback(); !fb {
+		t.Fatal("cold load of bailing program did not fall back")
+	} else if !strings.Contains(fbErr.Error(), "BSUB") {
+		t.Fatalf("bailout does not name BSUB: %v", fbErr)
+	}
+
+	// Warm reload: both procedures hit, and the bailout is honored from
+	// BSUB's own artifact without re-attempting compilation.
+	hitBefore := metric("artifact.hit")
+	warm, err := LoadOpts(bailSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric("artifact.hit") - hitBefore; got != 2 {
+		t.Fatalf("warm load: %d hits, want 2", got)
+	}
+	if fb, _ := warm.EngineFallback(); !fb {
+		t.Fatal("warm load lost the recorded bailout")
+	}
+
+	// Edit the bailing procedure to be VM-compatible: exactly its entry
+	// misses, no surviving artifact carries a bailout, and the program
+	// compiles — the VM engine is used.
+	edited := strings.Replace(bailSrc, "A(1) = 'AB'", "A(1) = 2.0", 1)
+	hitBefore, missBefore := metric("artifact.hit"), metric("artifact.miss")
+	fixed, err := LoadOpts(edited, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric("artifact.miss") - missBefore; got != 1 {
+		t.Fatalf("edited reload: %d misses, want exactly 1 (BSUB)", got)
+	}
+	if got := metric("artifact.hit") - hitBefore; got != 1 {
+		t.Fatalf("edited reload: %d hits, want exactly 1 (BMAIN)", got)
+	}
+	if fb, fbErr := fixed.EngineFallback(); fb {
+		t.Fatalf("edited program still pinned to tree-walker by stale bailout: %v", fbErr)
+	}
+	fixedTime, fixedVar := estimateAll(t, fixed)
+	ref, err := LoadOpts(edited, LoadOptions{Engine: interp.EngineVM, Plan: StrategySarkar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTime, refVar := estimateAll(t, ref)
+	if fixedTime != refTime || fixedVar != refVar {
+		t.Fatalf("cached estimates differ from uncached: TIME %v vs %v, VAR %v vs %v",
+			fixedTime, refTime, fixedVar, refVar)
+	}
+
+	// The recompile wrote fresh bytecode back for BOTH procedures (BMAIN's
+	// bailing-era entry had none), so a further reload composes entirely
+	// from the cache: full hits, no rejects, still the VM.
+	hitBefore, rejBefore := metric("artifact.hit"), metric("artifact.reject")
+	again, err := LoadOpts(edited, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric("artifact.hit") - hitBefore; got != 2 {
+		t.Fatalf("re-reload: %d hits, want 2", got)
+	}
+	if got := metric("artifact.reject") - rejBefore; got != 0 {
+		t.Fatalf("re-reload: %d rejects, want 0", got)
+	}
+	if fb, _ := again.EngineFallback(); fb {
+		t.Fatal("re-reload fell back despite cached bytecode")
+	}
+}
+
 // TestCacheCorruptionIsAMiss: flipping bits in (or truncating) a stored
 // blob silently re-derives the procedure with identical results.
 func TestCacheCorruptionIsAMiss(t *testing.T) {

@@ -190,9 +190,9 @@ func (p *Pipeline) compiledVM() (*vm.Program, error) {
 		sp := p.Trace.Start("compile")
 		switch {
 		case p.cache != nil && p.cache.bailout != nil:
-			// A hit procedure recorded that this program is outside the VM
-			// subset; skip re-attempting compilation. Metric parity with
-			// the cold path below.
+			// The bailing procedure's own artifact hit, so its body still
+			// puts the program outside the VM subset; skip re-attempting
+			// compilation. Metric parity with the cold path below.
 			p.vmErr = p.cache.bailout
 			obs.Default.Add("vm.compile_bailouts", 1)
 		case p.cache != nil:
@@ -202,12 +202,22 @@ func (p *Pipeline) compiledVM() (*vm.Program, error) {
 				obs.Default.Add("vm.compile_bailouts", 1)
 			} else {
 				obs.Default.Add("vm.superinstructions", int64(p.vmProg.FusedInstructions()))
-				// Rejected blobs (decode failure on a hit entry) surface
-				// here as extra compiles beyond the load's misses.
+				// Hit entries that carried no usable bytecode — decode
+				// rejections, or blobs written while the program bailed —
+				// were recompiled by ComposeProgram just now. Mark them
+				// missed so warmAndSave overwrites the stale entries with
+				// the fresh bytecode instead of leaving them to pay this
+				// recompile on every future load. Only a present-but-
+				// rejected VM section counts as artifact.reject; an absent
+				// one is a legitimate bailing-era blob.
 				for _, name := range missed {
-					if !p.cache.missed[name] {
+					if p.cache.missed[name] {
+						continue
+					}
+					if _, had := p.cache.vmBlobs[name]; had {
 						obs.Default.Add("artifact.reject", 1)
 					}
+					p.cache.missed[name] = true
 				}
 			}
 		default:

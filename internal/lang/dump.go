@@ -50,6 +50,16 @@ func DumpUnit(u *Unit) string {
 	return b.String()
 }
 
+// DumpExpr renders one expression in the same canonical form DumpUnit
+// uses — fully parenthesized, literal kinds tagged, strings quoted — so
+// it is safe to hash: two expressions dump identically iff reparsing
+// either yields the same AST.
+func DumpExpr(e Expr) string {
+	var b strings.Builder
+	dumpExpr(&b, e)
+	return b.String()
+}
+
 func dumpBody(b *strings.Builder, body []Stmt, depth int) {
 	for _, s := range body {
 		dumpStmt(b, s, depth)
